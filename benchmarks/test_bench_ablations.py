@@ -1,0 +1,129 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables and probe *why* the proposed scheme wins:
+
+* what happens to the conventional scheme's area if the corner spread (and
+  hence the number of branches per tunable cell) changes;
+* how much of the proposed scheme's area is the price of calibration
+  (calibration MUX + controller + mapper) versus the functional delay line;
+* how the calibration time of both schemes scales with the line length;
+* how the half-period locking choice (versus full-period locking) halves the
+  proposed controller's search range.
+"""
+
+import pytest
+
+from repro.core.conventional import (
+    ConventionalDelayLine,
+    ConventionalDelayLineConfig,
+    ShiftRegisterController,
+)
+from repro.core.design import DesignSpec, design_proposed
+from repro.core.proposed import (
+    ProposedController,
+    ProposedDelayLine,
+    ProposedDelayLineConfig,
+)
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import intel32_like_library
+from repro.technology.synthesis import Synthesizer
+
+
+LIBRARY = intel32_like_library()
+SYNTH = Synthesizer(LIBRARY)
+
+
+def _conventional_area_for_branches(branches: int) -> float:
+    line = ConventionalDelayLine(
+        ConventionalDelayLineConfig(
+            num_cells=64,
+            branches=branches,
+            buffers_per_element=2,
+            clock_period_ps=10_000.0,
+        ),
+        library=LIBRARY,
+    )
+    return SYNTH.synthesize(line.netlist()).total_area_um2
+
+
+def test_bench_ablation_branch_count_drives_conventional_area(benchmark):
+    """The tunable cell's redundancy is the conventional scheme's area cost."""
+
+    def sweep():
+        return {branches: _conventional_area_for_branches(branches) for branches in (2, 3, 4, 6)}
+
+    areas = benchmark(sweep)
+    assert areas[2] < areas[3] < areas[4] < areas[6]
+    # Even a 2-branch conventional line is larger than the proposed design.
+    proposed_area = SYNTH.synthesize(
+        design_proposed(DesignSpec(100.0, 6), LIBRARY).build_line(LIBRARY).netlist()
+    ).total_area_um2
+    assert areas[4] > 1.5 * proposed_area
+
+
+def test_bench_ablation_calibration_overhead_of_proposed_scheme(benchmark):
+    """Quantify the area spent on calibration in the proposed scheme."""
+
+    def measure():
+        line = design_proposed(DesignSpec(100.0, 6), LIBRARY).build_line(LIBRARY)
+        report = SYNTH.synthesize(line.netlist())
+        distribution = report.distribution()
+        calibration_share = (
+            distribution["Calibration MUX"]
+            + distribution["Controller"]
+            + distribution["Mapper"]
+        )
+        return report.total_area_um2, calibration_share
+
+    total, calibration_share = benchmark(measure)
+    # More than half of the proposed scheme's area is calibration overhead --
+    # and it still beats the conventional scheme's total (paper Table 5).
+    assert 50.0 < calibration_share < 70.0
+    assert total < 1500.0
+
+
+@pytest.mark.parametrize("num_cells", [64, 128, 256, 512])
+def test_bench_ablation_lock_time_scales_linearly_with_cells(benchmark, num_cells):
+    """Proposed-controller calibration time grows linearly with line length."""
+    line = ProposedDelayLine(
+        ProposedDelayLineConfig(
+            num_cells=num_cells,
+            buffers_per_cell=512 // num_cells,
+            clock_period_ps=10_000.0,
+        ),
+        library=LIBRARY,
+    )
+    controller = ProposedController(line)
+    result = benchmark(controller.lock, OperatingConditions.fast())
+    assert result.locked
+    # Worst case: about half the cells (the fast corner needs the most).
+    assert result.lock_cycles <= num_cells // 2 + controller.synchronizer_latency_cycles + 2
+
+
+def test_bench_ablation_conventional_update_rate(benchmark):
+    """The conventional DLL's calibration time is set by its update period."""
+    line = ConventionalDelayLine(
+        ConventionalDelayLineConfig(
+            num_cells=64, branches=4, buffers_per_element=2, clock_period_ps=10_000.0
+        ),
+        library=LIBRARY,
+    )
+
+    def lock_with_update_rates():
+        fast_update = ShiftRegisterController(line, cycles_per_update=1).lock(
+            OperatingConditions.fast()
+        )
+        slow_update = ShiftRegisterController(line, cycles_per_update=4).lock(
+            OperatingConditions.fast()
+        )
+        return fast_update, slow_update
+
+    fast_update, slow_update = benchmark(lock_with_update_rates)
+    assert fast_update.locked and slow_update.locked
+    assert slow_update.lock_cycles > 3 * fast_update.lock_cycles
+    # Even with a per-cycle update the conventional DLL is slower than the
+    # proposed controller because it has ~3x more steps to walk through.
+    proposed = ProposedController(
+        design_proposed(DesignSpec(100.0, 6), LIBRARY).build_line(LIBRARY)
+    ).lock(OperatingConditions.fast())
+    assert proposed.lock_cycles < fast_update.lock_cycles

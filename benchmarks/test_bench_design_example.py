@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the section 4.2 worked design examples."""
+
+import pytest
+
+from repro.experiments.design_example import run as run_design_example
+
+
+def test_bench_design_example(benchmark):
+    result = benchmark(run_design_example)
+    conventional = result.data["conventional"]
+    proposed = result.data["proposed"]
+    assert (conventional["num_cells"], conventional["branches"]) == (64, 4)
+    assert conventional["buffers_per_element"] == 2
+    assert (proposed["num_cells"], proposed["buffers_per_cell"]) == (256, 2)
+    # Both worst-case line delays equal 10.24 ns > the 10 ns period, so both
+    # schemes lock at every corner (paper eqs. 29 and 36).
+    assert conventional["worst_case_total_delay_ps"] == pytest.approx(10_240.0)
+    assert proposed["worst_case_total_delay_ps"] == pytest.approx(10_240.0)
+    assert conventional["guarantees_locking"] and proposed["guarantees_locking"]

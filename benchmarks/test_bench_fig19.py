@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 19 (2-bit counter DPWM timing)."""
+
+import pytest
+
+from repro.experiments.figure19 import run as run_fig19
+
+
+def test_bench_fig19(benchmark):
+    result = benchmark(run_fig19)
+    # The four duty words produce the paper's 25 / 50 / 75 / 100 % pulses.
+    for word, duty in result.data["measured_duties"].items():
+        assert duty == pytest.approx((word + 1) / 4, abs=0.01)
+    # The counter clock is 2**n times the switching clock (eq. 13).
+    assert result.data["counter_clock_mhz"] == pytest.approx(4.0)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 21 (2-bit delay-line DPWM timing)."""
+
+import pytest
+
+from repro.experiments.figure21 import run as run_fig21
+
+
+def test_bench_fig21(benchmark):
+    result = benchmark(run_fig21)
+    for word, duty in result.data["measured_duties"].items():
+        assert duty == pytest.approx((word + 1) / 4, abs=0.01)
+    # Only the switching clock is required (the power advantage of Table 2).
+    assert result.data["required_clock_mhz"] == pytest.approx(1.0)

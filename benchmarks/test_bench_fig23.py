@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 23 (hybrid DPWM timing, duty word 10110)."""
+
+import pytest
+
+from repro.experiments.figure23 import run as run_fig23
+
+
+def test_bench_fig23(benchmark):
+    result = benchmark(run_fig23)
+    # The paper's featured word 10110 produces a 23/32 = 71.9 % duty cycle.
+    assert result.data["featured_duty"] == pytest.approx(23 / 32, abs=0.005)
+    # Hybrid hardware compromise: 8x clock (not 32x), 4 cells (not 32).
+    assert result.data["counter_clock_mhz"] == pytest.approx(8.0)
+    assert result.data["num_cells"] == 4
+    # The full 5-bit sweep is monotonic.
+    duties = [result.data["sweep"][word] for word in sorted(result.data["sweep"])]
+    assert duties == sorted(duties)

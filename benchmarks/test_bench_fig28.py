@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 28 (cell delays across process corners)."""
+
+import pytest
+
+from repro.experiments.figure28 import run as run_fig28
+
+
+def test_bench_fig28(benchmark):
+    result = benchmark(run_fig28)
+    per_corner = result.data["per_corner"]
+    # The 4x fast-to-slow spread of the paper's 32 nm technology.
+    assert per_corner["fast"]["buffer_delay_ps"] == pytest.approx(20.0)
+    assert per_corner["slow"]["buffer_delay_ps"] == pytest.approx(80.0)
+    # Without calibration the same tap gives wildly different duty cycles.
+    assert per_corner["fast"]["uncalibrated_duty_at_mid_tap"] == pytest.approx(0.25, abs=0.02)
+    assert per_corner["typical"]["uncalibrated_duty_at_mid_tap"] == pytest.approx(0.5, abs=0.02)
+    assert per_corner["slow"]["uncalibrated_duty_at_mid_tap"] >= 0.98

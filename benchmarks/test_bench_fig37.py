@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 37 (conventional controller locking)."""
+
+from repro.experiments.figure37 import run as run_fig37
+
+
+def test_bench_fig37(benchmark):
+    result = benchmark(run_fig37)
+    per_corner = result.data["per_corner"]
+    # The DLL locks where tuning range allows (fast/typical); at the deep
+    # slow corner the all-minimum line already overshoots the period.
+    assert per_corner["fast"]["locked"]
+    assert per_corner["typical"]["locked"]
+    assert per_corner["fast"]["shift_steps"] > per_corner["typical"]["shift_steps"]
+    assert abs(per_corner["typical"]["residual_error_ps"]) < 200.0
+    assert per_corner["slow"]["residual_error_ps"] < 300.0

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figures 41-42 (tuning-order scenarios and linearity)."""
+
+from repro.experiments.figure41_42 import run as run_fig41_42
+
+
+def test_bench_fig41_42(benchmark):
+    result = benchmark(run_fig41_42)
+    scenarios = result.data["scenarios"]
+    # Paper claim: clustering the tuned cells at the start of the line
+    # (scenario 1 / sequential) is the worst case for linearity; spreading
+    # them (scenario 2 / distributed) is the best.
+    assert (
+        scenarios["sequential"]["max_inl_lsb"]
+        > scenarios["round_robin"]["max_inl_lsb"]
+        >= scenarios["distributed"]["max_inl_lsb"] * 0.9
+    )
+    assert (
+        scenarios["sequential"]["max_error_fraction_of_period"]
+        > scenarios["distributed"]["max_error_fraction_of_period"]
+    )
+    # All scenarios still lock to the clock period.
+    for record in scenarios.values():
+        assert record["lock_cycles"] > 0

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figures 47-48 (proposed controller locking)."""
+
+from repro.experiments.figure47_48 import run as run_fig47_48
+
+
+def test_bench_fig47_48(benchmark):
+    result = benchmark(run_fig47_48)
+    per_corner = result.data["per_corner"]
+    # The proposed controller locks at every corner, with the locked cell
+    # count scaling with the corner speed (more cells at the fast corner).
+    for record in per_corner.values():
+        assert record["proposed_locked"]
+    assert (
+        per_corner["fast"]["proposed_tap_sel"]
+        > per_corner["typical"]["proposed_tap_sel"]
+        > per_corner["slow"]["proposed_tap_sel"]
+    )
+    # Fast-calibration claim: fewer cycles than the conventional DLL wherever
+    # the latter actually locks.
+    for corner in ("fast", "typical"):
+        assert (
+            per_corner[corner]["proposed_lock_cycles"]
+            < per_corner[corner]["conventional_lock_cycles"]
+        )

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figures 50-51 (proposed scheme linearity)."""
+
+from repro.experiments.figure50_51 import FREQUENCIES_MHZ, run as run_fig50_51
+
+
+def test_bench_fig50_51(benchmark):
+    result = benchmark(run_fig50_51)
+    # Figure 50 (slow corner): plateaus -- fewer distinct output levels than
+    # at the fast corner (Figure 51) for every frequency.
+    for frequency in FREQUENCIES_MHZ:
+        assert (
+            result.data["slow"][frequency]["distinct_levels"]
+            < result.data["fast"][frequency]["distinct_levels"]
+        )
+    # All curves are monotonic and stay within a few percent of ideal.
+    for corner in ("slow", "fast"):
+        for record in result.data[corner].values():
+            assert record["monotonic"]
+            assert record["max_error_fraction"] < 0.06
+    # Linearity is better at lower frequency (more buffers per cell).
+    assert (
+        result.data["fast"][50.0]["rms_inl_lsb"]
+        < result.data["fast"][200.0]["rms_inl_lsb"]
+    )
+    # The frequency-normalized curves share the 20 ns full scale.
+    for corner in ("slow", "fast"):
+        finals = [rec["scaled_delay_ns"][-1] for rec in result.data[corner].values()]
+        assert max(finals) - min(finals) < 1.5

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (counter vs delay-line DPWM comparison)."""
+
+from repro.experiments.table2 import run as run_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(run_table2)
+    rows = {row["bits"]: row for row in result.data["rows"]}
+    # Counter: exponentially growing clock; delay line: switching clock only.
+    assert rows[13]["counter_clock_mhz"] == 8192.0
+    assert rows[13]["delay_line_clock_mhz"] == 1.0
+    # Delay line: exponentially growing area; counter stays small.
+    assert rows[13]["delay_line_area_um2"] > 50 * rows[13]["counter_area_um2"]
+    # Hybrid sits between the two on both axes at high resolution.
+    assert rows[13]["hybrid_clock_mhz"] < rows[13]["counter_clock_mhz"]
+    assert rows[13]["hybrid_area_um2"] < rows[13]["delay_line_area_um2"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4 (preliminary scheme comparison)."""
+
+from repro.experiments.table4 import run as run_table4
+
+
+def test_bench_table4(benchmark):
+    result = benchmark(run_table4)
+    # Paper Table 4: proposed has the simpler cell, better linearity and
+    # faster calibration; it pays with the mapper and the extra multiplexer.
+    assert result.data["proposed_wins_linearity"]
+    assert result.data["proposed_wins_calibration_time"]
+    assert result.data["proposed_lock_cycles"] < result.data["conventional_lock_cycles"]
+    assert (
+        result.data["proposed_max_error_fraction"]
+        < result.data["conventional_max_error_fraction"]
+    )

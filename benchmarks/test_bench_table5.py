@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 5 (post-synthesis area at 100 MHz)."""
+
+import pytest
+
+from repro.experiments.table5 import PAPER_TABLE5, run as run_table5
+
+
+def test_bench_table5(benchmark):
+    result = benchmark(run_table5)
+    proposed = result.data["proposed"]
+    conventional = result.data["conventional"]
+    # Same design points as the paper.
+    assert proposed["taps"] == 256
+    assert conventional["taps"] == 64
+    # Absolute areas within 5 % of the paper's 1337 / 2330 um^2.
+    assert proposed["total_area_um2"] == pytest.approx(
+        PAPER_TABLE5["proposed"]["total_area_um2"], rel=0.05
+    )
+    assert conventional["total_area_um2"] == pytest.approx(
+        PAPER_TABLE5["conventional"]["total_area_um2"], rel=0.05
+    )
+    # The headline claim: the proposed scheme is substantially smaller.
+    assert result.data["area_ratio"] == pytest.approx(2330 / 1337, rel=0.1)
+    # Area-distribution shape: conventional dominated by line + controller.
+    assert conventional["distribution"]["Delay Line"] > 45.0
+    assert conventional["distribution"]["Controller"] > 40.0
+    assert proposed["distribution"]["Calibration MUX"] > proposed["distribution"]["Controller"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 6 (proposed scheme across 50/100/200 MHz)."""
+
+import pytest
+
+from repro.experiments.table6 import FREQUENCIES_MHZ, PAPER_TABLE6, run as run_table6
+
+
+def test_bench_table6(benchmark):
+    result = benchmark(run_table6)
+    for frequency in FREQUENCIES_MHZ:
+        record = result.data["per_frequency"][frequency]
+        paper = PAPER_TABLE6[frequency]
+        assert record["buffers_per_cell"] == paper["buffers_per_cell"]
+        assert record["total_area_um2"] == pytest.approx(
+            paper["total_area_um2"], rel=0.05
+        )
+        assert record["distribution"]["Delay Line"] == pytest.approx(
+            paper["delay_line_pct"], abs=2.0
+        )
+    # Area decreases and the delay-line share shrinks as frequency rises.
+    areas = [result.data["per_frequency"][f]["total_area_um2"] for f in FREQUENCIES_MHZ]
+    assert areas == sorted(areas, reverse=True)

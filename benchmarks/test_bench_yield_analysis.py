@@ -1,0 +1,50 @@
+"""Benchmark: statistical sizing (paper future work, section 5.2).
+
+Not a paper table -- the paper leaves this as future work -- but DESIGN.md
+lists it as the natural ablation of the worst-case design methodology: how
+many of the 256 worst-case cells are actually needed for a given yield.
+"""
+
+import pytest
+
+from repro.core.design import DesignSpec, design_proposed
+from repro.core.yield_analysis import YieldModel, cells_for_yield, coverage_yield
+from repro.technology.library import intel32_like_library
+
+SPEC = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+LIBRARY = intel32_like_library()
+MODEL = YieldModel(seed=2012)
+
+
+def test_bench_yield_of_worst_case_design(benchmark):
+    design = design_proposed(SPEC, LIBRARY)
+    result = benchmark(
+        coverage_yield,
+        design.num_cells,
+        design.buffers_per_cell,
+        SPEC.clock_period_ps,
+        MODEL,
+        LIBRARY,
+        2000,
+    )
+    # The paper's worst-case sizing gives essentially 100 % locking yield.
+    assert result > 0.999
+
+
+def test_bench_statistical_sizing_saves_cells(benchmark):
+    def size_for_three_nines():
+        return cells_for_yield(
+            SPEC,
+            buffers_per_cell=2,
+            target_yield=0.999,
+            model=MODEL,
+            library=LIBRARY,
+            num_chips=2000,
+        )
+
+    point = benchmark(size_for_three_nines)
+    worst_case = design_proposed(SPEC, LIBRARY).num_cells
+    assert point.locking_yield >= 0.999
+    # Three-nines yield needs meaningfully fewer cells than the worst case.
+    assert point.num_cells < worst_case
+    assert point.num_cells > worst_case // 2

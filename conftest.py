@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been pip-installed
+(useful on the offline environments this repository targets, where
+``pip install -e .`` may be unable to fetch the ``wheel`` build dependency).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Closed-loop voltage regulation with the calibrated delay-line DPWM.
+
+The scenario the paper motivates in chapter 2: a digitally controlled buck
+converter supplies a processor core at 0.9 V from a 1.8 V rail, switching at
+100 MHz.  The DPWM is the proposed calibrated delay line; the load steps from
+light (a sleeping core) to heavy (a busy core) and back, and the loop
+recovers the output voltage after each transient.
+
+The example also repeats the run at the slow and fast process corners to show
+that the delay-line calibration keeps the regulation intact across PVT.
+
+Run with:  python examples/buck_regulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import format_series, format_table
+from repro.converter.buck import BuckParameters
+from repro.converter.closed_loop import DigitallyControlledBuck
+from repro.converter.load import SteppedLoad
+from repro.core.design import DesignSpec, design_proposed
+from repro.dpwm.calibrated import CalibratedDelayLineDPWM
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+
+VIN_V = 1.8
+VREF_V = 0.9
+SWITCHING_FREQUENCY_HZ = 100e6
+LIGHT_LOAD_OHM = 2.0
+HEAVY_LOAD_OHM = 0.9
+STEP_UP_PERIOD = 500
+STEP_DOWN_PERIOD = 1500
+TOTAL_PERIODS = 2500
+
+
+def run_at_corner(corner: ProcessCorner) -> dict:
+    """Run the full load-transient scenario at one process corner."""
+    library = intel32_like_library()
+    design = design_proposed(
+        DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6), library
+    )
+    line = design.build_line(library=library)
+    dpwm = CalibratedDelayLineDPWM(line, OperatingConditions(corner=corner))
+
+    parameters = BuckParameters(
+        input_voltage_v=VIN_V, switching_frequency_hz=SWITCHING_FREQUENCY_HZ
+    )
+    load = SteppedLoad(
+        light_ohm=LIGHT_LOAD_OHM,
+        heavy_ohm=HEAVY_LOAD_OHM,
+        step_up_period=STEP_UP_PERIOD,
+        step_down_period=STEP_DOWN_PERIOD,
+    )
+    loop = DigitallyControlledBuck(
+        parameters, dpwm, reference_v=VREF_V, load=load
+    )
+    trace = loop.run(TOTAL_PERIODS)
+    voltages = np.asarray(trace.output_voltages_v)
+    return {
+        "corner": corner.name.lower(),
+        "trace": trace,
+        "voltages": voltages,
+        "pre_step_v": float(voltages[STEP_UP_PERIOD - 10 : STEP_UP_PERIOD].mean()),
+        "dip_v": float(voltages[STEP_UP_PERIOD : STEP_UP_PERIOD + 120].min()),
+        "recovered_v": float(voltages[STEP_DOWN_PERIOD - 60 : STEP_DOWN_PERIOD].mean()),
+        "final_v": float(voltages[-60:].mean()),
+        "tap_sel": dpwm.calibration.control_state,
+    }
+
+
+def main() -> None:
+    results = [run_at_corner(corner) for corner in ProcessCorner]
+
+    rows = [
+        [
+            result["corner"],
+            result["tap_sel"],
+            f"{result['pre_step_v']:.3f}",
+            f"{result['dip_v']:.3f}",
+            f"{result['recovered_v']:.3f}",
+            f"{result['final_v']:.3f}",
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            [
+                "Corner",
+                "Locked tap_sel",
+                "Vout before step (V)",
+                "Worst dip (V)",
+                "Vout under heavy load (V)",
+                "Vout after release (V)",
+            ],
+            rows,
+            title=(
+                f"Digitally controlled buck: {VIN_V} V -> {VREF_V} V at "
+                f"{SWITCHING_FREQUENCY_HZ / 1e6:.0f} MHz with the proposed delay-line DPWM"
+            ),
+        )
+    )
+
+    # A coarse time series of the typical-corner run for inspection.
+    typical = next(r for r in results if r["corner"] == "typical")
+    sample_every = 50
+    indices = list(range(0, TOTAL_PERIODS, sample_every))
+    print()
+    print(
+        format_series(
+            x_label="period",
+            x_values=indices,
+            series={
+                "Vout (V)": [float(typical["voltages"][i]) for i in indices],
+                "duty": [float(typical["trace"].duty_fractions[i]) for i in indices],
+            },
+            title="Typical-corner regulation trace (load steps at periods "
+            f"{STEP_UP_PERIOD} and {STEP_DOWN_PERIOD})",
+            max_rows=25,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Statistical sizing of the proposed delay line (the paper's future work).
+
+The paper sizes the proposed delay line for the worst case: enough cells that
+100 % of chips cover the clock period even at the fastest corner.  Section
+5.2 proposes a statistical alternative — characterize the technology, compute
+the locking yield as a function of the cell count, and let the designer trade
+delay-line area against yield.
+
+This example runs that analysis for the 100 MHz / 6-bit design point:
+
+1. Monte-Carlo yield curve: cell count vs fraction of chips whose line covers
+   the 10 ns period (and the corresponding delay-line area).
+2. The smallest cell count meeting 90 %, 99 %, 99.9 % and ~100 % yield
+   targets, compared with the paper's worst-case 256 cells.
+3. The MTBF of the controller's two-flop synchronizer, the other
+   robustness knob the paper discusses (section 3.2.1).
+
+Run with:  python examples/statistical_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metastability import synchronizer_mtbf_years
+from repro.analysis.reports import format_table
+from repro.core.design import DesignSpec, design_proposed
+from repro.core.yield_analysis import YieldModel, cells_for_yield, yield_curve
+from repro.technology.library import intel32_like_library
+
+SPEC = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+BUFFERS_PER_CELL = 2
+NUM_CHIPS = 3000
+
+
+def yield_curve_section(library) -> None:
+    model = YieldModel(seed=2012)
+    points = yield_curve(
+        SPEC,
+        buffers_per_cell=BUFFERS_PER_CELL,
+        model=model,
+        library=library,
+        num_chips=NUM_CHIPS,
+    )
+    rows = [
+        [
+            point.num_cells,
+            f"{100 * point.locking_yield:.1f} %",
+            f"{point.line_area_um2:.0f}",
+        ]
+        for point in points
+    ]
+    print(
+        format_table(
+            ["Cells in the line", "Locking yield", "Delay-line area (um^2)"],
+            rows,
+            title=(
+                "Part 1 -- Monte-Carlo locking yield vs cell count "
+                f"({NUM_CHIPS} chips, 100 MHz, 2 buffers/cell)"
+            ),
+        )
+    )
+
+
+def sizing_section(library) -> None:
+    design = design_proposed(SPEC, library)
+    model = YieldModel(seed=2012)
+    rows = []
+    for target in (0.90, 0.99, 0.999):
+        point = cells_for_yield(
+            SPEC,
+            buffers_per_cell=BUFFERS_PER_CELL,
+            target_yield=target,
+            model=model,
+            library=library,
+            num_chips=NUM_CHIPS,
+        )
+        saving = 100.0 * (1.0 - point.num_cells / design.num_cells)
+        rows.append(
+            [
+                f"{100 * target:.1f} %",
+                point.num_cells,
+                f"{100 * point.locking_yield:.2f} %",
+                f"{saving:.0f} %",
+            ]
+        )
+    rows.append(["worst-case (paper)", design.num_cells, "~100 %", "0 %"])
+    print(
+        format_table(
+            ["Yield target", "Cells needed", "Achieved yield", "Delay-line cells saved"],
+            rows,
+            title="Part 2 -- statistical sizing vs the paper's worst-case 256 cells",
+        )
+    )
+
+
+def mtbf_section() -> None:
+    rows = []
+    for stages in (1, 2, 3):
+        mtbf = synchronizer_mtbf_years(
+            clock_frequency_mhz=SPEC.clock_frequency_mhz,
+            data_frequency_mhz=SPEC.clock_frequency_mhz,
+            synchronizer_stages=stages,
+            logic_settling_ps=9_800.0,
+        )
+        label = f"{mtbf:.3g} years" if mtbf < 1e30 else "effectively unbounded"
+        rows.append([stages, label])
+    print(
+        format_table(
+            ["Synchronizer stages", "MTBF"],
+            rows,
+            title="Part 3 -- metastability MTBF of the controller's tap sampler",
+        )
+    )
+
+
+def main() -> None:
+    library = intel32_like_library()
+    yield_curve_section(library)
+    print()
+    sizing_section(library)
+    print()
+    mtbf_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on environments where pip falls back to it) work from
+the metadata declared in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

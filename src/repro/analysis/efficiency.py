@@ -1,0 +1,94 @@
+"""Converter efficiency and loss models (paper chapter 2).
+
+These formulas support the regulator substrate and the background comparison
+between linear and switching regulators:
+
+* efficiency ``eta = P_out / P_in`` and loss ``P_loss = P_out (1/eta - 1)``
+  (paper eqs. 1-2);
+* linear-regulator efficiency from the dropout/ground-current model
+  (paper eqs. 3-5);
+* a first-order buck-converter efficiency estimate combining conduction and
+  switching losses, used to illustrate the switching-frequency/efficiency
+  trade-off the paper cites for on-chip regulators.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "efficiency",
+    "power_loss_w",
+    "linear_regulator_efficiency",
+    "buck_efficiency_estimate",
+]
+
+
+def efficiency(p_out_w: float, p_in_w: float) -> float:
+    """Converter efficiency ``P_out / P_in`` (paper eq. 1)."""
+    if p_in_w <= 0:
+        raise ValueError("input power must be positive")
+    if p_out_w < 0:
+        raise ValueError("output power must be non-negative")
+    return p_out_w / p_in_w
+
+
+def power_loss_w(p_out_w: float, eta: float) -> float:
+    """Power dissipated for a given output power and efficiency (paper eq. 2)."""
+    if not 0.0 < eta <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    if p_out_w < 0:
+        raise ValueError("output power must be non-negative")
+    return p_out_w * (1.0 / eta - 1.0)
+
+
+def linear_regulator_efficiency(
+    v_in_v: float,
+    v_out_v: float,
+    i_load_a: float,
+    i_ground_a: float = 0.0,
+) -> float:
+    """Efficiency of a linear regulator (paper eqs. 3-5).
+
+    ``P_out = V_out * I_load`` and ``P_in = V_in * (I_load + I_ground)``; the
+    efficiency degrades linearly with the output/input voltage ratio, the
+    main drawback the paper lists for linear regulators.
+    """
+    if v_in_v <= 0 or v_out_v <= 0:
+        raise ValueError("voltages must be positive")
+    if v_out_v > v_in_v:
+        raise ValueError("a linear regulator can only step down")
+    if i_load_a <= 0:
+        raise ValueError("load current must be positive")
+    if i_ground_a < 0:
+        raise ValueError("ground-pin current must be non-negative")
+    p_out = v_out_v * i_load_a
+    p_in = v_in_v * (i_load_a + i_ground_a)
+    return p_out / p_in
+
+
+def buck_efficiency_estimate(
+    v_in_v: float,
+    v_out_v: float,
+    i_load_a: float,
+    switch_resistance_ohm: float = 0.05,
+    inductor_resistance_ohm: float = 0.02,
+    switching_frequency_hz: float = 100e6,
+    switch_charge_c: float = 1e-10,
+) -> float:
+    """First-order buck-converter efficiency estimate.
+
+    Combines conduction losses (switch and inductor series resistance) with
+    frequency-proportional switching losses, exposing the trade-off the paper
+    cites: pushing the switching frequency up (to shrink the on-chip L and C)
+    costs efficiency.
+    """
+    if v_in_v <= 0 or v_out_v <= 0 or v_out_v > v_in_v:
+        raise ValueError("require 0 < v_out <= v_in")
+    if i_load_a <= 0:
+        raise ValueError("load current must be positive")
+    if switching_frequency_hz <= 0:
+        raise ValueError("switching frequency must be positive")
+    p_out = v_out_v * i_load_a
+    conduction = i_load_a**2 * (switch_resistance_ohm + inductor_resistance_ohm)
+    switching = switch_charge_c * v_in_v * switching_frequency_hz * v_in_v
+    p_in = p_out + conduction + switching
+    return p_out / p_in

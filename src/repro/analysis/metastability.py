@@ -1,0 +1,106 @@
+"""Metastability MTBF estimation for the controller synchronizers.
+
+Both delay-line controllers sample asynchronous delay-line taps with clocked
+flip-flops (paper section 3.2.1, Figures 38-39): the sampled tap can change
+inside the flop's setup window, the flop can go metastable, and the paper
+adds a two-flop synchronizer to make the failure probability negligible.  The
+paper cites the standard mean-time-between-failures model ([37], [38]):
+
+    MTBF = exp(t_resolve / tau) / (T0 * f_clock * f_data)
+
+where ``tau`` is the regeneration time constant of the flop, ``T0`` its
+metastability window, ``f_clock`` the sampling clock frequency, ``f_data``
+the average transition rate of the asynchronous input, and ``t_resolve`` the
+time available for the metastable state to decay before the next stage
+samples it.  Adding a synchronizer stage adds one full clock period of
+resolving time, multiplying the MTBF by ``exp(T_clk / tau)``.
+
+The default flop parameters are representative of a 32 nm standard-cell
+flip-flop (tau = 10 ps, T0 = 20 ps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FlipFlopMetastabilityModel", "synchronizer_mtbf_years", "SECONDS_PER_YEAR"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class FlipFlopMetastabilityModel:
+    """Metastability characterization of a flip-flop.
+
+    Attributes:
+        tau_ps: regeneration time constant.
+        t0_ps: metastability capture window.
+    """
+
+    tau_ps: float = 10.0
+    t0_ps: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.tau_ps <= 0 or self.t0_ps <= 0:
+            raise ValueError("tau and T0 must be positive")
+
+    def mtbf_seconds(
+        self,
+        clock_frequency_hz: float,
+        data_frequency_hz: float,
+        resolve_time_ps: float,
+    ) -> float:
+        """MTBF for a single sampling flop with the given resolving time."""
+        if clock_frequency_hz <= 0 or data_frequency_hz <= 0:
+            raise ValueError("frequencies must be positive")
+        if resolve_time_ps < 0:
+            raise ValueError("resolve time must be non-negative")
+        exponent = resolve_time_ps / self.tau_ps
+        # Cap the exponent so the result stays a finite float; anything this
+        # large is "longer than the age of the universe" for reporting.
+        exponent = min(exponent, 700.0)
+        numerator = math.exp(exponent)
+        denominator = self.t0_ps * 1e-12 * clock_frequency_hz * data_frequency_hz
+        return numerator / denominator
+
+
+def synchronizer_mtbf_years(
+    clock_frequency_mhz: float,
+    data_frequency_mhz: float,
+    synchronizer_stages: int = 2,
+    logic_settling_ps: float = 200.0,
+    flop: FlipFlopMetastabilityModel | None = None,
+) -> float:
+    """MTBF (in years) of an n-stage synchronizer sampling a delay-line tap.
+
+    Args:
+        clock_frequency_mhz: controller clock (the regulator switching clock).
+        data_frequency_mhz: average transition rate of the sampled tap; for a
+            delay-line tap this is at most the switching frequency.
+        synchronizer_stages: total sampling flops (1 = no synchronizer,
+            2 = the paper's two-flop synchronizer, ...).
+        logic_settling_ps: part of the clock period consumed by downstream
+            logic setup, which reduces the resolving time of the last stage.
+        flop: flip-flop characterization (defaults to the 32 nm-class model).
+
+    Returns:
+        the MTBF in years (may be astronomically large for >= 2 stages).
+    """
+    if synchronizer_stages < 1:
+        raise ValueError("need at least one sampling stage")
+    flop = flop or FlipFlopMetastabilityModel()
+    clock_period_ps = 1e6 / clock_frequency_mhz
+    if logic_settling_ps >= clock_period_ps:
+        raise ValueError("logic settling time exceeds the clock period")
+    # The first stage gets whatever is left of the first cycle; each extra
+    # stage adds a full clock period of resolving time.
+    resolve_time_ps = (clock_period_ps - logic_settling_ps) + (
+        synchronizer_stages - 1
+    ) * clock_period_ps
+    mtbf_s = flop.mtbf_seconds(
+        clock_frequency_hz=clock_frequency_mhz * 1e6,
+        data_frequency_hz=data_frequency_mhz * 1e6,
+        resolve_time_ps=resolve_time_ps,
+    )
+    return mtbf_s / SECONDS_PER_YEAR

@@ -1,0 +1,161 @@
+"""Linearity and regulation metrics.
+
+The paper judges the delay-line schemes on *linearity*: how closely the
+delay-versus-input-word transfer curve follows the ideal straight line
+(Figures 42, 50 and 51).  The standard data-converter metrics are used here:
+
+* **DNL** (differential nonlinearity): deviation of each step from the ideal
+  LSB step, in LSB units.
+* **INL** (integral nonlinearity): deviation of each point from the best-fit
+  ideal line, in LSB units.
+* **monotonicity**: whether the curve never decreases with the input word.
+
+Regulation metrics (ripple, settling time, duty error) support the buck
+converter substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LinearityMetrics",
+    "differential_nonlinearity",
+    "integral_nonlinearity",
+    "is_monotonic",
+    "linearity_metrics",
+    "duty_cycle_error",
+    "peak_to_peak_ripple",
+    "settling_time_s",
+]
+
+
+def _validate_curve(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("a transfer curve needs at least two points")
+    return values
+
+
+def differential_nonlinearity(values: np.ndarray, lsb: float | None = None) -> np.ndarray:
+    """Per-code DNL in LSB units.
+
+    Args:
+        values: transfer-curve output (e.g. delay in ps) for consecutive
+            input codes.
+        lsb: the ideal step size; defaults to the average step of the curve
+            (endpoint-fit convention).
+    """
+    values = _validate_curve(values)
+    steps = np.diff(values)
+    if lsb is None:
+        lsb = (values[-1] - values[0]) / (values.size - 1)
+    if lsb == 0:
+        raise ValueError("ideal LSB step is zero; curve is degenerate")
+    return steps / lsb - 1.0
+
+
+def integral_nonlinearity(values: np.ndarray, lsb: float | None = None) -> np.ndarray:
+    """Per-code INL in LSB units (endpoint-fit)."""
+    values = _validate_curve(values)
+    if lsb is None:
+        lsb = (values[-1] - values[0]) / (values.size - 1)
+    if lsb == 0:
+        raise ValueError("ideal LSB step is zero; curve is degenerate")
+    codes = np.arange(values.size)
+    ideal = values[0] + codes * lsb
+    return (values - ideal) / lsb
+
+
+def is_monotonic(values: np.ndarray, strict: bool = False) -> bool:
+    """Whether the transfer curve never decreases (or strictly increases)."""
+    values = _validate_curve(values)
+    steps = np.diff(values)
+    if strict:
+        return bool(np.all(steps > 0))
+    return bool(np.all(steps >= 0))
+
+
+@dataclass(frozen=True)
+class LinearityMetrics:
+    """Summary linearity metrics of one transfer curve.
+
+    Attributes:
+        max_dnl_lsb: worst-case |DNL|.
+        max_inl_lsb: worst-case |INL|.
+        rms_inl_lsb: RMS INL.
+        monotonic: whether the curve is non-decreasing.
+        distinct_levels: number of distinct output values (collapses at the
+            slow corner of the proposed scheme, paper Figure 50).
+    """
+
+    max_dnl_lsb: float
+    max_inl_lsb: float
+    rms_inl_lsb: float
+    monotonic: bool
+    distinct_levels: int
+
+
+def linearity_metrics(values: np.ndarray, lsb: float | None = None) -> LinearityMetrics:
+    """Compute the summary linearity metrics of a transfer curve."""
+    values = _validate_curve(values)
+    dnl = differential_nonlinearity(values, lsb)
+    inl = integral_nonlinearity(values, lsb)
+    return LinearityMetrics(
+        max_dnl_lsb=float(np.max(np.abs(dnl))),
+        max_inl_lsb=float(np.max(np.abs(inl))),
+        rms_inl_lsb=float(np.sqrt(np.mean(inl**2))),
+        monotonic=is_monotonic(values),
+        distinct_levels=int(np.unique(values).size),
+    )
+
+
+def duty_cycle_error(achieved: float, requested: float) -> float:
+    """Absolute duty-cycle error (fractions of the switching period)."""
+    return abs(achieved - requested)
+
+
+def peak_to_peak_ripple(samples: np.ndarray, settle_fraction: float = 0.5) -> float:
+    """Peak-to-peak ripple of a steady-state waveform.
+
+    Only the tail of the record (after ``settle_fraction`` of the samples) is
+    used, so start-up transients do not inflate the ripple estimate.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 4:
+        raise ValueError("need at least 4 samples to estimate ripple")
+    start = int(samples.size * settle_fraction)
+    tail = samples[start:]
+    return float(tail.max() - tail.min())
+
+
+def settling_time_s(
+    times_s: np.ndarray,
+    samples: np.ndarray,
+    target: float,
+    tolerance: float = 0.01,
+) -> float:
+    """Time after which the waveform stays within ``tolerance`` of ``target``.
+
+    Returns ``inf`` when the waveform never settles inside the band.
+    """
+    times_s = np.asarray(times_s, dtype=float)
+    samples = np.asarray(samples, dtype=float)
+    if times_s.shape != samples.shape:
+        raise ValueError("times and samples must have the same shape")
+    if target == 0:
+        raise ValueError("settling target must be nonzero")
+    inside = np.abs(samples - target) <= abs(target) * tolerance
+    if not inside[-1]:
+        return float("inf")
+    # Find the last sample that is outside the band; settling happens at the
+    # following sample.
+    outside_indices = np.nonzero(~inside)[0]
+    if outside_indices.size == 0:
+        return float(times_s[0])
+    last_outside = outside_indices[-1]
+    if last_outside + 1 >= times_s.size:
+        return float("inf")
+    return float(times_s[last_outside + 1])

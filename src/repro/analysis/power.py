@@ -1,0 +1,71 @@
+"""Dynamic-power model (paper eq. 14).
+
+The paper compares the counter-based and delay-line DPWM approaches on clock
+frequency and hence dynamic power:
+
+    P_dynamic = alpha * C_total * Vdd^2 * f_clk
+
+``C_total`` is the total switched capacitance, which the synthesis substrate
+rolls up from the per-cell input capacitances of a netlist.
+"""
+
+from __future__ import annotations
+
+from repro.technology.library import TechnologyLibrary
+from repro.technology.netlist import Netlist
+
+__all__ = ["dynamic_power_w", "netlist_dynamic_power_w", "leakage_power_w"]
+
+
+def dynamic_power_w(
+    switched_capacitance_f: float,
+    vdd_v: float,
+    frequency_hz: float,
+    activity: float = 0.5,
+) -> float:
+    """Dynamic power in watts (paper eq. 14).
+
+    Args:
+        switched_capacitance_f: total switched capacitance in farads.
+        vdd_v: supply voltage in volts.
+        frequency_hz: clock frequency in hertz.
+        activity: switching activity factor ``alpha`` (0..1).
+    """
+    if switched_capacitance_f < 0:
+        raise ValueError("capacitance must be non-negative")
+    if vdd_v <= 0:
+        raise ValueError("supply voltage must be positive")
+    if frequency_hz < 0:
+        raise ValueError("frequency must be non-negative")
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError("activity factor must be in [0, 1]")
+    return activity * switched_capacitance_f * vdd_v * vdd_v * frequency_hz
+
+
+def netlist_dynamic_power_w(
+    netlist: Netlist,
+    library: TechnologyLibrary,
+    vdd_v: float,
+    frequency_hz: float,
+    activity: float = 0.5,
+) -> float:
+    """Dynamic power of a synthesized block clocked at ``frequency_hz``."""
+    total_capacitance_ff = sum(
+        library.input_capacitance_ff(kind) * count
+        for kind, count in netlist.cell_counts().items()
+    )
+    return dynamic_power_w(
+        switched_capacitance_f=total_capacitance_ff * 1e-15,
+        vdd_v=vdd_v,
+        frequency_hz=frequency_hz,
+        activity=activity,
+    )
+
+
+def leakage_power_w(netlist: Netlist, library: TechnologyLibrary) -> float:
+    """Total leakage power of a synthesized block in watts."""
+    total_nw = sum(
+        library.leakage_nw(kind) * count
+        for kind, count in netlist.cell_counts().items()
+    )
+    return total_nw * 1e-9

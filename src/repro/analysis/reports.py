@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment tables and series.
+
+The experiment harnesses print their results in the same row/column shape as
+the paper's tables and figure series; these helpers keep the formatting in
+one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    string_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for index, row in enumerate(string_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table.
+
+    Args:
+        x_label: header of the x column.
+        x_values: the x-axis values.
+        series: mapping series name -> y values (same length as ``x_values``).
+        title: optional title line.
+        max_rows: if given, subsample the rows evenly down to this count
+            (long figure series are summarized rather than dumped).
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x-axis has {len(x_values)}"
+            )
+    indices = list(range(len(x_values)))
+    if max_rows is not None and len(indices) > max_rows > 0:
+        step = max(1, len(indices) // max_rows)
+        indices = indices[::step]
+        if indices[-1] != len(x_values) - 1:
+            indices.append(len(x_values) - 1)
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x_values[index], *(values[index] for values in series.values())]
+        for index in indices
+    ]
+    return format_table(headers, rows, title=title)

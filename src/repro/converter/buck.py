@@ -1,0 +1,194 @@
+"""Synchronous buck power stage (paper Figures 10-13, 15).
+
+The power stage switches the filter input between the source voltage ``Vg``
+(high-side switch on) and ground (low-side switch on) with the duty cycle
+provided by the DPWM; the LC low-pass filter averages the switched node so
+the output voltage is ``Vout = Duty * Vg`` in steady state (paper eq. 11).
+
+The state (inductor current, capacitor voltage) is integrated with a
+fixed-step trapezoid-free explicit scheme over many sub-steps per switching
+period.  Parasitic series resistances of the switches and the inductor are
+included so conduction losses and damping are physical; the integration step
+is small enough (default 64 sub-steps per on/off interval) that the ripple
+waveforms match the analytic small-ripple predictions within a fraction of a
+percent, which is all the regulation experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BuckParameters", "BuckPowerStage", "BuckState"]
+
+
+@dataclass(frozen=True)
+class BuckParameters:
+    """Electrical parameters of the buck converter.
+
+    Attributes:
+        input_voltage_v: source voltage ``Vg``.
+        inductance_h: filter inductance.
+        capacitance_f: filter capacitance.
+        switching_frequency_hz: regulator switching frequency.
+        switch_resistance_ohm: on-resistance of each power switch.
+        inductor_resistance_ohm: series resistance of the inductor.
+    """
+
+    input_voltage_v: float = 1.8
+    inductance_h: float = 100e-9
+    capacitance_f: float = 100e-9
+    switching_frequency_hz: float = 100e6
+    switch_resistance_ohm: float = 0.02
+    inductor_resistance_ohm: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.input_voltage_v <= 0:
+            raise ValueError("input voltage must be positive")
+        if self.inductance_h <= 0 or self.capacitance_f <= 0:
+            raise ValueError("L and C must be positive")
+        if self.switching_frequency_hz <= 0:
+            raise ValueError("switching frequency must be positive")
+        if self.switch_resistance_ohm < 0 or self.inductor_resistance_ohm < 0:
+            raise ValueError("parasitic resistances must be non-negative")
+
+    @property
+    def switching_period_s(self) -> float:
+        return 1.0 / self.switching_frequency_hz
+
+    @property
+    def lc_cutoff_frequency_hz(self) -> float:
+        """Corner frequency of the output filter (paper eq. 9)."""
+        return 1.0 / (
+            2.0 * np.pi * np.sqrt(self.inductance_h * self.capacitance_f)
+        )
+
+    def steady_state_output_v(self, duty: float) -> float:
+        """Ideal steady-state output voltage (paper eq. 11)."""
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+        return duty * self.input_voltage_v
+
+
+@dataclass
+class BuckState:
+    """Dynamic state of the power stage."""
+
+    inductor_current_a: float = 0.0
+    output_voltage_v: float = 0.0
+
+
+class BuckPowerStage:
+    """Cycle-by-cycle behavioural model of the synchronous buck."""
+
+    def __init__(
+        self, parameters: BuckParameters, substeps_per_interval: int = 64
+    ) -> None:
+        if substeps_per_interval < 4:
+            raise ValueError("need at least 4 integration sub-steps per interval")
+        self.parameters = parameters
+        self.substeps_per_interval = substeps_per_interval
+        self.state = BuckState()
+
+    def reset(
+        self, inductor_current_a: float = 0.0, output_voltage_v: float = 0.0
+    ) -> None:
+        """Reset the dynamic state (e.g. before a new experiment)."""
+        self.state = BuckState(
+            inductor_current_a=inductor_current_a,
+            output_voltage_v=output_voltage_v,
+        )
+
+    def _integrate(
+        self, source_voltage_v: float, load_resistance_ohm: float, duration_s: float
+    ) -> None:
+        """Integrate the LC state with the switch node held at a voltage."""
+        if duration_s <= 0:
+            return
+        params = self.parameters
+        series_resistance = (
+            params.switch_resistance_ohm + params.inductor_resistance_ohm
+        )
+        steps = self.substeps_per_interval
+        dt = duration_s / steps
+        current = self.state.inductor_current_a
+        voltage = self.state.output_voltage_v
+        for _ in range(steps):
+            di_dt = (
+                source_voltage_v - voltage - series_resistance * current
+            ) / params.inductance_h
+            dv_dt = (
+                current - voltage / load_resistance_ohm
+            ) / params.capacitance_f
+            current += di_dt * dt
+            voltage += dv_dt * dt
+        self.state.inductor_current_a = current
+        self.state.output_voltage_v = voltage
+
+    def run_period(self, duty: float, load_resistance_ohm: float) -> BuckState:
+        """Advance the converter by one switching period at a given duty.
+
+        Args:
+            duty: fraction of the period the high-side switch is on (0..1).
+            load_resistance_ohm: load seen at the output during this period.
+
+        Returns:
+            the state at the end of the period (also kept internally).
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {duty}")
+        if load_resistance_ohm <= 0:
+            raise ValueError("load resistance must be positive")
+        params = self.parameters
+        period = params.switching_period_s
+        on_time = duty * period
+        off_time = period - on_time
+        self._integrate(params.input_voltage_v, load_resistance_ohm, on_time)
+        self._integrate(0.0, load_resistance_ohm, off_time)
+        return self.state
+
+    def run_periods(
+        self, duty: float, load_resistance_ohm: float, periods: int
+    ) -> np.ndarray:
+        """Run several periods at a constant duty; returns per-period Vout."""
+        if periods < 1:
+            raise ValueError("periods must be >= 1")
+        outputs = np.empty(periods)
+        for index in range(periods):
+            outputs[index] = self.run_period(duty, load_resistance_ohm).output_voltage_v
+        return outputs
+
+    def settle(
+        self,
+        duty: float,
+        load_resistance_ohm: float,
+        max_periods: int = 5000,
+        tolerance_v: float = 1e-4,
+        stable_periods: int = 16,
+    ) -> float:
+        """Run until the per-period output voltage stops changing.
+
+        The output must stay within ``tolerance_v`` of its previous
+        per-period value for ``stable_periods`` consecutive periods; a single
+        small step is not enough, because the lightly damped LC response
+        passes through ring peaks where the voltage is momentarily flat.
+
+        Returns the settled output voltage.  Raises ``RuntimeError`` if the
+        converter does not settle within ``max_periods`` (a sign of an
+        unstable configuration).
+        """
+        previous = self.state.output_voltage_v
+        consecutive = 0
+        for _ in range(max_periods):
+            current = self.run_period(duty, load_resistance_ohm).output_voltage_v
+            if abs(current - previous) < tolerance_v:
+                consecutive += 1
+                if consecutive >= stable_periods:
+                    return current
+            else:
+                consecutive = 0
+            previous = current
+        raise RuntimeError(
+            f"buck converter did not settle within {max_periods} periods"
+        )

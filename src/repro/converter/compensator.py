@@ -1,0 +1,64 @@
+"""Discrete-time PID compensator for the digitally controlled buck.
+
+The compensator consumes the signed error code from the windowed ADC once per
+switching period and produces a duty-cycle command in [0, 1].  The integral
+term carries the steady-state duty; anti-windup clamping keeps the integrator
+inside the achievable duty range so large transients recover cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PIDCompensator"]
+
+
+@dataclass
+class PIDCompensator:
+    """Incremental PID controller operating on ADC error codes.
+
+    Attributes:
+        kp: proportional gain (duty per error code).
+        ki: integral gain (duty per error code per period).
+        kd: derivative gain (duty per error-code change).
+        initial_duty: integrator preload, typically ``Vref / Vg``.
+        min_duty / max_duty: actuator limits used for anti-windup.
+    """
+
+    kp: float = 0.001
+    ki: float = 5e-5
+    kd: float = 0.0
+    initial_duty: float = 0.5
+    min_duty: float = 0.0
+    max_duty: float = 1.0
+    _integral: float = field(init=False, repr=False)
+    _previous_error: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_duty < self.max_duty <= 1.0:
+            raise ValueError("require 0 <= min_duty < max_duty <= 1")
+        if not self.min_duty <= self.initial_duty <= self.max_duty:
+            raise ValueError("initial_duty must lie inside the duty limits")
+        self._integral = self.initial_duty
+        self._previous_error = 0.0
+
+    def reset(self) -> None:
+        """Restore the initial state (integrator preload, no error history)."""
+        self._integral = self.initial_duty
+        self._previous_error = 0.0
+
+    @property
+    def integral(self) -> float:
+        """Current integrator value (the slowly varying duty estimate)."""
+        return self._integral
+
+    def update(self, error_code: int) -> float:
+        """Advance one switching period and return the new duty command."""
+        error = float(error_code)
+        self._integral += self.ki * error
+        # Anti-windup: never integrate past the achievable duty range.
+        self._integral = max(self.min_duty, min(self.max_duty, self._integral))
+        derivative = error - self._previous_error
+        self._previous_error = error
+        duty = self._integral + self.kp * error + self.kd * derivative
+        return max(self.min_duty, min(self.max_duty, duty))

@@ -1,0 +1,146 @@
+"""Delay-line based windowed ADC (the feedback ADC of the cited controllers).
+
+The digital PWM controller the paper builds on ([27], Patella/Prodic) does
+not use a conventional flash or SAR ADC for the error voltage: it uses a
+*delay-line* ADC, keeping the whole controller synthesizable.  Two matched
+delay lines are launched at the start of the conversion window -- one
+supplied by the reference voltage, one by the sensed output voltage.  Cell
+delay decreases with supply voltage, so the line whose supply is higher gets
+further in the same window; the signed difference in reached taps is the
+error code.
+
+The model captures that mechanism behaviourally:
+
+* cell delay versus supply voltage follows the same first-order voltage
+  derating as the rest of the technology model;
+* the conversion window is one switching period (minus a sampling margin);
+* the code saturates at the window's tap count, exactly like the windowed
+  quantizer it implements.
+
+It also provides the classic no-limit-cycling design rule for digitally
+controlled converters: the DPWM's output-voltage resolution must be finer
+than the ADC's voltage bin, otherwise the loop hunts between codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.technology.corners import (
+    NOMINAL_VDD_V,
+    OperatingConditions,
+    ProcessCorner,
+    VOLTAGE_COEFFICIENT,
+)
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+
+__all__ = ["DelayLineADC", "no_limit_cycle_condition"]
+
+
+@dataclass
+class DelayLineADC:
+    """Windowed, synthesizable delay-line ADC.
+
+    Attributes:
+        reference_v: the reference voltage the error is measured against.
+        window_ps: conversion window; sized so the edge reaches roughly the
+            middle of the sensing line at the reference voltage (the default
+            matches the default 64-cell line at the typical corner).
+        cells_per_line: number of cells in each sensing delay line.
+        buffers_per_cell: buffers per sensing cell.
+        max_code: saturation code (the windowed range), defaults to +/- 15.
+        corner: process corner of the sensing lines (both lines match, so
+            the corner mostly cancels -- the reason this ADC style works).
+    """
+
+    reference_v: float = 0.9
+    window_ps: float = 1_400.0
+    cells_per_line: int = 64
+    buffers_per_cell: int = 1
+    max_code: int = 15
+    corner: ProcessCorner = ProcessCorner.TYPICAL
+    library: TechnologyLibrary | None = None
+
+    def __post_init__(self) -> None:
+        if self.reference_v <= 0:
+            raise ValueError("reference voltage must be positive")
+        if self.window_ps <= 0:
+            raise ValueError("conversion window must be positive")
+        if self.cells_per_line < 2 or self.buffers_per_cell < 1:
+            raise ValueError("sensing line must have at least 2 cells of >= 1 buffer")
+        if self.max_code < 1:
+            raise ValueError("max_code must be >= 1")
+        if self.library is None:
+            self.library = intel32_like_library()
+
+    def _cell_delay_ps(self, supply_v: float) -> float:
+        """Delay of one sensing cell when supplied from ``supply_v``."""
+        conditions = OperatingConditions(
+            corner=self.corner,
+            vdd_v=min(max(supply_v, 0.2), 3.0),
+        )
+        return (
+            self.library.buffer_delay_ps(conditions) * self.buffers_per_cell
+        )
+
+    def taps_reached(self, supply_v: float) -> int:
+        """How many cells the launched edge traverses within the window."""
+        cell = self._cell_delay_ps(supply_v)
+        return min(int(self.window_ps / cell), self.cells_per_line)
+
+    def quantize_error(self, measured_v: float) -> int:
+        """Signed error code: positive when the output is below the reference."""
+        if measured_v < 0:
+            raise ValueError("measured voltage must be non-negative")
+        reference_taps = self.taps_reached(self.reference_v)
+        measured_taps = self.taps_reached(measured_v)
+        code = reference_taps - measured_taps
+        return max(-self.max_code, min(self.max_code, code))
+
+    @property
+    def lsb_v(self) -> float:
+        """Approximate voltage per code around the reference.
+
+        Derived from the sensitivity of the reached-tap count to the supply
+        voltage at the reference operating point; used for loop design and
+        for the no-limit-cycle check.
+        """
+        delta = 0.01
+        # Use the un-quantized tap counts for the sensitivity so the result
+        # does not collapse to zero when the voltage step moves the edge by
+        # less than one whole cell.
+        taps_low = self.window_ps / self._cell_delay_ps(self.reference_v - delta)
+        taps_high = self.window_ps / self._cell_delay_ps(self.reference_v + delta)
+        taps_per_volt = (taps_high - taps_low) / (2 * delta)
+        if taps_per_volt <= 0:
+            raise ValueError(
+                "sensing line has no voltage sensitivity at this operating point"
+            )
+        return 1.0 / taps_per_volt
+
+    @property
+    def bits(self) -> int:
+        """Effective resolution of the windowed range."""
+        return (2 * self.max_code + 1).bit_length()
+
+    def voltage_sensitivity_taps_per_volt(self) -> float:
+        """Tap-count sensitivity to the sensed voltage (diagnostic)."""
+        return 1.0 / self.lsb_v
+
+
+def no_limit_cycle_condition(
+    input_voltage_v: float, dpwm_bits: int, adc_lsb_v: float
+) -> bool:
+    """Check the standard no-limit-cycling design rule.
+
+    The DPWM's output-voltage step ``Vg / 2**n_dpwm`` must be smaller than
+    the ADC's voltage bin, so the loop can always find a DPWM code whose
+    steady-state output falls inside the zero-error bin; otherwise the
+    controller hunts between adjacent duty words indefinitely.
+    """
+    if input_voltage_v <= 0 or adc_lsb_v <= 0:
+        raise ValueError("voltages must be positive")
+    if dpwm_bits < 1:
+        raise ValueError("DPWM resolution must be at least 1 bit")
+    dpwm_step_v = input_voltage_v / float(1 << dpwm_bits)
+    return dpwm_step_v < adc_lsb_v

@@ -1,0 +1,114 @@
+"""Linear regulator models (paper section 2.1.1, Figures 6-9, eqs. 3-8).
+
+Three pass-device topologies are modelled through their dropout voltage and
+ground-pin current:
+
+* **Standard (NPN Darlington)**: dropout ``2 V_BE + V_CE`` (about 1.7 V),
+  very low ground-pin current.
+* **LDO (single PNP)**: dropout ``V_CE`` (about 0.3 V), high ground-pin
+  current (load current divided by the single transistor's gain).
+* **Quasi-LDO (NPN + PNP)**: dropout ``V_BE + V_CE`` (about 1.0 V), moderate
+  ground-pin current.
+
+The models answer the questions the paper's comparison table asks: can the
+regulator hold regulation for a given input/output pair, and at what
+efficiency / power loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["LinearRegulatorType", "LinearRegulator"]
+
+#: Representative junction drops (volts) used by the dropout formulas.
+_VBE_V = 0.7
+_VCE_SAT_V = 0.3
+
+
+class LinearRegulatorType(enum.Enum):
+    """Pass-device topology of a linear regulator."""
+
+    STANDARD = "standard"
+    LDO = "ldo"
+    QUASI_LDO = "quasi-ldo"
+
+    @property
+    def dropout_voltage_v(self) -> float:
+        """Minimum input-output differential that keeps regulation (eqs. 6-8)."""
+        if self is LinearRegulatorType.STANDARD:
+            return 2.0 * _VBE_V + _VCE_SAT_V
+        if self is LinearRegulatorType.LDO:
+            return _VCE_SAT_V
+        return _VBE_V + _VCE_SAT_V
+
+    @property
+    def pass_device_gain(self) -> float:
+        """Effective current gain of the pass device (sets ground-pin current)."""
+        if self is LinearRegulatorType.STANDARD:
+            return 3000.0
+        if self is LinearRegulatorType.LDO:
+            return 40.0
+        return 400.0
+
+
+@dataclass(frozen=True)
+class LinearRegulator:
+    """A linear regulator operating point.
+
+    Attributes:
+        kind: pass-device topology.
+        output_voltage_v: regulated output.
+        quiescent_current_a: bias current of the control circuitry.
+    """
+
+    kind: LinearRegulatorType
+    output_voltage_v: float
+    quiescent_current_a: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.output_voltage_v <= 0:
+            raise ValueError("output voltage must be positive")
+        if self.quiescent_current_a < 0:
+            raise ValueError("quiescent current must be non-negative")
+
+    @property
+    def dropout_voltage_v(self) -> float:
+        return self.kind.dropout_voltage_v
+
+    @property
+    def minimum_input_voltage_v(self) -> float:
+        """Lowest input voltage that keeps the output in regulation."""
+        return self.output_voltage_v + self.dropout_voltage_v
+
+    def can_regulate(self, input_voltage_v: float) -> bool:
+        """Whether the regulator holds regulation from this input voltage."""
+        return input_voltage_v >= self.minimum_input_voltage_v
+
+    def ground_pin_current_a(self, load_current_a: float) -> float:
+        """Ground-pin (wasted) current: load current / pass-device gain."""
+        if load_current_a < 0:
+            raise ValueError("load current must be non-negative")
+        return load_current_a / self.kind.pass_device_gain + self.quiescent_current_a
+
+    def efficiency(self, input_voltage_v: float, load_current_a: float) -> float:
+        """Efficiency ``P_out / P_in`` (paper eqs. 3-5)."""
+        if load_current_a <= 0:
+            raise ValueError("load current must be positive")
+        if not self.can_regulate(input_voltage_v):
+            raise ValueError(
+                f"{self.kind.value} regulator cannot regulate "
+                f"{self.output_voltage_v} V from {input_voltage_v} V "
+                f"(needs at least {self.minimum_input_voltage_v:.2f} V)"
+            )
+        p_out = self.output_voltage_v * load_current_a
+        total_input_current = load_current_a + self.ground_pin_current_a(load_current_a)
+        p_in = input_voltage_v * total_input_current
+        return p_out / p_in
+
+    def power_loss_w(self, input_voltage_v: float, load_current_a: float) -> float:
+        """Internal dissipation (paper eq. 5 plus ground-pin losses)."""
+        eta = self.efficiency(input_voltage_v, load_current_a)
+        p_out = self.output_voltage_v * load_current_a
+        return p_out * (1.0 / eta - 1.0)

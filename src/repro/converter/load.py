@@ -1,0 +1,61 @@
+"""Load profiles for regulation and transient-response experiments.
+
+The paper motivates precise regulation by the load transients a
+microprocessor imposes on its regulator; these profiles express the load as a
+resistance seen by the buck output as a function of the switching-period
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConstantLoad", "SteppedLoad"]
+
+
+@dataclass(frozen=True)
+class ConstantLoad:
+    """A fixed resistive load."""
+
+    resistance_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm <= 0:
+            raise ValueError("load resistance must be positive")
+
+    def resistance_at(self, period_index: int) -> float:
+        """Load resistance during the given switching period."""
+        return self.resistance_ohm
+
+
+@dataclass(frozen=True)
+class SteppedLoad:
+    """A load that steps between two resistances at given period indices.
+
+    Attributes:
+        light_ohm: resistance before ``step_up_period`` and after
+            ``step_down_period``.
+        heavy_ohm: resistance between the two step points.
+        step_up_period: period index at which the heavy load is applied.
+        step_down_period: period index at which the load is released
+            (use a large value for a single step).
+    """
+
+    light_ohm: float
+    heavy_ohm: float
+    step_up_period: int
+    step_down_period: int = 10**9
+
+    def __post_init__(self) -> None:
+        if self.light_ohm <= 0 or self.heavy_ohm <= 0:
+            raise ValueError("load resistances must be positive")
+        if self.step_up_period < 0:
+            raise ValueError("step_up_period must be non-negative")
+        if self.step_down_period <= self.step_up_period:
+            raise ValueError("step_down_period must come after step_up_period")
+
+    def resistance_at(self, period_index: int) -> float:
+        """Load resistance during the given switching period."""
+        if self.step_up_period <= period_index < self.step_down_period:
+            return self.heavy_ohm
+        return self.light_ohm

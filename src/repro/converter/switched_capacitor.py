@@ -1,0 +1,73 @@
+"""Ideal switched-capacitor (charge-pump) converter (paper Figure 14).
+
+The paper lists the switched-capacitor regulator as the other on-chip
+switching topology, with its characteristic drawbacks: the conversion ratio
+is fixed by the circuit structure, regulation is weak (the output follows the
+input), and loading the output away from the ideal ratio costs efficiency.
+The model captures exactly those properties through the standard
+output-impedance abstraction: a converter with ideal ratio ``n`` behaves as
+an ideal transformer followed by an equivalent output resistance
+``R_out = 1 / (f_sw * C_fly)`` (slow-switching limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SwitchedCapacitorConverter"]
+
+
+@dataclass(frozen=True)
+class SwitchedCapacitorConverter:
+    """A fixed-ratio switched-capacitor converter.
+
+    Attributes:
+        conversion_ratio: ideal ``V_out / V_in`` set by the topology
+            (e.g. 0.5 for the 2:1 divider of the paper's figure).
+        flying_capacitance_f: total flying capacitance.
+        switching_frequency_hz: switching frequency of the charge pump.
+    """
+
+    conversion_ratio: float = 0.5
+    flying_capacitance_f: float = 1e-9
+    switching_frequency_hz: float = 50e6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.conversion_ratio <= 1.0:
+            raise ValueError("conversion ratio must be in (0, 1]")
+        if self.flying_capacitance_f <= 0:
+            raise ValueError("flying capacitance must be positive")
+        if self.switching_frequency_hz <= 0:
+            raise ValueError("switching frequency must be positive")
+
+    @property
+    def output_resistance_ohm(self) -> float:
+        """Equivalent output resistance in the slow-switching limit."""
+        return 1.0 / (self.switching_frequency_hz * self.flying_capacitance_f)
+
+    def output_voltage_v(self, input_voltage_v: float, load_current_a: float) -> float:
+        """Loaded output voltage: ideal ratio minus the IR drop."""
+        if input_voltage_v <= 0:
+            raise ValueError("input voltage must be positive")
+        if load_current_a < 0:
+            raise ValueError("load current must be non-negative")
+        unloaded = self.conversion_ratio * input_voltage_v
+        return max(0.0, unloaded - load_current_a * self.output_resistance_ohm)
+
+    def efficiency(self, input_voltage_v: float, load_current_a: float) -> float:
+        """Efficiency = V_out / (ratio * V_in): the charge-sharing loss only."""
+        if load_current_a <= 0:
+            raise ValueError("load current must be positive")
+        v_out = self.output_voltage_v(input_voltage_v, load_current_a)
+        ideal = self.conversion_ratio * input_voltage_v
+        if ideal == 0:
+            return 0.0
+        return v_out / ideal
+
+    def regulation_error_v(
+        self, nominal_input_v: float, actual_input_v: float, load_current_a: float
+    ) -> float:
+        """Output error caused by an input-voltage change (weak line regulation)."""
+        nominal = self.output_voltage_v(nominal_input_v, load_current_a)
+        actual = self.output_voltage_v(actual_input_v, load_current_a)
+        return actual - nominal

@@ -1,0 +1,171 @@
+"""Calibration traces and results shared by both delay-line schemes.
+
+Both schemes calibrate by comparing delay-line taps against the clock edge
+once per controller update and nudging the line (either a cell's tuning level
+or the locked tap count) by one step.  The classes here capture those runs:
+
+* :class:`LockingStep` / :class:`LockingTrace` -- the cycle-by-cycle history
+  of a locking run (the data behind paper Figures 37, 47 and 48).
+* :class:`CalibrationResult` -- the outcome: locked state, cycles needed,
+  residual error between the locked line delay and the clock period.
+* :class:`ContinuousCalibrationTrace` -- a long run in which the operating
+  conditions drift (temperature, voltage spikes) and the controller keeps
+  re-locking, demonstrating the continuous calibration the paper requires
+  for temperature variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LockingStep",
+    "LockingTrace",
+    "CalibrationResult",
+    "ContinuousCalibrationTrace",
+]
+
+
+@dataclass(frozen=True)
+class LockingStep:
+    """One controller update during a locking run.
+
+    Attributes:
+        cycle: clock-cycle index of the update (0-based).
+        control_state: the controller's primary state after the update --
+            ``tap_sel`` for the proposed scheme, the number of shifted-in
+            ones for the conventional scheme.
+        line_delay_ps: delay of the tap the controller is watching (the full
+            line for the conventional scheme, the selected tap for the
+            proposed scheme).
+        comparison: the sampled comparison bit (1 when the watched tap delay
+            already exceeds the reference interval).
+        locked: whether the controller considers itself locked after this
+            update.
+    """
+
+    cycle: int
+    control_state: int
+    line_delay_ps: float
+    comparison: int
+    locked: bool
+
+
+@dataclass
+class LockingTrace:
+    """Complete history of one locking run."""
+
+    scheme: str
+    clock_period_ps: float
+    steps: list[LockingStep] = field(default_factory=list)
+
+    def append(self, step: LockingStep) -> None:
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def lock_cycle(self) -> int | None:
+        """First cycle at which the controller reports lock (None if never)."""
+        for step in self.steps:
+            if step.locked:
+                return step.cycle
+        return None
+
+    @property
+    def final_state(self) -> int:
+        """Controller state at the end of the run."""
+        if not self.steps:
+            raise ValueError("locking trace is empty")
+        return self.steps[-1].control_state
+
+    def control_history(self) -> list[int]:
+        """Controller state after every update (for plotting/locking figures)."""
+        return [step.control_state for step in self.steps]
+
+    def delay_history_ps(self) -> list[float]:
+        """Watched tap delay after every update."""
+        return [step.line_delay_ps for step in self.steps]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a locking run.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        locked: whether a valid lock was achieved.
+        lock_cycles: clock cycles from reset to lock (or the length of the
+            run when no lock was achieved).
+        control_state: the locked controller state (``tap_sel`` or the
+            shift-register fill level).
+        locked_delay_ps: delay of the locked tap / line.
+        target_ps: the reference the controller locks to (the clock period
+            for the conventional scheme, half of it for the proposed scheme).
+        residual_error_ps: ``locked_delay_ps - target_ps`` (positive when the
+            locked delay overshoots the reference).
+        trace: the full locking trace.
+    """
+
+    scheme: str
+    locked: bool
+    lock_cycles: int
+    control_state: int
+    locked_delay_ps: float
+    target_ps: float
+    residual_error_ps: float
+    trace: LockingTrace
+
+    @property
+    def residual_error_fraction(self) -> float:
+        """Residual error as a fraction of the reference interval."""
+        if self.target_ps == 0:
+            return 0.0
+        return self.residual_error_ps / self.target_ps
+
+
+@dataclass
+class ContinuousCalibrationTrace:
+    """History of a continuous-calibration run under drifting conditions.
+
+    Attributes:
+        scheme: which scheme was calibrated.
+        times_cycles: cycle index of each sample.
+        temperatures_c: junction temperature at each sample.
+        control_states: controller state at each sample.
+        locked_delays_ps: locked tap/line delay at each sample.
+        targets_ps: reference interval (constant unless the clock changes).
+    """
+
+    scheme: str
+    times_cycles: list[int] = field(default_factory=list)
+    temperatures_c: list[float] = field(default_factory=list)
+    control_states: list[int] = field(default_factory=list)
+    locked_delays_ps: list[float] = field(default_factory=list)
+    targets_ps: list[float] = field(default_factory=list)
+
+    def append(
+        self,
+        cycle: int,
+        temperature_c: float,
+        control_state: int,
+        locked_delay_ps: float,
+        target_ps: float,
+    ) -> None:
+        self.times_cycles.append(cycle)
+        self.temperatures_c.append(temperature_c)
+        self.control_states.append(control_state)
+        self.locked_delays_ps.append(locked_delay_ps)
+        self.targets_ps.append(target_ps)
+
+    def __len__(self) -> int:
+        return len(self.times_cycles)
+
+    def max_tracking_error_fraction(self) -> float:
+        """Worst-case |locked delay - target| / target over the run."""
+        worst = 0.0
+        for delay, target in zip(self.locked_delays_ps, self.targets_ps):
+            if target > 0:
+                worst = max(worst, abs(delay - target) / target)
+        return worst

@@ -1,0 +1,198 @@
+"""Delay elements and delay cells.
+
+Terminology follows the paper:
+
+* **delay element** -- a buffer, or a group of buffers combined to reach the
+  required unit delay for a given clock frequency (paper Figure 34).
+* **fixed delay cell** -- the proposed scheme's cell: a single branch of one
+  or more buffers (paper Figure 45).
+* **tunable delay cell** -- the conventional scheme's cell: ``m`` parallel
+  branches containing 1..m delay elements, one of which is selected by a
+  thermometer-coded control word through an internal multiplexer (paper
+  Figure 33).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+
+__all__ = ["DelayElement", "FixedDelayCell", "TunableDelayCell", "thermometer_encode"]
+
+
+def thermometer_encode(level: int, width: int) -> int:
+    """Thermometer-encode ``level`` selected branches into ``width`` bits.
+
+    ``level = 0`` gives all zeros (shortest branch), ``level = width`` gives
+    all ones (longest branch).  This mirrors the control coding of the
+    conventional scheme's tunable cells (paper section 3.2.1).
+
+    Raises:
+        ValueError: if ``level`` is outside ``[0, width]``.
+    """
+    if not 0 <= level <= width:
+        raise ValueError(f"thermometer level {level} out of range [0, {width}]")
+    return (1 << level) - 1
+
+
+@dataclass(frozen=True)
+class DelayElement:
+    """A delay element: one or more cascaded buffers.
+
+    Attributes:
+        buffers: number of buffers combined in the element.
+    """
+
+    buffers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.buffers < 1:
+            raise ValueError("a delay element needs at least one buffer")
+
+    def delay_ps(
+        self,
+        conditions: OperatingConditions,
+        library: TechnologyLibrary | None = None,
+        buffer_multipliers: np.ndarray | None = None,
+    ) -> float:
+        """Propagation delay of the element at the given conditions.
+
+        Args:
+            conditions: PVT operating point.
+            library: technology library (defaults to the 32 nm-class one).
+            buffer_multipliers: optional per-buffer mismatch multipliers of
+                length ``buffers`` (post-APR variation).
+        """
+        library = library or intel32_like_library()
+        unit = library.buffer_delay_ps(conditions)
+        if buffer_multipliers is None:
+            return unit * self.buffers
+        multipliers = np.asarray(buffer_multipliers, dtype=float)
+        if multipliers.shape != (self.buffers,):
+            raise ValueError(
+                f"expected {self.buffers} buffer multipliers, got {multipliers.shape}"
+            )
+        return float(unit * multipliers.sum())
+
+
+@dataclass(frozen=True)
+class FixedDelayCell:
+    """The proposed scheme's delay cell: a single branch of buffers.
+
+    Attributes:
+        buffers: buffers combined in the cell (chosen from the clock
+            frequency so that the line still locks at the fast corner while
+            keeping the target resolution; see :mod:`repro.core.design`).
+    """
+
+    buffers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.buffers < 1:
+            raise ValueError("a fixed delay cell needs at least one buffer")
+
+    def delay_ps(
+        self,
+        conditions: OperatingConditions,
+        library: TechnologyLibrary | None = None,
+        buffer_multipliers: np.ndarray | None = None,
+    ) -> float:
+        """Cell delay at the given conditions (optionally with mismatch)."""
+        element = DelayElement(buffers=self.buffers)
+        return element.delay_ps(conditions, library, buffer_multipliers)
+
+    def buffer_count(self) -> int:
+        """Total buffers in the cell (for area accounting)."""
+        return self.buffers
+
+
+@dataclass(frozen=True)
+class TunableDelayCell:
+    """The conventional scheme's tunable delay cell.
+
+    The cell has ``branches`` parallel paths; branch ``i`` (0-based) contains
+    ``i + 1`` delay elements, each of ``buffers_per_element`` buffers.  A
+    thermometer-coded control selects the branch, so the cell delay can be
+    adjusted between 1x and ``branches``x the element delay (the paper's
+    1:3 or 1:4 adjustment ratio).
+
+    Attributes:
+        branches: number of selectable branches (the adjustment ratio ``m``).
+        buffers_per_element: buffers per delay element.
+    """
+
+    branches: int = 4
+    buffers_per_element: int = 1
+
+    def __post_init__(self) -> None:
+        if self.branches < 2:
+            raise ValueError("a tunable cell needs at least two branches")
+        if self.buffers_per_element < 1:
+            raise ValueError("a delay element needs at least one buffer")
+
+    def control_bits(self) -> int:
+        """Thermometer control bits per cell (paper eq. 16)."""
+        return self.branches - 1
+
+    def elements_for_level(self, level: int) -> int:
+        """Number of delay elements in the branch selected by ``level``.
+
+        ``level`` ranges from 0 (shortest branch, one element) to
+        ``branches - 1`` (longest branch).
+        """
+        if not 0 <= level < self.branches:
+            raise ValueError(
+                f"tuning level {level} out of range [0, {self.branches - 1}]"
+            )
+        return level + 1
+
+    def delay_ps(
+        self,
+        level: int,
+        conditions: OperatingConditions,
+        library: TechnologyLibrary | None = None,
+        buffer_multipliers: np.ndarray | None = None,
+    ) -> float:
+        """Cell delay for a tuning level at the given conditions.
+
+        Args:
+            level: selected branch (0 = shortest).
+            conditions: PVT operating point.
+            library: technology library.
+            buffer_multipliers: optional mismatch multipliers for the buffers
+                of the *selected* branch, of length
+                ``elements_for_level(level) * buffers_per_element``.
+        """
+        elements = self.elements_for_level(level)
+        element = DelayElement(buffers=elements * self.buffers_per_element)
+        return element.delay_ps(conditions, library, buffer_multipliers)
+
+    def max_delay_ps(
+        self,
+        conditions: OperatingConditions,
+        library: TechnologyLibrary | None = None,
+    ) -> float:
+        """Delay of the longest branch."""
+        return self.delay_ps(self.branches - 1, conditions, library)
+
+    def min_delay_ps(
+        self,
+        conditions: OperatingConditions,
+        library: TechnologyLibrary | None = None,
+    ) -> float:
+        """Delay of the shortest branch."""
+        return self.delay_ps(0, conditions, library)
+
+    def buffer_count(self) -> int:
+        """Total buffers across all branches (for area accounting).
+
+        Only one branch is active at a time; the rest are redundancy -- the
+        structural reason the conventional delay line dominates the area of
+        that scheme (paper section 4.1).
+        """
+        total_elements = sum(range(1, self.branches + 1))
+        return total_elements * self.buffers_per_element

@@ -1,0 +1,193 @@
+"""The parameterized design procedure (paper section 4.2).
+
+Given the system specification -- switching-clock frequency, required DPWM
+resolution and the technology's buffer delays at the fast and slow corners --
+this module sizes both delay-line schemes exactly the way the paper's design
+examples do:
+
+Conventional scheme (section 4.2.1):
+    * ``num_cells = 2**resolution_bits``  (eq. 21)
+    * ``branches  = slow_delay / fast_delay``  (eq. 23, the adjustment ratio)
+    * ``element delay = period / (num_cells * branches)``  (eq. 25)
+    * ``buffers per element = ceil(element delay / fast buffer delay)`` (eq. 27)
+
+Proposed scheme (section 4.2.2):
+    * ``num_cells = 2**resolution_bits * (slow_delay / fast_delay)``  (eq. 30)
+    * ``cell delay = period / num_cells``  (eq. 32)
+    * ``buffers per cell = ceil(cell delay / fast buffer delay)``  (eq. 34)
+
+Both procedures then verify the worst-case (fast corner) total line delay
+covers the clock period, the condition that guarantees locking at every
+process corner (eqs. 28-29 and 35-36).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.conventional import (
+    ConventionalDelayLine,
+    ConventionalDelayLineConfig,
+    TuningOrder,
+)
+from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+
+__all__ = [
+    "DesignSpec",
+    "ConventionalDesign",
+    "ProposedDesign",
+    "design_conventional",
+    "design_proposed",
+]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """System specification for a delay-line design.
+
+    Attributes:
+        clock_frequency_mhz: switching-clock frequency.
+        resolution_bits: required DPWM resolution (guaranteed at the slow
+            corner for the proposed scheme).
+    """
+
+    clock_frequency_mhz: float
+    resolution_bits: int
+
+    def __post_init__(self) -> None:
+        if self.clock_frequency_mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.resolution_bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+
+    @property
+    def clock_period_ps(self) -> float:
+        """Switching-clock period in picoseconds."""
+        return 1e6 / self.clock_frequency_mhz
+
+
+def _corner_ratio(library: TechnologyLibrary) -> int:
+    """Slow/fast buffer-delay ratio, rounded to the nearest integer >= 2."""
+    fast = library.buffer_delay_ps(OperatingConditions.fast())
+    slow = library.buffer_delay_ps(OperatingConditions.slow())
+    ratio = slow / fast
+    return max(2, int(round(ratio)))
+
+
+@dataclass(frozen=True)
+class ConventionalDesign:
+    """Sized parameters for the conventional adjustable-cells scheme."""
+
+    spec: DesignSpec
+    num_cells: int
+    branches: int
+    buffers_per_element: int
+    element_delay_target_ps: float
+    mux_inputs: int
+
+    @property
+    def max_delay_elements(self) -> int:
+        """Maximum delay elements usable at once (eq. 24)."""
+        return self.num_cells * self.branches
+
+    def worst_case_total_delay_ps(self, library: TechnologyLibrary) -> float:
+        """Total line delay at the fast corner with all cells at maximum (eq. 29)."""
+        fast_buffer = library.buffer_delay_ps(OperatingConditions.fast())
+        element = self.buffers_per_element * fast_buffer
+        return self.max_delay_elements * element
+
+    def guarantees_locking(self, library: TechnologyLibrary) -> bool:
+        """Whether the worst-case delay covers the clock period (eq. 29)."""
+        return self.worst_case_total_delay_ps(library) >= self.spec.clock_period_ps
+
+    def build_line(
+        self,
+        library: TechnologyLibrary | None = None,
+        tuning_order: TuningOrder = TuningOrder.ROUND_ROBIN,
+        variation=None,
+    ) -> ConventionalDelayLine:
+        """Instantiate the delay-line model for this design."""
+        config = ConventionalDelayLineConfig(
+            num_cells=self.num_cells,
+            branches=self.branches,
+            buffers_per_element=self.buffers_per_element,
+            clock_period_ps=self.spec.clock_period_ps,
+            tuning_order=tuning_order,
+        )
+        return ConventionalDelayLine(config, library=library, variation=variation)
+
+
+@dataclass(frozen=True)
+class ProposedDesign:
+    """Sized parameters for the proposed scheme."""
+
+    spec: DesignSpec
+    num_cells: int
+    buffers_per_cell: int
+    cell_delay_target_ps: float
+    mux_inputs: int
+
+    def worst_case_total_delay_ps(self, library: TechnologyLibrary) -> float:
+        """Total line delay at the fast corner (eq. 36)."""
+        fast_buffer = library.buffer_delay_ps(OperatingConditions.fast())
+        return self.num_cells * self.buffers_per_cell * fast_buffer
+
+    def guarantees_locking(self, library: TechnologyLibrary) -> bool:
+        """Whether the fast-corner delay covers the clock period (eq. 36)."""
+        return self.worst_case_total_delay_ps(library) >= self.spec.clock_period_ps
+
+    def build_line(
+        self, library: TechnologyLibrary | None = None, variation=None
+    ) -> ProposedDelayLine:
+        """Instantiate the delay-line model for this design."""
+        config = ProposedDelayLineConfig(
+            num_cells=self.num_cells,
+            buffers_per_cell=self.buffers_per_cell,
+            clock_period_ps=self.spec.clock_period_ps,
+        )
+        return ProposedDelayLine(config, library=library, variation=variation)
+
+
+def design_conventional(
+    spec: DesignSpec, library: TechnologyLibrary | None = None
+) -> ConventionalDesign:
+    """Size the conventional adjustable-cells delay line for a specification."""
+    library = library or intel32_like_library()
+    num_cells = 1 << spec.resolution_bits
+    branches = _corner_ratio(library)
+    max_elements = num_cells * branches
+    element_delay_target = spec.clock_period_ps / max_elements
+    fast_buffer = library.buffer_delay_ps(OperatingConditions.fast())
+    buffers_per_element = max(1, math.ceil(element_delay_target / fast_buffer))
+    return ConventionalDesign(
+        spec=spec,
+        num_cells=num_cells,
+        branches=branches,
+        buffers_per_element=buffers_per_element,
+        element_delay_target_ps=element_delay_target,
+        mux_inputs=num_cells,
+    )
+
+
+def design_proposed(
+    spec: DesignSpec, library: TechnologyLibrary | None = None
+) -> ProposedDesign:
+    """Size the proposed delay line for a specification."""
+    library = library or intel32_like_library()
+    ratio = _corner_ratio(library)
+    # The mapper's division must be a shift, so the cell count is rounded up
+    # to the next power of two (a no-op for the paper's 4x corner ratio).
+    num_cells = 1 << math.ceil(math.log2((1 << spec.resolution_bits) * ratio))
+    cell_delay_target = spec.clock_period_ps / num_cells
+    fast_buffer = library.buffer_delay_ps(OperatingConditions.fast())
+    buffers_per_cell = max(1, math.ceil(cell_delay_target / fast_buffer))
+    return ProposedDesign(
+        spec=spec,
+        num_cells=num_cells,
+        buffers_per_cell=buffers_per_cell,
+        cell_delay_target_ps=cell_delay_target,
+        mux_inputs=num_cells,
+    )

@@ -1,0 +1,137 @@
+"""Transfer-curve extraction for linearity analysis.
+
+The linearity figures of the paper (41-42 for the conventional scheme's
+tuning scenarios, 50-51 for the proposed scheme across frequencies and
+corners) all plot the DPWM reset-edge delay against the input duty word after
+calibration.  :func:`transfer_curve` produces exactly that data for either
+scheme, and :class:`TransferCurve` bundles it with the ideal straight line and
+the standard linearity metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import LinearityMetrics, linearity_metrics
+from repro.core.conventional import ConventionalDelayLine
+from repro.core.proposed import ProposedController, ProposedDelayLine
+from repro.technology.corners import OperatingConditions
+
+__all__ = ["TransferCurve", "transfer_curve"]
+
+
+@dataclass(frozen=True)
+class TransferCurve:
+    """Delay-versus-input-word transfer curve of a calibrated delay line.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        input_words: the swept duty words.
+        delays_ps: measured reset-edge delay for each word.
+        ideal_delays_ps: the ideal straight line (word / full-scale x period).
+        clock_period_ps: switching period used for the ideal line.
+    """
+
+    scheme: str
+    input_words: np.ndarray
+    delays_ps: np.ndarray
+    ideal_delays_ps: np.ndarray
+    clock_period_ps: float
+
+    def metrics(self) -> LinearityMetrics:
+        """Summary DNL/INL/monotonicity metrics of the measured curve."""
+        return linearity_metrics(self.delays_ps)
+
+    def max_error_ps(self) -> float:
+        """Worst-case absolute deviation from the ideal line."""
+        return float(np.max(np.abs(self.delays_ps - self.ideal_delays_ps)))
+
+    def max_error_fraction_of_period(self) -> float:
+        """Worst-case deviation as a fraction of the switching period."""
+        return self.max_error_ps() / self.clock_period_ps
+
+    def scaled_delays_ns(self, factor: float = 1.0) -> np.ndarray:
+        """Delays in nanoseconds multiplied by a frequency-normalization factor.
+
+        Paper Figures 50-51 overlay multiple frequencies by multiplying the
+        100 MHz curve by 2 and the 200 MHz curve by 4 so all curves share the
+        50 MHz (20 ns) full scale.
+        """
+        return self.delays_ps * factor / 1000.0
+
+
+def _proposed_curve(
+    line: ProposedDelayLine,
+    conditions: OperatingConditions,
+    tap_sel: int | None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    if tap_sel is None:
+        calibration = ProposedController(line).lock(conditions)
+        tap_sel = calibration.control_state
+    words = np.arange(1, line.mapper.max_word + 1)
+    delays = np.array(
+        [line.output_delay_ps(int(word), tap_sel, conditions) for word in words]
+    )
+    period = line.config.clock_period_ps
+    ideal = words / float(line.mapper.max_word + 1) * period
+    return words, delays, ideal
+
+
+def _conventional_curve(
+    line: ConventionalDelayLine,
+    conditions: OperatingConditions,
+    levels: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    if levels is None:
+        # Import here to avoid a circular import at module load time.
+        from repro.core.conventional import ShiftRegisterController
+
+        calibration = ShiftRegisterController(line).lock(conditions)
+        levels = line.levels_for_steps(calibration.control_state)
+    words = np.arange(1, line.config.num_cells)
+    taps = line.tap_delays_ps(levels, conditions)
+    delays = taps[words - 1]
+    period = line.config.clock_period_ps
+    ideal = words / float(line.config.num_cells) * period
+    return words, np.asarray(delays, dtype=float), ideal
+
+
+def transfer_curve(
+    line: ProposedDelayLine | ConventionalDelayLine,
+    conditions: OperatingConditions,
+    tap_sel: int | None = None,
+    levels: np.ndarray | None = None,
+) -> TransferCurve:
+    """Extract the post-calibration transfer curve of a delay line.
+
+    Args:
+        line: either delay-line model.
+        conditions: PVT operating point.
+        tap_sel: (proposed scheme) locked cell count; calibrated on the fly
+            when omitted.
+        levels: (conventional scheme) per-cell tuning levels; calibrated on
+            the fly when omitted.
+
+    Returns:
+        the :class:`TransferCurve` over the full input-word range (word 0 is
+        skipped, as in the paper's figures, because it produces no pulse).
+    """
+    if isinstance(line, ProposedDelayLine):
+        words, delays, ideal = _proposed_curve(line, conditions, tap_sel)
+        scheme = "proposed"
+        period = line.config.clock_period_ps
+    elif isinstance(line, ConventionalDelayLine):
+        words, delays, ideal = _conventional_curve(line, conditions, levels)
+        scheme = "conventional"
+        period = line.config.clock_period_ps
+    else:
+        raise TypeError(f"unsupported delay-line type: {type(line)!r}")
+    return TransferCurve(
+        scheme=scheme,
+        input_words=words,
+        delays_ps=delays,
+        ideal_delays_ps=ideal,
+        clock_period_ps=period,
+    )

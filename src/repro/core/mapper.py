@@ -1,0 +1,103 @@
+"""The proposed scheme's mapping block (paper Figure 49, eq. 18).
+
+Because the number of cells locked to the clock period varies across process
+corners and with temperature, the input duty word cannot index the delay line
+directly: the mapping block rescales it by the locked cell count,
+
+    cal_sel = round_down( duty_word * tap_sel / (N / 2) )
+
+where ``tap_sel`` is the number of cells locked to *half* the clock period and
+``N`` is the total number of cells in the line.  ``N`` is chosen as a power of
+two so the division is a plain right shift in hardware; the model mirrors that
+bit-exact behaviour (integer multiply followed by a shift), including the
+truncation that produces the staircase plateaus visible at the slow corner in
+paper Figure 50.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MappingBlock"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class MappingBlock:
+    """Hardware-faithful input-word mapper.
+
+    Attributes:
+        num_cells: total cells in the delay line (power of two).
+        word_bits: width of the input duty word; equal to ``log2(num_cells)``
+            so that the full-scale word spans the whole line at the fast
+            corner.
+    """
+
+    num_cells: int
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.num_cells):
+            raise ValueError(
+                "the proposed scheme requires a power-of-two cell count so the "
+                f"mapper's division is a shift; got {self.num_cells}"
+            )
+        if self.num_cells < 2:
+            raise ValueError("the delay line needs at least 2 cells")
+
+    @property
+    def word_bits(self) -> int:
+        """Width of the input duty word."""
+        return self.num_cells.bit_length() - 1
+
+    @property
+    def shift_amount(self) -> int:
+        """Right-shift implementing the division by ``num_cells / 2``."""
+        return self.word_bits - 1
+
+    @property
+    def max_word(self) -> int:
+        """Largest representable duty word."""
+        return (1 << self.word_bits) - 1
+
+    def map(self, duty_word: int, tap_sel: int) -> int:
+        """Map an input duty word to a calibrated tap-select word.
+
+        Args:
+            duty_word: the requested duty word, ``0..2**word_bits - 1``.
+            tap_sel: number of cells the controller locked to half the clock
+                period, ``1..num_cells``.
+
+        Returns:
+            the calibrated multiplexer select (``cal_sel``), clamped to the
+            last tap so an overshooting product can never select a
+            non-existent tap.
+
+        Raises:
+            ValueError: if either argument is out of range.
+        """
+        if not 0 <= duty_word <= self.max_word:
+            raise ValueError(
+                f"duty word {duty_word} out of range [0, {self.max_word}]"
+            )
+        if not 1 <= tap_sel <= self.num_cells:
+            raise ValueError(
+                f"tap_sel {tap_sel} out of range [1, {self.num_cells}]"
+            )
+        cal_sel = (duty_word * tap_sel) >> self.shift_amount
+        return min(cal_sel, self.num_cells - 1)
+
+    def distinct_levels(self, tap_sel: int) -> int:
+        """Number of distinct calibrated words reachable for a given lock.
+
+        At the slow corner (small ``tap_sel``) several duty words collapse
+        onto the same calibrated word -- the plateaus of paper Figure 50.
+        """
+        seen = {self.map(word, tap_sel) for word in range(self.max_word + 1)}
+        return len(seen)
+
+    def ideal_duty(self, duty_word: int) -> float:
+        """The duty-cycle fraction a duty word requests (0..1)."""
+        return duty_word / float(1 << self.word_bits)

@@ -1,0 +1,377 @@
+"""The proposed delay-line scheme (paper section 3.2.2).
+
+The proposed scheme consists of three blocks (paper Figure 43):
+
+* a **delay line** of ``N`` identical, untunable cells (each cell a single
+  branch of one or more buffers, Figure 45);
+* a **controller** (Figure 46) that, every clock cycle, compares the tap
+  selected by ``tap_sel`` against the clock edge and moves ``tap_sel`` up or
+  down by one -- the line is locked to *half* the clock period, which halves
+  the search range and avoids ambiguity;
+* a **mapping block** (Figure 49) that rescales the input duty word by the
+  locked cell count so the correct tap is selected for the requested duty
+  cycle regardless of process corner or temperature.
+
+The model exposes:
+
+* an analytical per-tap delay view (with optional post-APR mismatch) used by
+  the linearity experiments (Figures 50-51);
+* a cycle-accurate locking simulation (:class:`ProposedController`) producing
+  the locking traces of Figures 47-48 and the calibration-time comparison;
+* a structural netlist used by the synthesis substrate to regenerate the
+  area numbers of Tables 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import (
+    CalibrationResult,
+    ContinuousCalibrationTrace,
+    LockingStep,
+    LockingTrace,
+)
+from repro.core.delay_cells import FixedDelayCell
+from repro.core.mapper import MappingBlock
+from repro.technology.cells import CellKind
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.netlist import Netlist
+from repro.technology.variation import VariationModel, VariationSample
+
+__all__ = ["ProposedDelayLineConfig", "ProposedDelayLine", "ProposedController"]
+
+
+@dataclass(frozen=True)
+class ProposedDelayLineConfig:
+    """Parameters of a proposed-scheme delay line.
+
+    Attributes:
+        num_cells: total number of identical cells (power of two).
+        buffers_per_cell: buffers combined in each cell; chosen from the
+            clock frequency so the full line still covers the clock period at
+            the fast corner (see :mod:`repro.core.design`).
+        clock_period_ps: switching-clock period the line locks to.
+    """
+
+    num_cells: int
+    buffers_per_cell: int
+    clock_period_ps: float
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 2 or (self.num_cells & (self.num_cells - 1)) != 0:
+            raise ValueError(
+                f"num_cells must be a power of two >= 2, got {self.num_cells}"
+            )
+        if self.buffers_per_cell < 1:
+            raise ValueError("buffers_per_cell must be >= 1")
+        if self.clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+
+    @property
+    def word_bits(self) -> int:
+        """Width of the input duty word (= log2(num_cells))."""
+        return self.num_cells.bit_length() - 1
+
+    @property
+    def clock_frequency_mhz(self) -> float:
+        return 1e6 / self.clock_period_ps
+
+
+class ProposedDelayLine:
+    """Analytical + structural model of the proposed delay line."""
+
+    def __init__(
+        self,
+        config: ProposedDelayLineConfig,
+        library: TechnologyLibrary | None = None,
+        variation: VariationSample | None = None,
+    ) -> None:
+        self.config = config
+        self.library = library or intel32_like_library()
+        self.cell = FixedDelayCell(buffers=config.buffers_per_cell)
+        self.mapper = MappingBlock(num_cells=config.num_cells)
+        if variation is not None:
+            expected = (config.num_cells, config.buffers_per_cell)
+            if variation.multipliers.shape != expected:
+                raise ValueError(
+                    "variation sample shape "
+                    f"{variation.multipliers.shape} does not match line shape {expected}"
+                )
+        self.variation = variation
+
+    # ------------------------------------------------------------------ #
+    # Delay view
+    # ------------------------------------------------------------------ #
+    def cell_delays_ps(self, conditions: OperatingConditions) -> np.ndarray:
+        """Per-cell delay (ps) at the given conditions, including mismatch."""
+        unit = self.library.buffer_delay_ps(conditions)
+        if self.variation is None:
+            return np.full(self.config.num_cells, unit * self.config.buffers_per_cell)
+        return self.variation.multipliers.sum(axis=1) * unit
+
+    def tap_delays_ps(self, conditions: OperatingConditions) -> np.ndarray:
+        """Cumulative delay (ps) at every tap.
+
+        ``tap_delays_ps[k]`` is the delay from the line input to the output of
+        cell ``k`` (0-based), i.e. tap ``k``.
+        """
+        return np.cumsum(self.cell_delays_ps(conditions))
+
+    def total_delay_ps(self, conditions: OperatingConditions) -> float:
+        """Delay of the full line (the last tap)."""
+        return float(self.tap_delays_ps(conditions)[-1])
+
+    def covers_clock_period(self, conditions: OperatingConditions) -> bool:
+        """Whether the full line delay reaches the clock period (locking is possible)."""
+        return self.total_delay_ps(conditions) >= self.config.clock_period_ps
+
+    # ------------------------------------------------------------------ #
+    # Duty-word to delay mapping (after calibration)
+    # ------------------------------------------------------------------ #
+    def output_delay_ps(
+        self, duty_word: int, tap_sel: int, conditions: OperatingConditions
+    ) -> float:
+        """Delay of the DPWM reset edge for a duty word, given a lock.
+
+        ``tap_sel`` is the locked cell count from the controller; the mapping
+        block converts the duty word into the calibrated tap select, and the
+        returned delay is the cumulative delay at that tap.  A duty word of
+        zero returns zero delay (the reset edge coincides with the set edge).
+        """
+        if duty_word == 0:
+            return 0.0
+        cal_sel = self.mapper.map(duty_word, tap_sel)
+        if cal_sel == 0:
+            return 0.0
+        taps = self.tap_delays_ps(conditions)
+        return float(taps[cal_sel - 1])
+
+    def achieved_duty(
+        self, duty_word: int, tap_sel: int, conditions: OperatingConditions
+    ) -> float:
+        """Achieved duty-cycle fraction for a duty word after calibration."""
+        delay = self.output_delay_ps(duty_word, tap_sel, conditions)
+        return min(delay / self.config.clock_period_ps, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Structural view (synthesis substrate)
+    # ------------------------------------------------------------------ #
+    def netlist(self) -> Netlist:
+        """Structural netlist of the whole scheme (paper Figure 43).
+
+        The block names match the rows of the paper's area-distribution
+        tables: ``Delay Line``, ``Output MUX``, ``Calibration MUX``,
+        ``Controller`` and ``Mapper``.
+        """
+        config = self.config
+        word_bits = config.word_bits
+
+        line = Netlist(name="Delay Line")
+        line.add_cells(
+            CellKind.BUFFER,
+            config.num_cells * config.buffers_per_cell,
+            purpose="delay cells",
+        )
+
+        output_mux = Netlist(name="Output MUX")
+        output_mux.add_cells(
+            CellKind.MUX2, config.num_cells - 1, purpose="tap-select tree"
+        )
+
+        calibration_mux = Netlist(name="Calibration MUX")
+        calibration_mux.add_cells(
+            CellKind.MUX2,
+            2 * (config.num_cells - 1),
+            purpose="2-bit tap-select tree for the controller",
+        )
+
+        controller = Netlist(name="Controller")
+        controller.add_cells(
+            CellKind.DFF, word_bits + 4, purpose="tap_sel register, up/down, sync"
+        )
+        controller.add_cells(CellKind.FULL_ADDER, word_bits, purpose="inc/dec")
+        controller.add_cells(CellKind.MUX2, word_bits, purpose="up/down select")
+        controller.add_cells(CellKind.XOR2, 2, purpose="lock detect")
+        controller.add_cells(CellKind.NAND2, 4, purpose="control glue")
+        controller.add_cells(CellKind.INVERTER, 2, purpose="control glue")
+
+        mapper = Netlist(name="Mapper")
+        mapper.add_cells(CellKind.DFF, word_bits, purpose="cal_sel register")
+        mapper.add_cells(
+            CellKind.AND2, word_bits * word_bits, purpose="partial products"
+        )
+        mapper.add_cells(
+            CellKind.FULL_ADDER, word_bits * word_bits - 1, purpose="product reduction"
+        )
+
+        top = Netlist(name="Proposed delay line")
+        for block in (line, output_mux, calibration_mux, controller, mapper):
+            top.add_child(block)
+        return top
+
+
+@dataclass
+class ProposedController:
+    """Cycle-accurate model of the proposed scheme's controller.
+
+    The controller watches the tap selected by ``tap_sel`` through the
+    calibration multiplexer and a two-flop synchronizer, and every clock
+    cycle moves ``tap_sel`` one step towards the tap whose delay brackets
+    *half* the clock period.  Once the bracketing tap is found, ``tap_sel``
+    dithers by one LSB around it -- the paper's definition of lock ("the
+    up_down signal keeps toggling").
+
+    Attributes:
+        line: the delay line under calibration.
+        synchronizer_latency_cycles: pipeline delay of the two-flop
+            synchronizer between the tap sample and the controller update.
+        max_cycles: safety bound for the locking loop.
+    """
+
+    line: ProposedDelayLine
+    synchronizer_latency_cycles: int = 2
+    max_cycles: int = 10_000
+
+    def half_period_ps(self) -> float:
+        """The reference interval the controller locks to."""
+        return self.line.config.clock_period_ps / 2.0
+
+    def ideal_tap_sel(self, conditions: OperatingConditions) -> int:
+        """The tap count an ideal (instant) controller would lock to.
+
+        This is the smallest number of cells whose cumulative delay meets or
+        exceeds half the clock period, clamped to the line length.
+        """
+        taps = self.line.tap_delays_ps(conditions)
+        half = self.half_period_ps()
+        indices = np.nonzero(taps >= half)[0]
+        if indices.size == 0:
+            return self.line.config.num_cells
+        return int(indices[0]) + 1
+
+    def lock(
+        self, conditions: OperatingConditions, initial_tap_sel: int = 1
+    ) -> CalibrationResult:
+        """Run the locking phase from reset and return the calibration result.
+
+        The run is declared locked on the first *down* decision after an *up*
+        decision (the up/down toggle the paper uses as the lock indication).
+        """
+        config = self.line.config
+        taps = self.line.tap_delays_ps(conditions)
+        half = self.half_period_ps()
+        trace = LockingTrace(scheme="proposed", clock_period_ps=config.clock_period_ps)
+
+        tap_sel = int(np.clip(initial_tap_sel, 1, config.num_cells))
+        locked = False
+        lock_cycle: int | None = None
+        previous_direction: int | None = None
+
+        for cycle in range(self.max_cycles):
+            watched_delay = float(taps[tap_sel - 1])
+            comparison = 1 if watched_delay > half else 0
+            # The controller's decision lags the tap sample by the
+            # synchronizer latency; the latency only delays lock detection,
+            # it does not change the search path, so it is added to the
+            # reported cycle count below.
+            direction = -1 if comparison else +1
+            if (
+                previous_direction is not None
+                and direction != previous_direction
+                and not locked
+            ):
+                locked = True
+                lock_cycle = cycle + self.synchronizer_latency_cycles
+            trace.append(
+                LockingStep(
+                    cycle=cycle,
+                    control_state=tap_sel,
+                    line_delay_ps=watched_delay,
+                    comparison=comparison,
+                    locked=locked,
+                )
+            )
+            if locked:
+                break
+            next_tap = tap_sel + direction
+            if next_tap < 1 or next_tap > config.num_cells:
+                # Saturated: the line cannot bracket half the period at this
+                # operating point (e.g. too few cells for a very slow clock).
+                locked = False
+                lock_cycle = None
+                break
+            previous_direction = direction
+            tap_sel = next_tap
+
+        # The locked tap count is the number of cells whose delay does not
+        # exceed half the period (the lower of the two dither points).
+        locked_tap_sel = tap_sel if taps[tap_sel - 1] <= half else max(tap_sel - 1, 1)
+        locked_delay = float(taps[locked_tap_sel - 1])
+        cycles = (
+            lock_cycle
+            if lock_cycle is not None
+            else len(trace) + self.synchronizer_latency_cycles
+        )
+        return CalibrationResult(
+            scheme="proposed",
+            locked=locked,
+            lock_cycles=cycles,
+            control_state=locked_tap_sel,
+            locked_delay_ps=locked_delay,
+            target_ps=half,
+            residual_error_ps=locked_delay - half,
+            trace=trace,
+        )
+
+    def track(
+        self,
+        conditions_schedule: list[tuple[int, OperatingConditions]],
+        total_cycles: int,
+        sample_every: int = 32,
+    ) -> ContinuousCalibrationTrace:
+        """Continuous calibration under a schedule of operating conditions.
+
+        Args:
+            conditions_schedule: ``(start_cycle, conditions)`` pairs sorted by
+                start cycle; the last entry holds until ``total_cycles``.
+            total_cycles: length of the run.
+            sample_every: how often (in cycles) to record a trace sample.
+
+        Returns:
+            the tracking history; the controller state follows the drift
+            because the calibration never stops (paper section 3.1).
+        """
+        if not conditions_schedule:
+            raise ValueError("conditions_schedule must not be empty")
+        schedule = sorted(conditions_schedule, key=lambda item: item[0])
+        trace = ContinuousCalibrationTrace(scheme="proposed")
+        half = self.half_period_ps()
+
+        tap_sel = 1
+        schedule_index = 0
+        current_conditions = schedule[0][1]
+        taps = self.line.tap_delays_ps(current_conditions)
+        for cycle in range(total_cycles):
+            while (
+                schedule_index + 1 < len(schedule)
+                and cycle >= schedule[schedule_index + 1][0]
+            ):
+                schedule_index += 1
+                current_conditions = schedule[schedule_index][1]
+                taps = self.line.tap_delays_ps(current_conditions)
+            watched = float(taps[tap_sel - 1])
+            direction = -1 if watched > half else +1
+            tap_sel = int(np.clip(tap_sel + direction, 1, self.line.config.num_cells))
+            if cycle % sample_every == 0:
+                trace.append(
+                    cycle=cycle,
+                    temperature_c=current_conditions.temperature_c,
+                    control_state=tap_sel,
+                    locked_delay_ps=float(taps[tap_sel - 1]),
+                    target_ps=half,
+                )
+        return trace

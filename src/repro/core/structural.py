@@ -1,0 +1,161 @@
+"""Structural (event-driven) model of the proposed delay line.
+
+The analytical models in :mod:`repro.core.proposed` compute tap delays and
+controller decisions directly; this module builds the same architecture out
+of the event-driven simulation primitives -- a chain of buffer cells, the
+clock generator, the calibration tap multiplexer, the sampling flop with a
+two-flop synchronizer and the up/down tap_sel register -- and lets the
+simulator discover the locked tap count by itself.  It is the closest thing
+in this repository to the paper's gate-level (QuestaSim) verification runs
+and is used in tests to confirm that the cycle-accurate analytical controller
+and the event-driven structure agree.
+
+The structural model is intentionally kept to moderate line lengths (tests
+use 16-64 cells); the analytical model remains the tool for 256-cell sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.proposed import ProposedDelayLine
+from repro.simulation.clocks import ClockGenerator
+from repro.simulation.primitives import Buffer, MuxN, TwoFlopSynchronizer
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+from repro.technology.corners import OperatingConditions
+
+__all__ = ["StructuralLockResult", "StructuralProposedDelayLine"]
+
+
+@dataclass(frozen=True)
+class StructuralLockResult:
+    """Outcome of an event-driven locking run.
+
+    Attributes:
+        locked: whether the up/down decision toggled (the lock indication).
+        tap_sel: the locked cell count (lower dither point).
+        cycles: clock cycles simulated until lock was declared.
+        tap_sel_history: tap_sel after every clock cycle.
+    """
+
+    locked: bool
+    tap_sel: int
+    cycles: int
+    tap_sel_history: list[int]
+
+
+class StructuralProposedDelayLine:
+    """Event-driven structure of the proposed scheme's calibration path.
+
+    The DPWM output path (output multiplexer + trailing-edge flop) is covered
+    by :mod:`repro.dpwm`; this class focuses on the part the paper's
+    Figures 46-48 describe: the delay line, the calibration multiplexer, the
+    synchronizer and the up/down controller locking to *half* the clock
+    period.
+    """
+
+    def __init__(
+        self,
+        line: ProposedDelayLine,
+        conditions: OperatingConditions | None = None,
+    ) -> None:
+        self.line = line
+        self.conditions = conditions or OperatingConditions.typical()
+        self.simulator = Simulator()
+        config = line.config
+
+        self.clock = Signal(self.simulator, "clk")
+        ClockGenerator(self.simulator, self.clock, period_ps=config.clock_period_ps)
+
+        # Delay line: a chain of buffers, one Buffer primitive per cell with
+        # the cell's (possibly mismatched) delay.
+        cell_delays = line.cell_delays_ps(self.conditions)
+        self.taps: list[Signal] = []
+        stage_input = self.clock
+        for index, delay in enumerate(cell_delays):
+            tap = Signal(self.simulator, f"tap{index}")
+            Buffer(self.simulator, stage_input, tap, delay_ps=float(delay))
+            self.taps.append(tap)
+            stage_input = tap
+
+        # Calibration multiplexer: selects the tap indexed by tap_sel - 1.
+        self.tap_sel_signal = Signal(
+            self.simulator, "tap_sel", width=config.word_bits + 1, initial=0
+        )
+        self.selected_tap = Signal(self.simulator, "selected_tap")
+        MuxN(self.simulator, self.taps, self.tap_sel_signal, self.selected_tap)
+
+        # Two-flop synchronizer into the controller clock domain.
+        self.synced_tap = Signal(self.simulator, "synced_tap")
+        self.synchronizer = TwoFlopSynchronizer(
+            self.simulator,
+            clock=self.clock,
+            async_input=self.selected_tap,
+            output_signal=self.synced_tap,
+            setup_ps=30.0,
+        )
+
+        # Up/down controller state (modelled as a synchronous process on the
+        # clock's rising edge, like the RTL always-block it stands for).
+        self._tap_sel = 1
+        self._previous_direction: int | None = None
+        self._locked = False
+        self._cycles = 0
+        self.tap_sel_history: list[int] = []
+        self.clock.connect(self._on_clock)
+        self.tap_sel_signal.set(self._tap_sel - 1)
+
+    @property
+    def tap_sel(self) -> int:
+        return self._tap_sel
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def _on_clock(self, signal: Signal) -> None:
+        if signal.value == 0:
+            return
+        self._cycles += 1
+        if self._locked:
+            self.tap_sel_history.append(self._tap_sel)
+            return
+        # The tap is the 50 %-duty clock delayed by the tap delay, so at a
+        # rising clock edge the sampled tap is *low* while the tap delay is
+        # below half a period and *high* once it exceeds half a period
+        # (paper Figures 47-48): sampled low -> keep counting up, sampled
+        # high -> step back down.  The two-flop synchronizer makes the sample
+        # a couple of cycles stale, which slightly overshoots the search
+        # exactly as the real hardware would.
+        sampled_high = self.synced_tap.is_high()
+        direction = -1 if sampled_high else +1
+        if self._previous_direction is not None and direction != self._previous_direction:
+            self._locked = True
+            if direction < 0:
+                self._tap_sel = max(1, self._tap_sel - 1)
+            self.tap_sel_history.append(self._tap_sel)
+            return
+        self._previous_direction = direction
+        next_tap = self._tap_sel + direction
+        if 1 <= next_tap <= self.line.config.num_cells:
+            self._tap_sel = next_tap
+        self.tap_sel_signal.set(self._tap_sel - 1)
+        self.tap_sel_history.append(self._tap_sel)
+
+    def run_lock(self, max_cycles: int | None = None) -> StructuralLockResult:
+        """Run the event-driven simulation until lock (or a cycle budget)."""
+        config = self.line.config
+        if max_cycles is None:
+            max_cycles = 2 * config.num_cells + 16
+        period = config.clock_period_ps
+        for _ in range(max_cycles):
+            if self._locked:
+                break
+            self.simulator.run_until(self.simulator.now_ps + period)
+        return StructuralLockResult(
+            locked=self._locked,
+            tap_sel=self._tap_sel,
+            cycles=self._cycles,
+            tap_sel_history=list(self.tap_sel_history),
+        )

@@ -1,0 +1,212 @@
+"""Statistical sizing of the proposed delay line (the paper's future work).
+
+The proposed scheme is sized for the worst case: the cell count is chosen so
+that even at the fastest corner the full line covers one clock period, which
+guarantees locking for 100 % of fabricated chips but carries extra cells that
+most chips never use.  Section 5.2 of the paper proposes replacing this
+worst-case methodology with a *statistical* one: characterize the technology,
+compute the fraction of chips whose line covers the clock period as a
+function of the cell count, and let the designer trade area against yield.
+
+This module implements that analysis:
+
+* :class:`YieldModel` describes the statistical spread of the per-chip delay
+  (a global corner-like component plus per-buffer random mismatch).
+* :func:`coverage_yield` Monte-Carlo-estimates the locking yield of a given
+  cell count.
+* :func:`yield_curve` sweeps the cell count and returns the yield/area
+  trade-off, and :func:`cells_for_yield` picks the smallest cell count that
+  meets a yield target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.design import DesignSpec
+from repro.technology.cells import CellKind
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+
+__all__ = [
+    "YieldModel",
+    "YieldPoint",
+    "coverage_yield",
+    "yield_curve",
+    "cells_for_yield",
+]
+
+
+@dataclass(frozen=True)
+class YieldModel:
+    """Statistical model of per-chip buffer delay.
+
+    The per-chip mean buffer delay is log-normally distributed around the
+    typical value (capturing global process spread between the corners),
+    and each buffer adds independent random mismatch on top.
+
+    Attributes:
+        global_sigma: sigma of the log-normal global (per-chip) delay spread,
+            as a fraction of the typical delay.  The default 0.22 puts the
+            paper's fast corner (0.5x) and slow corner (2x) at roughly
+            +/- 3 sigma.
+        mismatch_sigma: relative sigma of the per-buffer random mismatch.
+        seed: RNG seed for reproducible Monte-Carlo runs.
+    """
+
+    global_sigma: float = 0.22
+    mismatch_sigma: float = 0.04
+    seed: int = 32
+
+    def __post_init__(self) -> None:
+        if self.global_sigma < 0 or self.mismatch_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+
+    def sample_chip_buffer_delays(
+        self,
+        typical_delay_ps: float,
+        num_buffers: int,
+        num_chips: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample per-chip, per-buffer delays.
+
+        Returns an array of shape ``(num_chips, num_buffers)``.
+        """
+        if typical_delay_ps <= 0:
+            raise ValueError("typical delay must be positive")
+        if num_buffers < 1 or num_chips < 1:
+            raise ValueError("need at least one buffer and one chip")
+        rng = rng or np.random.default_rng(self.seed)
+        global_scale = np.exp(
+            rng.normal(loc=0.0, scale=self.global_sigma, size=(num_chips, 1))
+        )
+        # The process corners bound the global spread: foundry corner models
+        # are guard-banded so no shipped material is faster than the fast
+        # corner or slower than the slow corner.  Clamp accordingly, which
+        # also makes the paper's worst-case sizing yield exactly 100 %.
+        np.clip(global_scale, 0.5, 2.0, out=global_scale)
+        mismatch = 1.0 + rng.normal(
+            loc=0.0, scale=self.mismatch_sigma, size=(num_chips, num_buffers)
+        )
+        np.clip(mismatch, 0.2, None, out=mismatch)
+        return typical_delay_ps * global_scale * mismatch
+
+
+@dataclass(frozen=True)
+class YieldPoint:
+    """One point of the cell-count versus yield trade-off."""
+
+    num_cells: int
+    locking_yield: float
+    line_area_um2: float
+
+
+def coverage_yield(
+    num_cells: int,
+    buffers_per_cell: int,
+    clock_period_ps: float,
+    model: YieldModel | None = None,
+    library: TechnologyLibrary | None = None,
+    num_chips: int = 2000,
+) -> float:
+    """Monte-Carlo estimate of the fraction of chips whose line covers the period.
+
+    A chip "yields" when the total delay of its delay line (all cells) is at
+    least one clock period, i.e. the proposed controller can lock.
+    """
+    if num_cells < 1 or buffers_per_cell < 1:
+        raise ValueError("cell and buffer counts must be positive")
+    if clock_period_ps <= 0:
+        raise ValueError("clock period must be positive")
+    model = model or YieldModel()
+    library = library or intel32_like_library()
+    typical = library.cell(CellKind.BUFFER).delay_ps
+    delays = model.sample_chip_buffer_delays(
+        typical_delay_ps=typical,
+        num_buffers=num_cells * buffers_per_cell,
+        num_chips=num_chips,
+    )
+    totals = delays.sum(axis=1)
+    return float(np.mean(totals >= clock_period_ps))
+
+
+def yield_curve(
+    spec: DesignSpec,
+    buffers_per_cell: int,
+    cell_counts: list[int] | None = None,
+    model: YieldModel | None = None,
+    library: TechnologyLibrary | None = None,
+    num_chips: int = 2000,
+) -> list[YieldPoint]:
+    """Sweep the cell count and report yield and delay-line area for each.
+
+    The default sweep spans from the nominal (typical-corner) cell count up
+    to the worst-case count of the paper's design procedure.
+    """
+    library = library or intel32_like_library()
+    if cell_counts is None:
+        nominal = max(2, int(round(spec.clock_period_ps / (buffers_per_cell * 40.0))))
+        worst_case = nominal * 2
+        step = max(1, nominal // 8)
+        cell_counts = list(range(nominal, worst_case + step, step))
+    buffer_area = library.area(CellKind.BUFFER)
+    points = []
+    for num_cells in cell_counts:
+        locking_yield = coverage_yield(
+            num_cells=num_cells,
+            buffers_per_cell=buffers_per_cell,
+            clock_period_ps=spec.clock_period_ps,
+            model=model,
+            library=library,
+            num_chips=num_chips,
+        )
+        points.append(
+            YieldPoint(
+                num_cells=num_cells,
+                locking_yield=locking_yield,
+                line_area_um2=num_cells * buffers_per_cell * buffer_area,
+            )
+        )
+    return points
+
+
+def cells_for_yield(
+    spec: DesignSpec,
+    buffers_per_cell: int,
+    target_yield: float,
+    model: YieldModel | None = None,
+    library: TechnologyLibrary | None = None,
+    num_chips: int = 2000,
+) -> YieldPoint:
+    """Smallest cell count whose Monte-Carlo locking yield meets the target.
+
+    Raises:
+        ValueError: if the target is not reachable within twice the
+            worst-case cell count (a sign of an inconsistent specification).
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError("target yield must be in (0, 1]")
+    library = library or intel32_like_library()
+    nominal = max(2, int(round(spec.clock_period_ps / (buffers_per_cell * 40.0))))
+    for num_cells in range(nominal, nominal * 4 + 1, max(1, nominal // 16)):
+        locking_yield = coverage_yield(
+            num_cells=num_cells,
+            buffers_per_cell=buffers_per_cell,
+            clock_period_ps=spec.clock_period_ps,
+            model=model,
+            library=library,
+            num_chips=num_chips,
+        )
+        if locking_yield >= target_yield:
+            return YieldPoint(
+                num_cells=num_cells,
+                locking_yield=locking_yield,
+                line_area_um2=num_cells
+                * buffers_per_cell
+                * library.area(CellKind.BUFFER),
+            )
+    raise ValueError(
+        f"target yield {target_yield} not reachable within 4x the nominal cell count"
+    )

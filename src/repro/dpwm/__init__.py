@@ -1,0 +1,44 @@
+"""DPWM signal-generation architectures (paper section 2.2).
+
+Three architectures generate the digital pulse-width-modulated signal that
+drives the buck converter's switches:
+
+* :mod:`repro.dpwm.counter_dpwm` -- counter-based DPWM (Figure 18): an n-bit
+  counter clocked at ``2**n`` times the switching frequency plus a
+  comparator; small, linear, but the clock frequency (and dynamic power)
+  grows exponentially with resolution.
+* :mod:`repro.dpwm.delay_line_dpwm` -- delay-line DPWM (Figure 20): the
+  switching pulse propagates down a tapped delay line and the selected tap
+  resets the output; no fast clock, but ``2**n`` cells and a ``2**n : 1``
+  multiplexer.
+* :mod:`repro.dpwm.hybrid_dpwm` -- hybrid DPWM (Figure 22): counter for the
+  MSBs, delay line for the LSBs; the compromise used when both resolution
+  and reasonable clock/area are required.
+
+All three share the trailing-edge modulation building block
+(:mod:`repro.dpwm.trailing_edge`) and a common result container
+(:mod:`repro.dpwm.base`).  Waveforms are produced structurally with the
+event-driven simulator so the timing diagrams of Figures 19, 21 and 23 can be
+regenerated, and each architecture exposes a structural netlist for the
+area/clock comparison of Table 2.
+"""
+
+from repro.dpwm.base import DPWMWaveform, DutyCycleRequest
+from repro.dpwm.counter_dpwm import CounterDPWM, CounterDPWMConfig
+from repro.dpwm.delay_line_dpwm import DelayLineDPWM, DelayLineDPWMConfig
+from repro.dpwm.hybrid_dpwm import HybridDPWM, HybridDPWMConfig
+from repro.dpwm.calibrated import CalibratedDelayLineDPWM
+from repro.dpwm.trailing_edge import TrailingEdgeModulator
+
+__all__ = [
+    "CalibratedDelayLineDPWM",
+    "CounterDPWM",
+    "CounterDPWMConfig",
+    "DPWMWaveform",
+    "DelayLineDPWM",
+    "DelayLineDPWMConfig",
+    "DutyCycleRequest",
+    "HybridDPWM",
+    "HybridDPWMConfig",
+    "TrailingEdgeModulator",
+]

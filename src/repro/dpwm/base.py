@@ -1,0 +1,98 @@
+"""Shared DPWM types.
+
+Every DPWM architecture in this package answers the same two questions:
+
+* *behaviour* -- what waveform comes out for a requested duty word
+  (:class:`DPWMWaveform`), and
+* *cost* -- what clock frequency and hardware it needs for a target
+  resolution (each architecture's ``required_clock_frequency_mhz`` and
+  ``netlist`` methods; compared in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.waveform import WaveformTrace
+
+__all__ = ["DutyCycleRequest", "DPWMWaveform"]
+
+
+@dataclass(frozen=True)
+class DutyCycleRequest:
+    """A requested duty cycle expressed as a digital word.
+
+    The convention of the paper's background chapter (Figures 19, 21, 23) is
+    used: a word ``w`` out of ``2**bits`` requests a duty cycle of
+    ``(w + 1) / 2**bits`` -- word 0 gives the smallest non-zero pulse, the
+    all-ones word gives 100 %.
+
+    Attributes:
+        word: the duty word.
+        bits: resolution of the DPWM.
+    """
+
+    word: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+        if not 0 <= self.word < (1 << self.bits):
+            raise ValueError(
+                f"duty word {self.word} out of range [0, {(1 << self.bits) - 1}]"
+            )
+
+    @property
+    def ideal_duty(self) -> float:
+        """The duty-cycle fraction this word requests."""
+        return (self.word + 1) / float(1 << self.bits)
+
+    def msb(self, msb_bits: int) -> int:
+        """The ``msb_bits`` most significant bits of the word (hybrid DPWM)."""
+        if not 0 < msb_bits <= self.bits:
+            raise ValueError("msb_bits out of range")
+        return self.word >> (self.bits - msb_bits)
+
+    def lsb(self, lsb_bits: int) -> int:
+        """The ``lsb_bits`` least significant bits of the word (hybrid DPWM)."""
+        if not 0 < lsb_bits <= self.bits:
+            raise ValueError("lsb_bits out of range")
+        return self.word & ((1 << lsb_bits) - 1)
+
+
+@dataclass
+class DPWMWaveform:
+    """The simulated output of a DPWM architecture for one duty request.
+
+    Attributes:
+        architecture: which architecture produced it.
+        request: the duty request.
+        switching_period_ps: switching period of the regulator.
+        trace: the full DPWM output waveform.
+        measured_duty: duty cycle measured over ``measurement_period`` (the
+            second switching period by default, to skip start-up effects).
+        support_traces: named auxiliary traces (clock, counter, taps, reset)
+            for timing-diagram reproduction.
+    """
+
+    architecture: str
+    request: DutyCycleRequest
+    switching_period_ps: float
+    trace: WaveformTrace
+    measured_duty: float
+    support_traces: dict[str, WaveformTrace]
+
+    @property
+    def duty_error(self) -> float:
+        """Absolute error between measured and requested duty."""
+        return abs(self.measured_duty - self.request.ideal_duty)
+
+    def timing_diagram(self, step_fraction: float = 0.02) -> str:
+        """ASCII timing diagram over two switching periods (for examples)."""
+        stop = 2.0 * self.switching_period_ps
+        step = self.switching_period_ps * step_fraction
+        lines = [self.trace.to_ascii(stop, step)]
+        for trace in self.support_traces.values():
+            lines.append(trace.to_ascii(stop, step))
+        return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Counter-based DPWM (paper section 2.2.1, Figures 18-19).
+
+An n-bit counter runs at ``2**n`` times the switching frequency (paper
+eq. 13).  The DPWM output is set when the counter wraps to zero and cleared
+one fast-clock cycle after the counter matches the duty word, so a duty word
+``w`` produces a duty cycle of ``(w + 1) / 2**n`` -- exactly the waveforms of
+Figure 19.
+
+The architecture's costs are a high clock frequency (hence dynamic power,
+eq. 14) but a tiny area: ``n`` flip-flops plus a comparator (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.power import netlist_dynamic_power_w
+from repro.dpwm.base import DPWMWaveform, DutyCycleRequest
+from repro.dpwm.trailing_edge import TrailingEdgeModulator
+from repro.simulation.clocks import ClockGenerator
+from repro.simulation.primitives import Comparator, Counter, DFlipFlop
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+from repro.technology.cells import CellKind
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.netlist import Netlist
+
+__all__ = ["CounterDPWMConfig", "CounterDPWM"]
+
+
+@dataclass(frozen=True)
+class CounterDPWMConfig:
+    """Parameters of a counter-based DPWM.
+
+    Attributes:
+        bits: DPWM resolution.
+        switching_frequency_mhz: regulator switching frequency.
+    """
+
+    bits: int
+    switching_frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+        if self.switching_frequency_mhz <= 0:
+            raise ValueError("switching frequency must be positive")
+
+    @property
+    def switching_period_ps(self) -> float:
+        return 1e6 / self.switching_frequency_mhz
+
+    @property
+    def counter_clock_frequency_mhz(self) -> float:
+        """Required counter clock (paper eq. 13): ``2**n * f_switch``."""
+        return self.switching_frequency_mhz * (1 << self.bits)
+
+    @property
+    def counter_clock_period_ps(self) -> float:
+        return self.switching_period_ps / (1 << self.bits)
+
+
+class CounterDPWM:
+    """Structural, simulatable counter-based DPWM."""
+
+    architecture = "counter"
+
+    def __init__(
+        self, config: CounterDPWMConfig, library: TechnologyLibrary | None = None
+    ) -> None:
+        self.config = config
+        self.library = library or intel32_like_library()
+
+    # ------------------------------------------------------------------ #
+    # Behaviour
+    # ------------------------------------------------------------------ #
+    def generate(self, duty_word: int, periods: int = 2) -> DPWMWaveform:
+        """Simulate the DPWM output for a duty word over several periods."""
+        config = self.config
+        request = DutyCycleRequest(word=duty_word, bits=config.bits)
+        sim = Simulator()
+
+        fast_clock = Signal(sim, "clk")
+        ClockGenerator(sim, fast_clock, period_ps=config.counter_clock_period_ps)
+
+        count = Signal(sim, "cnt", width=config.bits)
+        # Start the counter at its maximum so the first clock edge (t = 0)
+        # wraps it to zero: the count-0 interval is aligned with the start of
+        # the switching period, as in the paper's timing diagram.  The small
+        # clock-to-q delay keeps the reset register from racing the counter
+        # update on the same edge (it samples the pre-edge comparator value).
+        counter_clk_to_q_ps = min(50.0, config.counter_clock_period_ps / 20.0)
+        Counter(
+            sim,
+            clock=fast_clock,
+            output_signal=count,
+            width=config.bits,
+            clk_to_q_ps=counter_clk_to_q_ps,
+            initial=(1 << config.bits) - 1,
+        )
+
+        zero = Signal(sim, "zero_const", width=config.bits)
+        period_start = Signal(sim, "period_start")
+        Comparator(sim, count, zero, period_start)
+
+        duty_signal = Signal(sim, "duty", width=config.bits, initial=duty_word)
+        match = Signal(sim, "match")
+        Comparator(sim, count, duty_signal, match)
+
+        reset = Signal(sim, "reset")
+        if duty_word == (1 << config.bits) - 1:
+            # All-ones duty word: 100 % duty, the output is never reset
+            # (paper Figure 19: "Duty = 11 ... 100% duty").
+            pass
+        else:
+            DFlipFlop(sim, clock=fast_clock, data=match, output_signal=reset)
+
+        modulator = TrailingEdgeModulator(sim, period_start, reset)
+
+        total_time = config.switching_period_ps * periods
+        sim.run_until(total_time)
+
+        measured = modulator.output.trace.duty_cycle(
+            config.switching_period_ps, start_ps=config.switching_period_ps
+        )
+        return DPWMWaveform(
+            architecture=self.architecture,
+            request=request,
+            switching_period_ps=config.switching_period_ps,
+            trace=modulator.output.trace,
+            measured_duty=measured,
+            support_traces={
+                "clk": fast_clock.trace,
+                "cnt": count.trace,
+                "reset": reset.trace,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost
+    # ------------------------------------------------------------------ #
+    def required_clock_frequency_mhz(self) -> float:
+        return self.config.counter_clock_frequency_mhz
+
+    def netlist(self) -> Netlist:
+        """Structural netlist: n-bit counter, comparator, output flops."""
+        bits = self.config.bits
+        counter = Netlist(name="Counter")
+        counter.add_cells(CellKind.DFF, bits, purpose="count register")
+        counter.add_cells(CellKind.HALF_ADDER, bits, purpose="increment")
+
+        comparator = Netlist(name="Comparator")
+        comparator.add_cells(CellKind.XOR2, bits, purpose="bit compare")
+        comparator.add_cells(CellKind.AND2, max(bits - 1, 1), purpose="reduce")
+
+        output = Netlist(name="Output stage")
+        output.add_cells(CellKind.DFF, 2, purpose="reset register + PWM flop")
+
+        top = Netlist(name="Counter DPWM")
+        for block in (counter, comparator, output):
+            top.add_child(block)
+        return top
+
+    def dynamic_power_w(self, vdd_v: float = 1.0, activity: float = 0.5) -> float:
+        """Dynamic power at the required counter clock frequency."""
+        return netlist_dynamic_power_w(
+            self.netlist(),
+            self.library,
+            vdd_v=vdd_v,
+            frequency_hz=self.required_clock_frequency_mhz() * 1e6,
+            activity=activity,
+        )

@@ -1,0 +1,164 @@
+"""Delay-line DPWM (paper section 2.2.2, Figures 20-21).
+
+The switching clock propagates down a tapped delay line whose total delay
+equals the switching period; the tap selected by the duty word resets the
+output.  No fast clock is needed (the power advantage of Table 2), but the
+line needs ``2**n`` cells and a ``2**n : 1`` multiplexer (the area drawback).
+
+This module models the *uncalibrated* background architecture: the per-cell
+delay is ideally ``T_switch / 2**n``, and the effect of process corners on an
+uncalibrated line (paper Figure 28: the same tap giving different duty cycles,
+part of the period left uncovered at the fast corner) can be reproduced by
+passing explicit cell delays.  The calibrated delay lines -- the paper's
+actual contribution -- live in :mod:`repro.core` and are wrapped for DPWM use
+by :mod:`repro.dpwm.calibrated`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from collections.abc import Sequence
+
+from repro.dpwm.base import DPWMWaveform, DutyCycleRequest
+from repro.dpwm.trailing_edge import TrailingEdgeModulator
+from repro.simulation.clocks import ClockGenerator
+from repro.simulation.primitives import Buffer, MuxN
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+from repro.technology.cells import CellKind
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.netlist import Netlist
+
+__all__ = ["DelayLineDPWMConfig", "DelayLineDPWM"]
+
+
+@dataclass(frozen=True)
+class DelayLineDPWMConfig:
+    """Parameters of a delay-line DPWM.
+
+    Attributes:
+        bits: DPWM resolution; the line has ``2**bits`` cells (paper eq. 15).
+        switching_frequency_mhz: regulator switching frequency.
+    """
+
+    bits: int
+    switching_frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+        if self.switching_frequency_mhz <= 0:
+            raise ValueError("switching frequency must be positive")
+
+    @property
+    def num_cells(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def switching_period_ps(self) -> float:
+        return 1e6 / self.switching_frequency_mhz
+
+    @property
+    def ideal_cell_delay_ps(self) -> float:
+        """Cell delay that makes the line exactly span the switching period."""
+        return self.switching_period_ps / self.num_cells
+
+
+class DelayLineDPWM:
+    """Structural, simulatable delay-line DPWM."""
+
+    architecture = "delay-line"
+
+    def __init__(
+        self,
+        config: DelayLineDPWMConfig,
+        cell_delays_ps: Sequence[float] | None = None,
+        library: TechnologyLibrary | None = None,
+    ) -> None:
+        self.config = config
+        self.library = library or intel32_like_library()
+        if cell_delays_ps is None:
+            cell_delays_ps = [config.ideal_cell_delay_ps] * config.num_cells
+        if len(cell_delays_ps) != config.num_cells:
+            raise ValueError(
+                f"expected {config.num_cells} cell delays, got {len(cell_delays_ps)}"
+            )
+        if any(delay <= 0 for delay in cell_delays_ps):
+            raise ValueError("cell delays must be positive")
+        self.cell_delays_ps = list(cell_delays_ps)
+
+    # ------------------------------------------------------------------ #
+    # Behaviour
+    # ------------------------------------------------------------------ #
+    def generate(self, duty_word: int, periods: int = 2) -> DPWMWaveform:
+        """Simulate the DPWM output for a duty word over several periods."""
+        config = self.config
+        request = DutyCycleRequest(word=duty_word, bits=config.bits)
+        sim = Simulator()
+
+        switching_clock = Signal(sim, "sw_clk")
+        ClockGenerator(sim, switching_clock, period_ps=config.switching_period_ps)
+
+        # Build the tapped line: tap k is the output of cell k (0-based), so
+        # selecting tap ``duty_word`` delays the switching edge by
+        # (duty_word + 1) cell delays -- the paper's 25/50/75/100 % example.
+        taps: list[Signal] = []
+        stage_input = switching_clock
+        for index, delay in enumerate(self.cell_delays_ps):
+            tap = Signal(sim, f"tap{index}")
+            Buffer(sim, stage_input, tap, delay_ps=delay)
+            taps.append(tap)
+            stage_input = tap
+
+        select = Signal(sim, "select", width=config.bits, initial=duty_word)
+        reset = Signal(sim, "reset")
+        if duty_word == config.num_cells - 1:
+            # Last tap: its rising edge lands on the next period start, which
+            # the paper reads as 100 % duty; keep the output set instead of
+            # racing the set edge.
+            pass
+        else:
+            MuxN(sim, taps, select, reset)
+
+        modulator = TrailingEdgeModulator(sim, switching_clock, reset)
+
+        sim.run_until(config.switching_period_ps * periods)
+        measured = modulator.output.trace.duty_cycle(
+            config.switching_period_ps, start_ps=config.switching_period_ps
+        )
+        support = {"sw_clk": switching_clock.trace, "reset": reset.trace}
+        for index in range(min(4, len(taps))):
+            support[f"tap{index}"] = taps[index].trace
+        return DPWMWaveform(
+            architecture=self.architecture,
+            request=request,
+            switching_period_ps=config.switching_period_ps,
+            trace=modulator.output.trace,
+            measured_duty=measured,
+            support_traces=support,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost
+    # ------------------------------------------------------------------ #
+    def required_clock_frequency_mhz(self) -> float:
+        """Only the switching clock is needed (the power advantage)."""
+        return self.config.switching_frequency_mhz
+
+    def netlist(self) -> Netlist:
+        """Structural netlist: 2**n delay cells, tap multiplexer, output flop."""
+        cells = self.config.num_cells
+        line = Netlist(name="Delay Line")
+        line.add_cells(CellKind.BUFFER, cells, purpose="delay cells")
+
+        mux = Netlist(name="Output MUX")
+        mux.add_cells(CellKind.MUX2, cells - 1, purpose="tap-select tree")
+
+        output = Netlist(name="Output stage")
+        output.add_cells(CellKind.DFF, 1, purpose="PWM flop")
+
+        top = Netlist(name="Delay-line DPWM")
+        for block in (line, mux, output):
+            top.add_child(block)
+        return top

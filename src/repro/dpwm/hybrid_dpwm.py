@@ -1,0 +1,203 @@
+"""Hybrid DPWM (paper section 2.2.3, Figures 22-23).
+
+The duty word is split: the ``n_msb`` most significant bits are counted by a
+counter clocked at ``2**n_msb`` times the switching frequency, the ``n_lsb``
+least significant bits select a tap of a small delay line whose total delay is
+one counter-clock period.  The comparator match (``delclk``) launches the
+pulse into the line; the selected tap resets the PWM output.
+
+Compared to the pure approaches at the same resolution the hybrid needs a
+``2**n_lsb``-times slower clock than the counter DPWM and ``2**n_msb``-times
+fewer cells than the delay-line DPWM -- the compromise of Table 2 and of the
+worked 5-bit example (clock 8x instead of 32x the switching frequency, 4 cells
+instead of 32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.power import netlist_dynamic_power_w
+from repro.dpwm.base import DPWMWaveform, DutyCycleRequest
+from repro.dpwm.trailing_edge import TrailingEdgeModulator
+from repro.simulation.clocks import ClockGenerator
+from repro.simulation.primitives import Buffer, Comparator, Counter, MuxN
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+from repro.technology.cells import CellKind
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.netlist import Netlist
+
+__all__ = ["HybridDPWMConfig", "HybridDPWM"]
+
+
+@dataclass(frozen=True)
+class HybridDPWMConfig:
+    """Parameters of a hybrid DPWM.
+
+    Attributes:
+        msb_bits: resolution handled by the counter.
+        lsb_bits: resolution handled by the delay line.
+        switching_frequency_mhz: regulator switching frequency.
+    """
+
+    msb_bits: int
+    lsb_bits: int
+    switching_frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.msb_bits < 1 or self.lsb_bits < 1:
+            raise ValueError("both counter and delay-line sections need >= 1 bit")
+        if self.switching_frequency_mhz <= 0:
+            raise ValueError("switching frequency must be positive")
+
+    @property
+    def bits(self) -> int:
+        """Total DPWM resolution."""
+        return self.msb_bits + self.lsb_bits
+
+    @property
+    def num_cells(self) -> int:
+        """Delay-line length (covers one counter-clock period)."""
+        return 1 << self.lsb_bits
+
+    @property
+    def switching_period_ps(self) -> float:
+        return 1e6 / self.switching_frequency_mhz
+
+    @property
+    def counter_clock_frequency_mhz(self) -> float:
+        """Required counter clock: ``2**msb_bits * f_switch``."""
+        return self.switching_frequency_mhz * (1 << self.msb_bits)
+
+    @property
+    def counter_clock_period_ps(self) -> float:
+        return self.switching_period_ps / (1 << self.msb_bits)
+
+    @property
+    def ideal_cell_delay_ps(self) -> float:
+        """Cell delay so the line spans one counter-clock period."""
+        return self.counter_clock_period_ps / self.num_cells
+
+
+class HybridDPWM:
+    """Structural, simulatable hybrid DPWM."""
+
+    architecture = "hybrid"
+
+    def __init__(
+        self, config: HybridDPWMConfig, library: TechnologyLibrary | None = None
+    ) -> None:
+        self.config = config
+        self.library = library or intel32_like_library()
+
+    # ------------------------------------------------------------------ #
+    # Behaviour
+    # ------------------------------------------------------------------ #
+    def generate(self, duty_word: int, periods: int = 2) -> DPWMWaveform:
+        """Simulate the DPWM output for a duty word over several periods."""
+        config = self.config
+        request = DutyCycleRequest(word=duty_word, bits=config.bits)
+        msb = request.msb(config.msb_bits)
+        lsb = request.lsb(config.lsb_bits)
+        sim = Simulator()
+
+        fast_clock = Signal(sim, "clk")
+        ClockGenerator(sim, fast_clock, period_ps=config.counter_clock_period_ps)
+
+        count = Signal(sim, "cnt", width=config.msb_bits)
+        Counter(
+            sim,
+            clock=fast_clock,
+            output_signal=count,
+            width=config.msb_bits,
+            initial=(1 << config.msb_bits) - 1,
+        )
+
+        zero = Signal(sim, "zero_const", width=config.msb_bits)
+        period_start = Signal(sim, "period_start")
+        Comparator(sim, count, zero, period_start)
+
+        msb_signal = Signal(sim, "msb_duty", width=config.msb_bits, initial=msb)
+        delclk = Signal(sim, "delclk")
+        Comparator(sim, count, msb_signal, delclk)
+
+        taps: list[Signal] = []
+        stage_input = delclk
+        for index in range(config.num_cells):
+            tap = Signal(sim, f"tap{index}")
+            Buffer(sim, stage_input, tap, delay_ps=config.ideal_cell_delay_ps)
+            taps.append(tap)
+            stage_input = tap
+
+        select = Signal(sim, "select", width=config.lsb_bits, initial=lsb)
+        reset = Signal(sim, "reset")
+        if duty_word == (1 << config.bits) - 1:
+            # All-ones word: the reset edge lands on the next period start,
+            # read as 100 % duty (same convention as the other architectures).
+            pass
+        else:
+            MuxN(sim, taps, select, reset)
+
+        modulator = TrailingEdgeModulator(sim, period_start, reset)
+
+        sim.run_until(config.switching_period_ps * periods)
+        measured = modulator.output.trace.duty_cycle(
+            config.switching_period_ps, start_ps=config.switching_period_ps
+        )
+        return DPWMWaveform(
+            architecture=self.architecture,
+            request=request,
+            switching_period_ps=config.switching_period_ps,
+            trace=modulator.output.trace,
+            measured_duty=measured,
+            support_traces={
+                "clk": fast_clock.trace,
+                "cnt": count.trace,
+                "delclk": delclk.trace,
+                "reset": reset.trace,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost
+    # ------------------------------------------------------------------ #
+    def required_clock_frequency_mhz(self) -> float:
+        return self.config.counter_clock_frequency_mhz
+
+    def netlist(self) -> Netlist:
+        """Structural netlist: small counter + comparator + short line + mux."""
+        config = self.config
+        counter = Netlist(name="Counter")
+        counter.add_cells(CellKind.DFF, config.msb_bits, purpose="count register")
+        counter.add_cells(CellKind.HALF_ADDER, config.msb_bits, purpose="increment")
+
+        comparator = Netlist(name="Comparator")
+        comparator.add_cells(CellKind.XOR2, config.msb_bits, purpose="bit compare")
+        comparator.add_cells(
+            CellKind.AND2, max(config.msb_bits - 1, 1), purpose="reduce"
+        )
+
+        line = Netlist(name="Delay Line")
+        line.add_cells(CellKind.BUFFER, config.num_cells, purpose="delay cells")
+
+        mux = Netlist(name="Output MUX")
+        mux.add_cells(CellKind.MUX2, config.num_cells - 1, purpose="tap-select tree")
+
+        output = Netlist(name="Output stage")
+        output.add_cells(CellKind.DFF, 1, purpose="PWM flop")
+
+        top = Netlist(name="Hybrid DPWM")
+        for block in (counter, comparator, line, mux, output):
+            top.add_child(block)
+        return top
+
+    def dynamic_power_w(self, vdd_v: float = 1.0, activity: float = 0.5) -> float:
+        """Dynamic power at the required counter clock frequency."""
+        return netlist_dynamic_power_w(
+            self.netlist(),
+            self.library,
+            vdd_v=vdd_v,
+            frequency_hz=self.required_clock_frequency_mhz() * 1e6,
+            activity=activity,
+        )

@@ -1,0 +1,42 @@
+"""Trailing-edge modulation (paper Figures 16-17).
+
+The DPWM output is set at the beginning of every switching period and cleared
+when the ``Reset`` signal fires; controlling *when* Reset fires controls the
+duty cycle.  All three DPWM architectures share this building block: the
+counter-based DPWM fires Reset from a comparator, the delay-line DPWM from a
+delay-line tap, the hybrid from a tap of a line fed by the comparator.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.primitives import SetResetFlop
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+
+__all__ = ["TrailingEdgeModulator"]
+
+
+class TrailingEdgeModulator:
+    """The output flop of a trailing-edge DPWM.
+
+    The output goes high on the rising edge of the switching-period signal
+    and low on the rising edge of the reset signal.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period_start: Signal,
+        reset: Signal,
+        output_name: str = "dpwm_out",
+    ) -> None:
+        self.simulator = simulator
+        self.period_start = period_start
+        self.reset = reset
+        self.output = Signal(simulator, output_name)
+        self._flop = SetResetFlop(
+            simulator,
+            set_signal=period_start,
+            reset_signal=reset,
+            output_signal=self.output,
+        )

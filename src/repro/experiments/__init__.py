@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per paper table / figure.
+
+Every experiment module exposes a ``run()`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose ``data`` holds the
+regenerated rows/series and whose ``report`` is a formatted text rendering in
+the same shape as the paper's artifact.  The registry in
+:mod:`repro.experiments.base` maps experiment ids (``table5``, ``fig50`` ...)
+to these functions; the CLI in :mod:`repro.experiments.runner` runs them.
+
+See DESIGN.md for the per-experiment index (paper artifact, workload,
+implementing modules) and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments.base import ExperimentResult, registry, run_experiment
+from repro.experiments import (  # noqa: F401  (imported for registration)
+    design_example,
+    figure19,
+    figure21,
+    figure23,
+    figure28,
+    figure37,
+    figure41_42,
+    figure47_48,
+    figure50_51,
+    table2,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = ["ExperimentResult", "registry", "run_experiment"]

@@ -1,0 +1,65 @@
+"""Experiment result container and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ExperimentResult", "registry", "register", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment.
+
+    Attributes:
+        experiment_id: short id (``table5``, ``fig50`` ...).
+        title: human-readable title referencing the paper artifact.
+        data: structured results (rows, series, metrics) for programmatic use
+            by the benchmarks and tests.
+        report: formatted text rendering in the shape of the paper's table or
+            figure series.
+        paper_reference: the values the paper reports, where applicable, so
+            reports can show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    data: dict
+    report: str
+    paper_reference: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"[{self.experiment_id}] {self.title}\n{self.report}"
+
+
+#: Global registry of experiment id -> zero-argument run function.
+registry: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment ``run`` function under an id."""
+
+    def decorator(func: Callable[[], ExperimentResult]):
+        if experiment_id in registry:
+            raise ValueError(f"experiment id {experiment_id!r} already registered")
+        registry[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run a registered experiment by id.
+
+    Raises:
+        KeyError: if the id is unknown.
+    """
+    try:
+        runner = registry[experiment_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(registry))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from exc
+    return runner()

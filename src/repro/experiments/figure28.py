@@ -1,0 +1,102 @@
+"""Figure 28 -- cell delays at different process corners.
+
+The paper's motivation for calibration: a delay cell with typical delay ``d``
+runs at ``d/2`` in the fast corner and ``2d`` in the slow corner (a 4x
+spread), so an *uncalibrated* delay line produces a different duty cycle for
+the same tap at every corner, and at the fast corner part of the switching
+period is not covered by the line at all.
+
+The experiment reports the per-buffer and per-cell delays at each corner and
+quantifies the duty-cycle error of an uncalibrated mid-scale tap -- the error
+the calibrated schemes of chapter 3 remove.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
+from repro.experiments.base import ExperimentResult, register
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+
+__all__ = ["run"]
+
+CLOCK_PERIOD_PS = 10_000.0  # 100 MHz
+NUM_CELLS = 256
+BUFFERS_PER_CELL = 2
+
+
+@register("fig28")
+def run() -> ExperimentResult:
+    """Regenerate Figure 28 (corner-dependent delays and uncalibrated error)."""
+    library = intel32_like_library()
+    line = ProposedDelayLine(
+        ProposedDelayLineConfig(
+            num_cells=NUM_CELLS,
+            buffers_per_cell=BUFFERS_PER_CELL,
+            clock_period_ps=CLOCK_PERIOD_PS,
+        ),
+        library=library,
+    )
+    # The tap an uncalibrated design would use for a 50 % duty cycle assuming
+    # typical-corner delays.
+    typical_conditions = OperatingConditions.typical()
+    typical_tap_delays = line.tap_delays_ps(typical_conditions)
+    target_delay = CLOCK_PERIOD_PS / 2.0
+    uncalibrated_tap = int((typical_tap_delays >= target_delay).argmax()) + 1
+
+    rows = []
+    per_corner = {}
+    for corner in ProcessCorner:
+        conditions = OperatingConditions(corner=corner)
+        buffer_delay = library.buffer_delay_ps(conditions)
+        cell_delay = buffer_delay * BUFFERS_PER_CELL
+        taps = line.tap_delays_ps(conditions)
+        total = float(taps[-1])
+        uncalibrated_duty = float(taps[uncalibrated_tap - 1]) / CLOCK_PERIOD_PS
+        covered = total >= CLOCK_PERIOD_PS
+        per_corner[corner.name.lower()] = {
+            "buffer_delay_ps": buffer_delay,
+            "cell_delay_ps": cell_delay,
+            "total_line_delay_ps": total,
+            "uncalibrated_duty_at_mid_tap": uncalibrated_duty,
+            "covers_clock_period": covered,
+        }
+        rows.append(
+            [
+                corner.name.lower(),
+                f"{buffer_delay:.0f}",
+                f"{cell_delay:.0f}",
+                f"{total / 1000:.2f}",
+                f"{100 * uncalibrated_duty:.0f} %",
+                "yes" if covered else "no",
+            ]
+        )
+
+    report = format_table(
+        headers=[
+            "Corner",
+            "Buffer delay (ps)",
+            "Cell delay (ps)",
+            "Total line delay (ns)",
+            "Duty of the 'typical 50 %' tap",
+            "Line covers clock period",
+        ],
+        rows=rows,
+        title="Figure 28 -- cell delays at different corners (uncalibrated line)",
+    )
+    return ExperimentResult(
+        experiment_id="fig28",
+        title="Cell delay across process corners (paper Figure 28)",
+        data={
+            "per_corner": per_corner,
+            "uncalibrated_tap": uncalibrated_tap,
+            "clock_period_ps": CLOCK_PERIOD_PS,
+        },
+        report=report,
+        paper_reference={
+            "fast_buffer_delay_ps": 20.0,
+            "slow_buffer_delay_ps": 80.0,
+            "fast_to_slow_ratio": 4.0,
+        },
+    )

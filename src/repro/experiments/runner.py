@@ -1,0 +1,73 @@
+"""Command-line runner for the experiment harnesses.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments table5 fig50_51
+    repro-experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import registry, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment ids"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(registry):
+            print(experiment_id)
+        return 0
+
+    if args.all:
+        selected = sorted(registry)
+    else:
+        selected = list(args.experiments)
+    if not selected:
+        parser.print_help()
+        return 1
+
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known experiments: {', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+
+    for experiment_id in selected:
+        result = run_experiment(experiment_id)
+        print(f"=== {result.experiment_id}: {result.title} ===")
+        print(result.report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Table 2 -- counter-based vs delay-line DPWM comparison.
+
+The paper's Table 2 is qualitative (clock frequency / power: High vs Low,
+area: Small vs Large).  This experiment regenerates it quantitatively: for a
+1 MHz switching regulator (the frequency range the paper cites from [28]) at
+several resolutions -- including the 13-bit "state of the art" resolution the
+paper quotes -- it reports each architecture's required clock frequency,
+synthesized area and dynamic power, plus the hybrid compromise.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.dpwm.counter_dpwm import CounterDPWM, CounterDPWMConfig
+from repro.dpwm.delay_line_dpwm import DelayLineDPWM, DelayLineDPWMConfig
+from repro.dpwm.hybrid_dpwm import HybridDPWM, HybridDPWMConfig
+from repro.experiments.base import ExperimentResult, register
+from repro.technology.library import intel32_like_library
+from repro.technology.synthesis import Synthesizer
+
+__all__ = ["run"]
+
+SWITCHING_FREQUENCY_MHZ = 1.0
+RESOLUTIONS_BITS = (4, 8, 13)
+
+
+@register("table2")
+def run() -> ExperimentResult:
+    """Regenerate Table 2 (quantitative form)."""
+    library = intel32_like_library()
+    synthesizer = Synthesizer(library)
+
+    rows = []
+    records = []
+    for bits in RESOLUTIONS_BITS:
+        counter = CounterDPWM(
+            CounterDPWMConfig(bits=bits, switching_frequency_mhz=SWITCHING_FREQUENCY_MHZ),
+            library=library,
+        )
+        delay_line = DelayLineDPWM(
+            DelayLineDPWMConfig(
+                bits=bits, switching_frequency_mhz=SWITCHING_FREQUENCY_MHZ
+            ),
+            library=library,
+        )
+        msb_bits = max(1, bits // 2)
+        hybrid = HybridDPWM(
+            HybridDPWMConfig(
+                msb_bits=msb_bits,
+                lsb_bits=bits - msb_bits,
+                switching_frequency_mhz=SWITCHING_FREQUENCY_MHZ,
+            ),
+            library=library,
+        )
+
+        counter_area = synthesizer.synthesize(counter.netlist()).total_area_um2
+        line_area = synthesizer.synthesize(delay_line.netlist()).total_area_um2
+        hybrid_area = synthesizer.synthesize(hybrid.netlist()).total_area_um2
+
+        record = {
+            "bits": bits,
+            "counter_clock_mhz": counter.required_clock_frequency_mhz(),
+            "delay_line_clock_mhz": delay_line.required_clock_frequency_mhz(),
+            "hybrid_clock_mhz": hybrid.required_clock_frequency_mhz(),
+            "counter_area_um2": counter_area,
+            "delay_line_area_um2": line_area,
+            "hybrid_area_um2": hybrid_area,
+            "counter_power_uw": counter.dynamic_power_w() * 1e6,
+            "hybrid_power_uw": hybrid.dynamic_power_w() * 1e6,
+        }
+        records.append(record)
+        rows.append(
+            [
+                bits,
+                f"{record['counter_clock_mhz']:.0f}",
+                f"{record['delay_line_clock_mhz']:.0f}",
+                f"{record['hybrid_clock_mhz']:.0f}",
+                f"{counter_area:.0f}",
+                f"{line_area:.0f}",
+                f"{hybrid_area:.0f}",
+            ]
+        )
+
+    report = format_table(
+        headers=[
+            "bits",
+            "counter clk (MHz)",
+            "line clk (MHz)",
+            "hybrid clk (MHz)",
+            "counter area (um2)",
+            "line area (um2)",
+            "hybrid area (um2)",
+        ],
+        rows=rows,
+        title=(
+            "Table 2 -- DPWM approaches at f_sw = 1 MHz "
+            "(counter: high clock/power, small area; delay line: low clock, large area)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="DPWM approaches comparison (paper Table 2)",
+        data={"rows": records, "switching_frequency_mhz": SWITCHING_FREQUENCY_MHZ},
+        report=report,
+        paper_reference={
+            "counter": {"clock_power": "High", "area": "Small"},
+            "delay_line": {"clock_power": "Low", "area": "Large"},
+        },
+    )

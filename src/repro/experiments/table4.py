@@ -1,0 +1,59 @@
+"""Table 4 -- preliminary comparison of the two delay-line schemes.
+
+The paper's preliminary comparison lists the structural trade-offs before the
+synthesis results: the conventional scheme has a complex tunable cell, worse
+linearity and no mapper; the proposed scheme has a simple cell, better
+linearity, but needs a mapper and an extra multiplexer.  The experiment
+regenerates those rows from the actual models (cell structure, measured
+linearity, measured calibration time).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.core.comparison import compare_schemes
+from repro.core.design import DesignSpec
+from repro.experiments.base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("table4")
+def run() -> ExperimentResult:
+    """Regenerate Table 4 from the 100 MHz / 6-bit comparison design."""
+    spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+    comparison = compare_schemes(spec)
+
+    rows = [
+        (criterion, conventional, proposed)
+        for criterion, conventional, proposed in comparison.preliminary_rows()
+    ]
+    report = format_table(
+        headers=["Criterion", "Conventional adjustable cells", "Proposed"],
+        rows=rows,
+        title="Table 4 -- preliminary comparison (100 MHz, 6-bit specification)",
+    )
+    data = {
+        "rows": rows,
+        "proposed_wins_linearity": comparison.proposed_wins_linearity,
+        "proposed_wins_calibration_time": comparison.proposed_wins_calibration_time,
+        "proposed_max_error_fraction": comparison.proposed_max_error_fraction,
+        "conventional_max_error_fraction": comparison.conventional_max_error_fraction,
+        "proposed_lock_cycles": comparison.proposed_calibration.lock_cycles,
+        "conventional_lock_cycles": comparison.conventional_calibration.lock_cycles,
+        "conventional_branches": comparison.conventional_design.branches,
+    }
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Preliminary scheme comparison (paper Table 4)",
+        data=data,
+        report=report,
+        paper_reference={
+            "conventional": ["complex delay cell", "worse linearity", "no mapper"],
+            "proposed": [
+                "simple delay cell",
+                "better linearity",
+                "requires mapper and extra multiplexer",
+            ],
+        },
+    )

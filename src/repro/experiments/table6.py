@@ -1,0 +1,75 @@
+"""Table 6 -- proposed scheme synthesis results for multiple frequencies.
+
+The proposed scheme is parameterized: keeping 256 taps, the number of buffers
+combined in one delay cell is 4 / 2 / 1 at 50 / 100 / 200 MHz, so the delay
+line's share of the total area grows at lower frequencies while every other
+block stays the same.  The paper reports totals of 1675 / 1337 / 1172 um^2.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.core.design import DesignSpec, design_proposed
+from repro.experiments.base import ExperimentResult, register
+from repro.technology.library import intel32_like_library
+from repro.technology.synthesis import Synthesizer
+
+__all__ = ["run", "PAPER_TABLE6", "FREQUENCIES_MHZ"]
+
+FREQUENCIES_MHZ = (50.0, 100.0, 200.0)
+
+#: The values reported in the paper's Table 6.
+PAPER_TABLE6 = {
+    50.0: {"buffers_per_cell": 4, "total_area_um2": 1675.0, "delay_line_pct": 39.5},
+    100.0: {"buffers_per_cell": 2, "total_area_um2": 1337.0, "delay_line_pct": 24.7},
+    200.0: {"buffers_per_cell": 1, "total_area_um2": 1172.0, "delay_line_pct": 14.1},
+}
+
+
+@register("table6")
+def run() -> ExperimentResult:
+    """Regenerate Table 6 (proposed scheme across 50/100/200 MHz)."""
+    library = intel32_like_library()
+    synthesizer = Synthesizer(library)
+
+    per_frequency = {}
+    for frequency in FREQUENCIES_MHZ:
+        spec = DesignSpec(clock_frequency_mhz=frequency, resolution_bits=6)
+        design = design_proposed(spec, library)
+        area_report = synthesizer.synthesize(design.build_line(library).netlist())
+        per_frequency[frequency] = {
+            "buffers_per_cell": design.buffers_per_cell,
+            "num_cells": design.num_cells,
+            "total_area_um2": area_report.total_area_um2,
+            "distribution": area_report.distribution(),
+        }
+
+    block_names = list(per_frequency[FREQUENCIES_MHZ[0]]["distribution"])
+    rows = [
+        ["Buffers combined in one cell"]
+        + [per_frequency[f]["buffers_per_cell"] for f in FREQUENCIES_MHZ],
+        ["Total area (um^2)"]
+        + [f"{per_frequency[f]['total_area_um2']:.0f}" for f in FREQUENCIES_MHZ],
+    ]
+    for name in block_names:
+        rows.append(
+            [f"Area share: {name}"]
+            + [
+                f"{per_frequency[f]['distribution'][name]:.1f} %"
+                for f in FREQUENCIES_MHZ
+            ]
+        )
+
+    report = format_table(
+        headers=["Comparison parameter"]
+        + [f"{frequency:.0f} MHz" for frequency in FREQUENCIES_MHZ],
+        rows=rows,
+        title="Table 6 -- proposed scheme synthesis results for multiple frequencies",
+    )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Proposed scheme area across frequencies (paper Table 6)",
+        data={"per_frequency": per_frequency},
+        report=report,
+        paper_reference=PAPER_TABLE6,
+    )

@@ -1,0 +1,54 @@
+"""Discrete-event digital-logic simulator.
+
+This package is the repository's substitute for the Verilog/QuestaSim flow the
+paper uses for functional verification.  It provides:
+
+* an event-driven :class:`~repro.simulation.simulator.Simulator` with
+  picosecond time resolution,
+* :class:`~repro.simulation.signals.Signal` objects with change notification
+  and full waveform tracing,
+* behavioural primitives (:mod:`repro.simulation.primitives`): buffers,
+  inverters, multiplexers, D flip-flops with setup-time checking and an
+  optional metastability model, set/reset flops, counters and comparators,
+* clock and pulse generators (:mod:`repro.simulation.clocks`), and
+* waveform analysis helpers (:mod:`repro.simulation.waveform`) used to
+  measure duty cycles and pulse widths for the DPWM timing figures.
+"""
+
+from repro.simulation.clocks import ClockGenerator, PulseGenerator
+from repro.simulation.primitives import (
+    Buffer,
+    Comparator,
+    Counter,
+    DFlipFlop,
+    Inverter,
+    Mux2,
+    MuxN,
+    SetResetFlop,
+    TwoFlopSynchronizer,
+)
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+from repro.simulation.vcd import dump_vcd, traces_to_vcd
+from repro.simulation.waveform import WaveformTrace, duty_cycle_of, pulse_widths
+
+__all__ = [
+    "Buffer",
+    "ClockGenerator",
+    "Comparator",
+    "Counter",
+    "DFlipFlop",
+    "Inverter",
+    "Mux2",
+    "MuxN",
+    "PulseGenerator",
+    "SetResetFlop",
+    "Signal",
+    "Simulator",
+    "TwoFlopSynchronizer",
+    "WaveformTrace",
+    "dump_vcd",
+    "duty_cycle_of",
+    "pulse_widths",
+    "traces_to_vcd",
+]

@@ -1,0 +1,67 @@
+"""Clock and pulse generators."""
+
+from __future__ import annotations
+
+from repro.simulation.signals import Signal
+from repro.simulation.simulator import Simulator
+
+__all__ = ["ClockGenerator", "PulseGenerator"]
+
+
+class ClockGenerator:
+    """A free-running clock with configurable period and duty cycle.
+
+    The switching clock of the voltage regulator (50--200 MHz in the paper)
+    and the fast counter clock of the counter-based DPWM are both instances
+    of this generator.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        output_signal: Signal,
+        period_ps: float,
+        duty: float = 0.5,
+        start_ps: float = 0.0,
+    ) -> None:
+        if period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("clock duty cycle must be in (0, 1)")
+        self.simulator = simulator
+        self.output_signal = output_signal
+        self.period_ps = period_ps
+        self.duty = duty
+        self.high_time_ps = period_ps * duty
+        simulator.schedule_at(start_ps, self._rise)
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Clock frequency in MHz."""
+        return 1e6 / self.period_ps
+
+    def _rise(self) -> None:
+        self.output_signal.set(1)
+        self.simulator.schedule(self.high_time_ps, self._fall)
+
+    def _fall(self) -> None:
+        self.output_signal.set(0)
+        self.simulator.schedule(self.period_ps - self.high_time_ps, self._rise)
+
+
+class PulseGenerator:
+    """Generates a single pulse of a given width at a given start time."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        output_signal: Signal,
+        start_ps: float,
+        width_ps: float,
+    ) -> None:
+        if width_ps <= 0:
+            raise ValueError("pulse width must be positive")
+        self.simulator = simulator
+        self.output_signal = output_signal
+        simulator.schedule_at(start_ps, lambda: output_signal.set(1))
+        simulator.schedule_at(start_ps + width_ps, lambda: output_signal.set(0))

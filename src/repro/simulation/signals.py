@@ -1,0 +1,81 @@
+"""Signals (nets) with change notification and waveform tracing."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulation.simulator import Simulator
+from repro.simulation.waveform import WaveformTrace
+
+__all__ = ["Signal"]
+
+
+class Signal:
+    """A named net carrying an integer value (0/1 for single-bit nets).
+
+    A signal records its full transition history in a
+    :class:`~repro.simulation.waveform.WaveformTrace` and notifies connected
+    callbacks whenever its value changes.  Multi-bit buses are represented as
+    plain integers, which keeps the behavioural components simple (the paper's
+    designs only need bus compare/add/select semantics, not per-bit wiring).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        initial: int = 0,
+        width: int = 1,
+    ) -> None:
+        if width < 1:
+            raise ValueError(f"signal {name!r}: width must be >= 1")
+        self._simulator = simulator
+        self.name = name
+        self.width = width
+        self._value = int(initial)
+        self._listeners: list[Callable[["Signal"], None]] = []
+        self.trace = WaveformTrace(name=name)
+        self.trace.record(simulator.now_ps, self._value)
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def value(self) -> int:
+        """Current value of the signal."""
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value for this signal's width."""
+        return (1 << self.width) - 1
+
+    def connect(self, listener: Callable[["Signal"], None]) -> None:
+        """Register a callback invoked (with this signal) on every change."""
+        self._listeners.append(listener)
+
+    def set(self, value: int) -> None:
+        """Drive a new value at the current simulation time.
+
+        Setting the same value is a no-op (no trace entry, no notification),
+        mirroring event-driven HDL semantics.
+        """
+        value = int(value) & self.max_value if self.width < 64 else int(value)
+        if value == self._value:
+            return
+        self._value = value
+        self.trace.record(self._simulator.now_ps, value)
+        for listener in list(self._listeners):
+            listener(self)
+
+    def schedule_set(self, value: int, delay_ps: float) -> None:
+        """Drive a new value after ``delay_ps`` (transport delay)."""
+        self._simulator.schedule(delay_ps, lambda: self.set(value))
+
+    def is_high(self) -> bool:
+        """True when a single-bit signal is logic 1."""
+        return self._value != 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, value={self._value})"

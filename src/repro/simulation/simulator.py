@@ -1,0 +1,143 @@
+"""The discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event queue of callbacks.
+All timing is expressed in picoseconds (floats); events scheduled at the same
+time execute in FIFO order, which keeps combinational update chains
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel detects an inconsistent request."""
+
+
+@dataclass(order=True)
+class _Event:
+    """An entry in the event queue, ordered by (time, sequence number)."""
+
+    time_ps: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """Event-driven simulation kernel with picosecond resolution.
+
+    Typical use::
+
+        sim = Simulator()
+        clk = Signal(sim, "clk")
+        ClockGenerator(sim, clk, period_ps=10_000.0)
+        sim.run_until(200_000.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._now_ps: float = 0.0
+        self._sequence: int = 0
+        self._events_executed: int = 0
+
+    @property
+    def now_ps(self) -> float:
+        """Current simulation time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for diagnostics and tests)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    def schedule(self, delay_ps: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay_ps`` after the current time.
+
+        Raises:
+            SimulationError: if ``delay_ps`` is negative.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay_ps} ps")
+        self.schedule_at(self._now_ps + delay_ps, callback)
+
+    def schedule_at(self, time_ps: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute simulation time.
+
+        Raises:
+            SimulationError: if ``time_ps`` is before the current time.
+        """
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, current time is {self._now_ps} ps"
+            )
+        heapq.heappush(
+            self._queue, _Event(time_ps=time_ps, sequence=self._sequence, callback=callback)
+        )
+        self._sequence += 1
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue is empty.
+        """
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now_ps = event.time_ps
+        event.callback()
+        self._events_executed += 1
+        return True
+
+    def run_until(self, time_ps: float, max_events: int | None = None) -> None:
+        """Run the simulation up to (and including) ``time_ps``.
+
+        Events scheduled exactly at ``time_ps`` are executed.  Events beyond
+        it stay queued, and the simulation clock is advanced to ``time_ps``.
+
+        Args:
+            time_ps: absolute stop time in picoseconds.
+            max_events: optional safety bound on executed events.
+
+        Raises:
+            SimulationError: if ``max_events`` is exhausted before reaching
+                ``time_ps`` (a strong hint of a runaway feedback loop).
+        """
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot run backwards to {time_ps} ps from {self._now_ps} ps"
+            )
+        executed = 0
+        while self._queue and self._queue[0].time_ps <= time_ps:
+            self.step()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events before reaching {time_ps} ps; "
+                    "possible combinational loop"
+                )
+        self._now_ps = max(self._now_ps, time_ps)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the event queue drains or ``max_events`` are executed.
+
+        Raises:
+            SimulationError: if the event budget is exhausted (runaway loop).
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; possible combinational loop"
+                )

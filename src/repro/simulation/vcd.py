@@ -1,0 +1,103 @@
+"""Value-change-dump (VCD) export for waveform traces.
+
+The paper's verification flow inspects waveforms in a simulator GUI; this
+module lets any set of :class:`~repro.simulation.waveform.WaveformTrace`
+objects (or the signals of a live simulation) be written as a standard VCD
+file so the same inspection can be done with GTKWave or any other VCD
+viewer.  Only the small subset of VCD needed for single- and multi-bit
+integer signals is produced: a timescale header, one scalar or vector
+variable per trace, and time-ordered value changes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.simulation.waveform import WaveformTrace
+
+__all__ = ["dump_vcd", "traces_to_vcd"]
+
+_IDENTIFIER_ALPHABET = (
+    "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+)
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for the ``index``-th variable."""
+    alphabet = _IDENTIFIER_ALPHABET
+    if index < len(alphabet):
+        return alphabet[index]
+    return alphabet[index % len(alphabet)] + _identifier(index // len(alphabet) - 1)
+
+
+def _width_of(trace: WaveformTrace) -> int:
+    """Bit width needed to represent every value in the trace."""
+    maximum = max((value for value in trace.values), default=0)
+    return max(1, int(maximum).bit_length())
+
+
+def traces_to_vcd(
+    traces: Sequence[WaveformTrace],
+    timescale: str = "1ps",
+    module_name: str = "repro",
+) -> str:
+    """Render traces as VCD text.
+
+    Args:
+        traces: the waveform traces to export (names must be unique).
+        timescale: VCD timescale directive (the simulator's unit is ps).
+        module_name: name of the enclosing VCD scope.
+    """
+    names = [trace.name for trace in traces]
+    if len(set(names)) != len(names):
+        raise ValueError("trace names must be unique for VCD export")
+
+    lines = [
+        "$date reproduction run $end",
+        "$version repro delay-line simulator $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module_name} $end",
+    ]
+    widths = []
+    for index, trace in enumerate(traces):
+        width = _width_of(trace)
+        widths.append(width)
+        lines.append(
+            f"$var wire {width} {_identifier(index)} {trace.name} $end"
+        )
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Merge all transitions into a single time-ordered stream.
+    events: list[tuple[float, int, int]] = []
+    for index, trace in enumerate(traces):
+        for time_ps, value in trace.transitions():
+            events.append((time_ps, index, value))
+    events.sort(key=lambda item: (item[0], item[1]))
+
+    current_time: float | None = None
+    for time_ps, index, value in events:
+        if current_time is None or time_ps != current_time:
+            lines.append(f"#{int(round(time_ps))}")
+            current_time = time_ps
+        identifier = _identifier(index)
+        if widths[index] == 1:
+            lines.append(f"{value & 1}{identifier}")
+        else:
+            lines.append(f"b{value:b} {identifier}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_vcd(
+    traces: Iterable[WaveformTrace],
+    path: str | Path,
+    timescale: str = "1ps",
+    module_name: str = "repro",
+) -> Path:
+    """Write traces to a VCD file and return the path."""
+    path = Path(path)
+    path.write_text(
+        traces_to_vcd(list(traces), timescale=timescale, module_name=module_name)
+    )
+    return path

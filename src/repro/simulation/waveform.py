@@ -1,0 +1,136 @@
+"""Waveform traces and timing measurements.
+
+The paper's timing figures (19, 21, 23, 37, 39, 47, 48) are waveform plots of
+a handful of signals.  A :class:`WaveformTrace` records every value change of
+a signal as a ``(time_ps, value)`` pair and offers the measurements the
+experiments need: value lookup, edge extraction, pulse widths and duty cycle
+per switching period.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+__all__ = ["WaveformTrace", "duty_cycle_of", "pulse_widths"]
+
+
+@dataclass
+class WaveformTrace:
+    """Transition history of one signal.
+
+    Attributes:
+        name: signal name.
+        times_ps: transition times, non-decreasing.
+        values: value after each transition (same length as ``times_ps``).
+    """
+
+    name: str
+    times_ps: list[float] = field(default_factory=list)
+    values: list[int] = field(default_factory=list)
+
+    def record(self, time_ps: float, value: int) -> None:
+        """Append a transition.
+
+        Transitions must be recorded in non-decreasing time order; a
+        same-time re-record replaces the previous value (delta-cycle update).
+        """
+        if self.times_ps and time_ps < self.times_ps[-1]:
+            raise ValueError(
+                f"trace {self.name!r}: transition at {time_ps} ps is earlier "
+                f"than the last recorded time {self.times_ps[-1]} ps"
+            )
+        if self.times_ps and time_ps == self.times_ps[-1]:
+            self.values[-1] = value
+            return
+        self.times_ps.append(time_ps)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times_ps)
+
+    def value_at(self, time_ps: float) -> int:
+        """Value of the signal at an arbitrary time (0 before the first record)."""
+        index = bisect_right(self.times_ps, time_ps) - 1
+        if index < 0:
+            return 0
+        return self.values[index]
+
+    def transitions(self) -> list[tuple[float, int]]:
+        """All transitions as ``(time_ps, new_value)`` pairs."""
+        return list(zip(self.times_ps, self.values))
+
+    def edges(self, rising: bool = True) -> list[float]:
+        """Times of rising (0 -> nonzero) or falling (nonzero -> 0) edges."""
+        result: list[float] = []
+        previous = 0
+        for time_ps, value in zip(self.times_ps, self.values):
+            was_high = previous != 0
+            is_high = value != 0
+            if rising and not was_high and is_high:
+                result.append(time_ps)
+            if not rising and was_high and not is_high:
+                result.append(time_ps)
+            previous = value
+        return result
+
+    def high_time_ps(self, start_ps: float, stop_ps: float) -> float:
+        """Total time the signal is nonzero inside ``[start_ps, stop_ps)``."""
+        if stop_ps <= start_ps:
+            return 0.0
+        total = 0.0
+        current_time = start_ps
+        current_value = self.value_at(start_ps)
+        start_index = bisect_right(self.times_ps, start_ps)
+        for index in range(start_index, len(self.times_ps)):
+            time_ps = self.times_ps[index]
+            if time_ps >= stop_ps:
+                break
+            if current_value != 0:
+                total += time_ps - current_time
+            current_time = time_ps
+            current_value = self.values[index]
+        if current_value != 0:
+            total += stop_ps - current_time
+        return total
+
+    def duty_cycle(self, period_ps: float, start_ps: float = 0.0) -> float:
+        """Duty cycle (0..1) of the signal over one period starting at ``start_ps``."""
+        if period_ps <= 0:
+            raise ValueError("period must be positive")
+        return self.high_time_ps(start_ps, start_ps + period_ps) / period_ps
+
+    def to_ascii(self, stop_ps: float, step_ps: float) -> str:
+        """Render a low-resolution ASCII strip chart (for examples/reports)."""
+        if step_ps <= 0:
+            raise ValueError("step must be positive")
+        samples = []
+        time_ps = 0.0
+        while time_ps < stop_ps:
+            samples.append("#" if self.value_at(time_ps) else "_")
+            time_ps += step_ps
+        return f"{self.name:>12s} " + "".join(samples)
+
+
+def pulse_widths(trace: WaveformTrace) -> list[float]:
+    """Widths (ps) of all completed high pulses in a trace."""
+    widths: list[float] = []
+    rising = trace.edges(rising=True)
+    falling = trace.edges(rising=False)
+    falling_iter = iter(falling)
+    next_fall = next(falling_iter, None)
+    for rise in rising:
+        while next_fall is not None and next_fall <= rise:
+            next_fall = next(falling_iter, None)
+        if next_fall is None:
+            break
+        widths.append(next_fall - rise)
+    return widths
+
+
+def duty_cycle_of(
+    trace: WaveformTrace, period_ps: float, period_index: int = 0
+) -> float:
+    """Duty cycle of a trace over the ``period_index``-th switching period."""
+    start = period_index * period_ps
+    return trace.duty_cycle(period_ps, start_ps=start)

@@ -1,0 +1,90 @@
+"""Standard-cell models for the synthetic 32 nm-class library.
+
+The delay-line architectures elaborate to a small set of cells: buffers (the
+delay elements), 2:1 multiplexers (the building block of the tap-selection
+multiplexers and of the tunable-cell branch selectors), D flip-flops (the
+controllers, shift register, and metastability synchronizers), and a small
+amount of glue logic (the comparator in the counter DPWM, the adder/shifter in
+the mapping block).
+
+Each cell carries:
+
+* ``area_um2`` -- layout area in square micrometres.  The values are calibrated
+  so that the structural synthesizer reproduces the paper's Table 5 / Table 6
+  area distributions (see :mod:`repro.technology.library`).
+* ``delay_ps`` -- typical-corner propagation delay in picoseconds.
+* ``leakage_nw`` -- leakage power in nanowatts, used by the power model.
+* ``input_capacitance_ff`` -- input capacitance in femtofarads, used by the
+  dynamic-power model (paper eq. 14).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.technology.corners import OperatingConditions
+
+__all__ = ["CellKind", "StandardCell"]
+
+
+class CellKind(enum.Enum):
+    """The kinds of cells the architectures elaborate to."""
+
+    BUFFER = "buf"
+    INVERTER = "inv"
+    DFF = "dff"
+    MUX2 = "mux2"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    XOR2 = "xor2"
+    AND2 = "and2"
+    OR2 = "or2"
+    FULL_ADDER = "fa"
+    HALF_ADDER = "ha"
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """A single standard cell characterization.
+
+    Attributes:
+        kind: the logical function of the cell.
+        name: library cell name (for reports).
+        area_um2: layout area in um^2.
+        delay_ps: typical-corner propagation delay in ps.
+        leakage_nw: leakage power in nW at nominal conditions.
+        input_capacitance_ff: input pin capacitance in fF.
+    """
+
+    kind: CellKind
+    name: str
+    area_um2: float
+    delay_ps: float
+    leakage_nw: float
+    input_capacitance_ff: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 <= 0:
+            raise ValueError(f"cell {self.name}: area must be positive")
+        if self.delay_ps < 0:
+            raise ValueError(f"cell {self.name}: delay must be non-negative")
+        if self.leakage_nw < 0:
+            raise ValueError(f"cell {self.name}: leakage must be non-negative")
+        if self.input_capacitance_ff < 0:
+            raise ValueError(
+                f"cell {self.name}: input capacitance must be non-negative"
+            )
+
+    def delay_at(self, conditions: OperatingConditions) -> float:
+        """Propagation delay (ps) at the given PVT operating point."""
+        return self.delay_ps * conditions.delay_scale
+
+    def switching_energy_fj(self, vdd_v: float) -> float:
+        """Energy (fJ) of one output transition: ``C * Vdd^2``.
+
+        The input capacitance is used as the switched-capacitance proxy; the
+        paper's eq. 14 works from a lumped total switched capacitance, which
+        the power model assembles by summing this quantity over the netlist.
+        """
+        return self.input_capacitance_ff * vdd_v * vdd_v

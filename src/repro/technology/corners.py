@@ -1,0 +1,204 @@
+"""Process corners and operating conditions.
+
+The paper (section 3.1) states that for the Intel 32 nm technology the delay
+spread between the fast and the slow corner is a factor of 4: a cell with
+typical delay ``d`` has delay ``d/2`` at the fast corner and ``2d`` at the slow
+corner.  The design example in section 4.2 pins the buffer delay to 20 ps at
+the fast corner and 80 ps at the slow corner, i.e. 40 ps typical.
+
+On top of the process corner the delay is derated for temperature and supply
+voltage.  The paper only needs qualitative behaviour here (temperature drift is
+the reason the calibration runs continuously; voltage spikes are absorbed by
+the calibration while high-frequency supply noise is filtered by bulk
+capacitors), so the derating model is a simple, monotonic first-order model:
+
+* delay increases with temperature (``+0.1 % / degC`` around 25 degC), and
+* delay decreases with supply voltage (``-0.8 %`` per 1 % of overdrive above
+  the nominal 1.0 V).
+
+These coefficients are representative of planar 32 nm CMOS behaviour and are
+only used to exercise the calibration loop, never to claim absolute accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ProcessCorner",
+    "TemperatureGrade",
+    "OperatingConditions",
+    "NOMINAL_VDD_V",
+    "NOMINAL_TEMPERATURE_C",
+    "TEMPERATURE_COEFFICIENT_PER_C",
+    "VOLTAGE_COEFFICIENT",
+]
+
+
+#: Nominal supply voltage of the synthetic 32 nm-class library (volts).
+NOMINAL_VDD_V = 1.0
+
+#: Nominal (characterization) temperature (Celsius).
+NOMINAL_TEMPERATURE_C = 25.0
+
+#: Relative delay increase per degree Celsius above nominal.
+TEMPERATURE_COEFFICIENT_PER_C = 0.001
+
+#: Relative delay decrease per unit of relative supply overdrive.
+VOLTAGE_COEFFICIENT = 0.8
+
+
+class ProcessCorner(enum.Enum):
+    """Process corner of the synthetic technology.
+
+    The enum value is the delay multiplier relative to the typical corner,
+    matching the paper's 4x fast-to-slow spread.
+    """
+
+    FAST = 0.5
+    TYPICAL = 1.0
+    SLOW = 2.0
+
+    @property
+    def delay_scale(self) -> float:
+        """Delay multiplier applied to the typical-corner delay."""
+        return float(self.value)
+
+    @classmethod
+    def from_name(cls, name: str) -> "ProcessCorner":
+        """Look a corner up by a case-insensitive name.
+
+        Raises:
+            ValueError: if the name does not identify a corner.
+        """
+        normalized = name.strip().upper()
+        try:
+            return cls[normalized]
+        except KeyError as exc:
+            valid = ", ".join(corner.name for corner in cls)
+            raise ValueError(
+                f"unknown process corner {name!r}; expected one of: {valid}"
+            ) from exc
+
+
+class TemperatureGrade(enum.Enum):
+    """Convenient named operating temperatures (Celsius)."""
+
+    COLD = -40.0
+    ROOM = 25.0
+    HOT = 85.0
+    JUNCTION_MAX = 110.0
+
+    @property
+    def celsius(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """A full PVT operating point.
+
+    Attributes:
+        corner: the process corner.
+        temperature_c: junction temperature in Celsius.
+        vdd_v: supply voltage in volts.
+    """
+
+    corner: ProcessCorner = ProcessCorner.TYPICAL
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    vdd_v: float = NOMINAL_VDD_V
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= 0:
+            raise ValueError(f"supply voltage must be positive, got {self.vdd_v}")
+        if not -55.0 <= self.temperature_c <= 150.0:
+            raise ValueError(
+                "temperature out of supported range [-55, 150] C: "
+                f"{self.temperature_c}"
+            )
+
+    @property
+    def delay_scale(self) -> float:
+        """Total delay multiplier for this operating point.
+
+        The multiplier combines the process-corner scale with first-order
+        temperature and voltage derating.  It is guaranteed positive.
+        """
+        scale = self.corner.delay_scale
+        scale *= 1.0 + TEMPERATURE_COEFFICIENT_PER_C * (
+            self.temperature_c - NOMINAL_TEMPERATURE_C
+        )
+        overdrive = (self.vdd_v - NOMINAL_VDD_V) / NOMINAL_VDD_V
+        scale *= max(0.05, 1.0 - VOLTAGE_COEFFICIENT * overdrive)
+        return max(scale, 1e-6)
+
+    def with_corner(self, corner: ProcessCorner) -> "OperatingConditions":
+        """Return a copy of these conditions at a different process corner."""
+        return OperatingConditions(
+            corner=corner, temperature_c=self.temperature_c, vdd_v=self.vdd_v
+        )
+
+    def with_temperature(self, temperature_c: float) -> "OperatingConditions":
+        """Return a copy of these conditions at a different temperature."""
+        return OperatingConditions(
+            corner=self.corner, temperature_c=temperature_c, vdd_v=self.vdd_v
+        )
+
+    def with_vdd(self, vdd_v: float) -> "OperatingConditions":
+        """Return a copy of these conditions at a different supply voltage."""
+        return OperatingConditions(
+            corner=self.corner, temperature_c=self.temperature_c, vdd_v=vdd_v
+        )
+
+    @classmethod
+    def typical(cls) -> "OperatingConditions":
+        """Nominal PVT: typical corner, 25 C, 1.0 V."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "OperatingConditions":
+        """Fast process corner at nominal temperature and voltage."""
+        return cls(corner=ProcessCorner.FAST)
+
+    @classmethod
+    def slow(cls) -> "OperatingConditions":
+        """Slow process corner at nominal temperature and voltage."""
+        return cls(corner=ProcessCorner.SLOW)
+
+    @classmethod
+    def all_corners(cls) -> tuple["OperatingConditions", ...]:
+        """The three process corners at nominal temperature and voltage."""
+        return (cls.fast(), cls.typical(), cls.slow())
+
+
+@dataclass
+class OperatingPointSweep:
+    """A sweep over operating conditions, used by calibration experiments.
+
+    The sweep iterates corners x temperatures x voltages in a deterministic
+    order, which keeps experiment output stable across runs.
+    """
+
+    corners: tuple[ProcessCorner, ...] = (
+        ProcessCorner.FAST,
+        ProcessCorner.TYPICAL,
+        ProcessCorner.SLOW,
+    )
+    temperatures_c: tuple[float, ...] = (NOMINAL_TEMPERATURE_C,)
+    vdds_v: tuple[float, ...] = (NOMINAL_VDD_V,)
+    points: list[OperatingConditions] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.points = [
+            OperatingConditions(corner=corner, temperature_c=temp, vdd_v=vdd)
+            for corner in self.corners
+            for temp in self.temperatures_c
+            for vdd in self.vdds_v
+        ]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,127 @@
+"""The calibrated 32 nm-class standard-cell library.
+
+The absolute areas of the cells below are calibrated so that the structural
+synthesizer (:mod:`repro.technology.synthesis`) applied to the elaborated
+netlists of the two delay-line schemes reproduces the paper's post-synthesis
+area numbers:
+
+* Table 5 (100 MHz): proposed scheme 1337 um^2, conventional scheme 2330 um^2,
+  with the reported per-block area distribution.
+* Table 6 (proposed scheme at 50/100/200 MHz): 1675 / 1337 / 1172 um^2.
+
+The calibration anchors are the three dominant cells:
+
+* ``BUF_X1`` (delay element building block) at 0.645 um^2 -- fixed by the
+  proposed delay line block, which is exactly 512 buffers at 100 MHz and
+  contributes 24.7 % of 1337 um^2.
+* ``MUX2_X1`` at 0.781 um^2 -- fixed by the 256:1 output multiplexer (255
+  2:1 muxes) contributing 14.9 % of 1337 um^2.
+* ``DFF_X1`` at 8.2 um^2 -- fixed by the conventional controller, which is
+  dominated by the 129-bit shift register and contributes 46.6 % of 2330 um^2.
+
+Buffer delay follows the paper's design example: 20 ps at the fast corner and
+80 ps at the slow corner, i.e. 40 ps typical with the 0.5x / 2x corner scaling
+of :class:`repro.technology.corners.ProcessCorner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.technology.cells import CellKind, StandardCell
+from repro.technology.corners import OperatingConditions
+
+__all__ = ["TechnologyLibrary", "intel32_like_library"]
+
+
+@dataclass
+class TechnologyLibrary:
+    """A collection of characterized standard cells.
+
+    Attributes:
+        name: library name used in reports.
+        feature_size_nm: nominal feature size (informational).
+        cells: mapping from :class:`CellKind` to its characterization.
+    """
+
+    name: str
+    feature_size_nm: float
+    cells: dict[CellKind, StandardCell] = field(default_factory=dict)
+
+    def add_cell(self, cell: StandardCell) -> None:
+        """Register a cell, replacing any previous cell of the same kind."""
+        self.cells[cell.kind] = cell
+
+    def cell(self, kind: CellKind) -> StandardCell:
+        """Look up the characterization of a cell kind.
+
+        Raises:
+            KeyError: if the library has no cell of that kind.
+        """
+        try:
+            return self.cells[kind]
+        except KeyError as exc:
+            raise KeyError(
+                f"library {self.name!r} has no cell of kind {kind.value!r}"
+            ) from exc
+
+    def area(self, kind: CellKind) -> float:
+        """Area (um^2) of a cell kind."""
+        return self.cell(kind).area_um2
+
+    def delay(self, kind: CellKind, conditions: OperatingConditions) -> float:
+        """Propagation delay (ps) of a cell kind at the given conditions."""
+        return self.cell(kind).delay_at(conditions)
+
+    def buffer_delay_ps(self, conditions: OperatingConditions) -> float:
+        """Delay of the unit buffer (the delay-line building block), in ps."""
+        return self.delay(CellKind.BUFFER, conditions)
+
+    def leakage_nw(self, kind: CellKind) -> float:
+        """Leakage (nW) of a cell kind at nominal conditions."""
+        return self.cell(kind).leakage_nw
+
+    def input_capacitance_ff(self, kind: CellKind) -> float:
+        """Input capacitance (fF) of a cell kind."""
+        return self.cell(kind).input_capacitance_ff
+
+    def __contains__(self, kind: CellKind) -> bool:
+        return kind in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def intel32_like_library() -> TechnologyLibrary:
+    """Build the calibrated 32 nm-class library used throughout the repo.
+
+    Returns a fresh :class:`TechnologyLibrary`; callers may mutate their copy
+    (e.g. to model a different technology) without affecting other users.
+    """
+    library = TechnologyLibrary(name="intel32-like", feature_size_nm=32.0)
+    definitions = [
+        # kind, name, area um^2, typical delay ps, leakage nW, input cap fF
+        (CellKind.BUFFER, "BUF_X1", 0.645, 40.0, 1.5, 0.90),
+        (CellKind.INVERTER, "INV_X1", 0.322, 20.0, 0.8, 0.45),
+        (CellKind.MUX2, "MUX2_X1", 0.781, 35.0, 1.8, 1.20),
+        (CellKind.DFF, "DFF_X1", 8.200, 90.0, 6.0, 1.80),
+        (CellKind.NAND2, "NAND2_X1", 0.420, 22.0, 0.9, 0.70),
+        (CellKind.NOR2, "NOR2_X1", 0.420, 26.0, 0.9, 0.70),
+        (CellKind.AND2, "AND2_X1", 0.740, 32.0, 1.1, 0.75),
+        (CellKind.OR2, "OR2_X1", 0.740, 34.0, 1.1, 0.75),
+        (CellKind.XOR2, "XOR2_X1", 1.100, 45.0, 1.6, 1.30),
+        (CellKind.HALF_ADDER, "HA_X1", 1.400, 55.0, 2.0, 1.60),
+        (CellKind.FULL_ADDER, "FA_X1", 2.500, 75.0, 3.2, 2.40),
+    ]
+    for kind, name, area, delay, leakage, cap in definitions:
+        library.add_cell(
+            StandardCell(
+                kind=kind,
+                name=name,
+                area_um2=area,
+                delay_ps=delay,
+                leakage_nw=leakage,
+                input_capacitance_ff=cap,
+            )
+        )
+    return library

@@ -1,0 +1,99 @@
+"""Structural netlists: cell-count views of synthesized blocks.
+
+The area comparison in the paper is a post-synthesis comparison of gate
+counts weighted by cell sizes.  A :class:`Netlist` captures exactly that view:
+a named block containing groups of identical cell instances plus optional
+hierarchical sub-blocks.  The structural synthesizer
+(:mod:`repro.technology.synthesis`) folds a netlist into an area report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.technology.cells import CellKind
+
+__all__ = ["CellInstanceGroup", "Netlist"]
+
+
+@dataclass(frozen=True)
+class CellInstanceGroup:
+    """A group of identical cell instances inside a block.
+
+    Attributes:
+        kind: the cell kind.
+        count: how many instances of the cell the block contains.
+        purpose: short human-readable role (e.g. ``"delay element"``).
+    """
+
+    kind: CellKind
+    count: int
+    purpose: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"cell count must be non-negative, got {self.count}")
+
+
+@dataclass
+class Netlist:
+    """A hierarchical, structural netlist.
+
+    Attributes:
+        name: block name (e.g. ``"Delay Line"``, ``"Controller"``).
+        groups: flat cell groups directly inside this block.
+        children: sub-blocks.
+    """
+
+    name: str
+    groups: list[CellInstanceGroup] = field(default_factory=list)
+    children: list["Netlist"] = field(default_factory=list)
+
+    def add_cells(self, kind: CellKind, count: int, purpose: str = "") -> "Netlist":
+        """Append a group of cells to this block and return ``self``."""
+        self.groups.append(CellInstanceGroup(kind=kind, count=count, purpose=purpose))
+        return self
+
+    def add_child(self, child: "Netlist") -> "Netlist":
+        """Append a sub-block and return ``self``."""
+        self.children.append(child)
+        return self
+
+    def cell_counts(self) -> dict[CellKind, int]:
+        """Total cell counts of this block including all sub-blocks."""
+        totals: dict[CellKind, int] = {}
+        for group in self.groups:
+            totals[group.kind] = totals.get(group.kind, 0) + group.count
+        for child in self.children:
+            for kind, count in child.cell_counts().items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def total_instances(self) -> int:
+        """Total number of cell instances including sub-blocks."""
+        return sum(self.cell_counts().values())
+
+    def flatten(self) -> list[tuple[str, CellInstanceGroup]]:
+        """Flatten to ``(hierarchical name, group)`` pairs."""
+        flat: list[tuple[str, CellInstanceGroup]] = []
+        for group in self.groups:
+            flat.append((self.name, group))
+        for child in self.children:
+            for path, group in child.flatten():
+                flat.append((f"{self.name}/{path}", group))
+        return flat
+
+    def find(self, name: str) -> "Netlist":
+        """Find a direct or indirect sub-block by name (or ``self``).
+
+        Raises:
+            KeyError: if no block with that name exists in the hierarchy.
+        """
+        if self.name == name:
+            return self
+        for child in self.children:
+            try:
+                return child.find(name)
+            except KeyError:
+                continue
+        raise KeyError(f"no block named {name!r} under {self.name!r}")

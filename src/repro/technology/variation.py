@@ -1,0 +1,128 @@
+"""Process-variation models for post-APR behaviour.
+
+The paper's linearity plots (Figures 50 and 51) are measured after Automatic
+Placement and Routing, so identical cells no longer have identical delays:
+random device mismatch and placement/routing differences perturb each cell.
+The paper also notes (section 4.3) that lower-frequency configurations are more
+linear because each delay cell combines more buffers, so random per-buffer
+variation partially averages out -- an effect this model reproduces naturally
+because mismatch is sampled per *buffer*, not per cell.
+
+Two variation components are modelled:
+
+* **random mismatch** -- i.i.d. Gaussian multiplier per buffer instance with a
+  configurable relative sigma (default 4 %, representative of a 32 nm buffer).
+* **placement gradient** -- a slowly varying systematic component along the
+  placed delay line (default 1.5 % peak), modelling the supply/temperature
+  gradient across the placed row that the paper warns about ("delay line cells
+  should be placed beside each other carefully").
+
+All sampling is performed with an explicit seed so experiments and tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VariationModel", "VariationSample"]
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """Per-buffer delay multipliers for one fabricated instance of a line.
+
+    Attributes:
+        multipliers: array of shape ``(num_cells, buffers_per_cell)`` holding
+            the positive delay multiplier of every buffer.
+    """
+
+    multipliers: np.ndarray
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.multipliers.shape[0])
+
+    @property
+    def buffers_per_cell(self) -> int:
+        return int(self.multipliers.shape[1])
+
+    def cell_multipliers(self) -> np.ndarray:
+        """Mean multiplier per cell (averaging over the buffers in the cell)."""
+        return self.multipliers.mean(axis=1)
+
+    def cell_delays_ps(self, buffer_delay_ps: float) -> np.ndarray:
+        """Per-cell delay (ps) given the nominal per-buffer delay."""
+        return self.multipliers.sum(axis=1) * buffer_delay_ps
+
+
+@dataclass
+class VariationModel:
+    """Generator of per-instance delay variation.
+
+    Attributes:
+        random_sigma: relative sigma of the per-buffer random mismatch.
+        gradient_peak: peak relative deviation of the systematic placement
+            gradient across the line (0 disables the gradient).
+        seed: RNG seed; every :meth:`sample` call derives an independent
+            stream from it so repeated calls give different but reproducible
+            instances.
+    """
+
+    random_sigma: float = 0.04
+    gradient_peak: float = 0.015
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.random_sigma < 0:
+            raise ValueError("random_sigma must be non-negative")
+        if self.gradient_peak < 0:
+            raise ValueError("gradient_peak must be non-negative")
+
+    @classmethod
+    def ideal(cls) -> "VariationModel":
+        """A variation model with no variation (pre-APR / ideal cells)."""
+        return cls(random_sigma=0.0, gradient_peak=0.0, seed=0)
+
+    def sample(
+        self, num_cells: int, buffers_per_cell: int, instance: int = 0
+    ) -> VariationSample:
+        """Sample per-buffer multipliers for one fabricated line instance.
+
+        Args:
+            num_cells: number of delay cells in the line.
+            buffers_per_cell: buffers combined in each cell.
+            instance: index of the fabricated instance; different instances
+                get independent random mismatch but share the model
+                parameters.
+
+        Returns:
+            a :class:`VariationSample` with strictly positive multipliers.
+        """
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        if buffers_per_cell <= 0:
+            raise ValueError("buffers_per_cell must be positive")
+        rng = np.random.default_rng((self.seed, instance))
+        random_part = rng.normal(
+            loc=0.0,
+            scale=self.random_sigma,
+            size=(num_cells, buffers_per_cell),
+        )
+        gradient = self._placement_gradient(num_cells)
+        multipliers = 1.0 + random_part + gradient[:, np.newaxis]
+        # Delays cannot be negative or zero; clip far in the tail (beyond
+        # 5 sigma for the default settings) to keep the model physical.
+        np.clip(multipliers, 0.2, None, out=multipliers)
+        return VariationSample(multipliers=multipliers)
+
+    def _placement_gradient(self, num_cells: int) -> np.ndarray:
+        """Systematic slow gradient along the placed line."""
+        if self.gradient_peak == 0.0 or num_cells == 1:
+            return np.zeros(num_cells)
+        position = np.linspace(0.0, 1.0, num_cells)
+        # Half a cosine period: cells at one end of the row are slightly
+        # slower than cells at the other end.
+        return self.gradient_peak * np.cos(np.pi * position)

@@ -1,0 +1,164 @@
+"""Tests for the analysis package (metrics, power, efficiency, reports)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.efficiency import (
+    buck_efficiency_estimate,
+    efficiency,
+    linear_regulator_efficiency,
+    power_loss_w,
+)
+from repro.analysis.metrics import (
+    differential_nonlinearity,
+    duty_cycle_error,
+    integral_nonlinearity,
+    is_monotonic,
+    linearity_metrics,
+    peak_to_peak_ripple,
+    settling_time_s,
+)
+from repro.analysis.power import dynamic_power_w, leakage_power_w, netlist_dynamic_power_w
+from repro.analysis.reports import format_series, format_table
+from repro.technology.cells import CellKind
+from repro.technology.netlist import Netlist
+
+
+class TestLinearityMetrics:
+    def test_perfect_ramp_has_zero_dnl_inl(self):
+        ramp = np.arange(16, dtype=float)
+        assert np.allclose(differential_nonlinearity(ramp), 0.0)
+        assert np.allclose(integral_nonlinearity(ramp), 0.0)
+        metrics = linearity_metrics(ramp)
+        assert metrics.max_dnl_lsb == 0.0
+        assert metrics.max_inl_lsb == 0.0
+        assert metrics.monotonic
+        assert metrics.distinct_levels == 16
+
+    def test_missing_code_shows_as_dnl(self):
+        curve = np.array([0.0, 1.0, 1.0, 3.0])  # repeated value then a jump
+        dnl = differential_nonlinearity(curve, lsb=1.0)
+        assert dnl[1] == pytest.approx(-1.0)
+        assert dnl[2] == pytest.approx(1.0)
+
+    def test_bowed_curve_shows_as_inl(self):
+        codes = np.arange(32, dtype=float)
+        bowed = codes + 2.0 * np.sin(np.pi * codes / 31)
+        inl = integral_nonlinearity(bowed, lsb=1.0)
+        assert np.max(np.abs(inl)) == pytest.approx(2.0, abs=0.1)
+
+    def test_monotonicity(self):
+        assert is_monotonic(np.array([0.0, 1.0, 1.0, 2.0]))
+        assert not is_monotonic(np.array([0.0, 1.0, 0.5, 2.0]))
+        assert not is_monotonic(np.array([0.0, 1.0, 1.0, 2.0]), strict=True)
+
+    def test_degenerate_curves_rejected(self):
+        with pytest.raises(ValueError):
+            differential_nonlinearity(np.array([1.0]))
+        with pytest.raises(ValueError):
+            integral_nonlinearity(np.array([1.0, 1.0]))
+
+    def test_duty_cycle_error(self):
+        assert duty_cycle_error(0.52, 0.5) == pytest.approx(0.02)
+
+    def test_ripple_uses_settled_tail(self):
+        samples = np.concatenate([np.linspace(0, 1, 50), 0.9 + 0.01 * np.sin(np.arange(50))])
+        assert peak_to_peak_ripple(samples) == pytest.approx(0.02, abs=0.005)
+
+    def test_settling_time(self):
+        times = np.linspace(0, 1e-6, 101)
+        samples = np.where(times < 0.4e-6, 0.5, 0.9)
+        settled_at = settling_time_s(times, samples, target=0.9, tolerance=0.01)
+        assert settled_at == pytest.approx(0.4e-6, abs=1e-8)
+
+    def test_settling_time_never_settles(self):
+        times = np.linspace(0, 1e-6, 11)
+        samples = np.full(11, 0.5)
+        assert settling_time_s(times, samples, target=0.9) == float("inf")
+
+
+class TestPowerModels:
+    def test_dynamic_power_formula(self):
+        # P = alpha * C * V^2 * f  (paper eq. 14)
+        assert dynamic_power_w(1e-12, 1.0, 1e9, activity=1.0) == pytest.approx(1e-3)
+        assert dynamic_power_w(1e-12, 2.0, 1e9, activity=0.5) == pytest.approx(2e-3)
+
+    def test_dynamic_power_validation(self):
+        with pytest.raises(ValueError):
+            dynamic_power_w(-1.0, 1.0, 1e6)
+        with pytest.raises(ValueError):
+            dynamic_power_w(1e-12, 1.0, 1e6, activity=2.0)
+
+    def test_netlist_power_scales_with_frequency(self, library):
+        netlist = Netlist(name="block").add_cells(CellKind.DFF, 10)
+        slow = netlist_dynamic_power_w(netlist, library, 1.0, 1e6)
+        fast = netlist_dynamic_power_w(netlist, library, 1.0, 1e9)
+        assert fast == pytest.approx(1000 * slow)
+
+    def test_leakage_power(self, library):
+        netlist = Netlist(name="block").add_cells(CellKind.BUFFER, 1000)
+        expected = 1000 * library.leakage_nw(CellKind.BUFFER) * 1e-9
+        assert leakage_power_w(netlist, library) == pytest.approx(expected)
+
+
+class TestEfficiencyModels:
+    def test_efficiency_and_loss_are_consistent(self):
+        eta = efficiency(p_out_w=0.9, p_in_w=1.0)
+        assert eta == pytest.approx(0.9)
+        assert power_loss_w(0.9, eta) == pytest.approx(0.1)
+
+    def test_linear_regulator_efficiency_bounded_by_ratio(self):
+        eta = linear_regulator_efficiency(1.8, 0.9, 0.1)
+        assert eta == pytest.approx(0.5)
+        with_ground = linear_regulator_efficiency(1.8, 0.9, 0.1, i_ground_a=0.01)
+        assert with_ground < eta
+
+    def test_linear_regulator_validation(self):
+        with pytest.raises(ValueError):
+            linear_regulator_efficiency(1.0, 1.5, 0.1)
+        with pytest.raises(ValueError):
+            linear_regulator_efficiency(1.8, 0.9, 0.0)
+
+    def test_buck_efficiency_beats_linear_at_large_stepdown(self):
+        buck = buck_efficiency_estimate(1.8, 0.9, 0.5)
+        linear = linear_regulator_efficiency(1.8, 0.9, 0.5)
+        assert buck > linear
+
+    def test_buck_efficiency_degrades_with_switching_frequency(self):
+        slow = buck_efficiency_estimate(1.8, 0.9, 0.5, switching_frequency_hz=10e6)
+        fast = buck_efficiency_estimate(1.8, 0.9, 0.5, switching_frequency_hz=1e9)
+        assert fast < slow
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            efficiency(1.0, 0.0)
+        with pytest.raises(ValueError):
+            power_loss_w(1.0, 0.0)
+        with pytest.raises(ValueError):
+            buck_efficiency_estimate(1.0, 1.5, 0.1)
+
+
+class TestReports:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bbb"], [[1, 2], [33, 4]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series_subsamples(self):
+        x = list(range(100))
+        series = {"y": [float(v) for v in x]}
+        text = format_series("x", x, series, max_rows=10)
+        assert len(text.splitlines()) < 20
+        assert text.splitlines()[-1].startswith("99")
+
+    def test_format_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2, 3], {"y": [1.0, 2.0]})

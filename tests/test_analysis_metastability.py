@@ -1,0 +1,82 @@
+"""Tests for the metastability MTBF model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metastability import (
+    FlipFlopMetastabilityModel,
+    synchronizer_mtbf_years,
+)
+
+
+class TestFlipFlopModel:
+    def test_mtbf_grows_exponentially_with_resolve_time(self):
+        flop = FlipFlopMetastabilityModel(tau_ps=10.0, t0_ps=20.0)
+        short = flop.mtbf_seconds(100e6, 1e6, resolve_time_ps=100.0)
+        longer = flop.mtbf_seconds(100e6, 1e6, resolve_time_ps=200.0)
+        assert longer / short == pytest.approx(pytest.approx(2.2e4, rel=0.2))
+
+    def test_mtbf_decreases_with_clock_and_data_rate(self):
+        flop = FlipFlopMetastabilityModel()
+        base = flop.mtbf_seconds(100e6, 1e6, 500.0)
+        faster_clock = flop.mtbf_seconds(200e6, 1e6, 500.0)
+        faster_data = flop.mtbf_seconds(100e6, 2e6, 500.0)
+        assert faster_clock == pytest.approx(base / 2)
+        assert faster_data == pytest.approx(base / 2)
+
+    def test_huge_resolve_time_stays_finite(self):
+        flop = FlipFlopMetastabilityModel()
+        assert flop.mtbf_seconds(100e6, 1e6, 1e6) < float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlipFlopMetastabilityModel(tau_ps=0.0)
+        flop = FlipFlopMetastabilityModel()
+        with pytest.raises(ValueError):
+            flop.mtbf_seconds(0.0, 1e6, 100.0)
+        with pytest.raises(ValueError):
+            flop.mtbf_seconds(1e6, 1e6, -1.0)
+
+
+class TestSynchronizerMTBF:
+    def test_single_flop_is_marginal_two_flop_is_safe(self):
+        # The reason the paper adds the two-flop synchronizer: when the
+        # downstream logic eats most of the cycle, a single sampling flop has
+        # almost no resolving time and its MTBF collapses; the extra stage
+        # adds a full clock period of resolution and makes failures
+        # astronomically rare.
+        one_stage = synchronizer_mtbf_years(
+            clock_frequency_mhz=100.0,
+            data_frequency_mhz=100.0,
+            synchronizer_stages=1,
+            logic_settling_ps=9_950.0,
+        )
+        two_stage = synchronizer_mtbf_years(
+            clock_frequency_mhz=100.0,
+            data_frequency_mhz=100.0,
+            synchronizer_stages=2,
+            logic_settling_ps=9_950.0,
+        )
+        assert one_stage < 1.0
+        assert two_stage > 1e6
+        assert two_stage > one_stage
+
+    def test_each_stage_multiplies_mtbf(self):
+        # Use a slow-resolving flop so the exponent stays below the finite
+        # cap and the stage-to-stage growth is visible.
+        slow_flop = FlipFlopMetastabilityModel(tau_ps=100.0, t0_ps=20.0)
+        two = synchronizer_mtbf_years(100.0, 1.0, synchronizer_stages=2, flop=slow_flop)
+        three = synchronizer_mtbf_years(100.0, 1.0, synchronizer_stages=3, flop=slow_flop)
+        assert three > two
+
+    def test_faster_clock_needs_more_stages(self):
+        slow_clock = synchronizer_mtbf_years(50.0, 50.0, synchronizer_stages=2)
+        fast_clock = synchronizer_mtbf_years(400.0, 400.0, synchronizer_stages=2)
+        assert fast_clock < slow_clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synchronizer_mtbf_years(100.0, 1.0, synchronizer_stages=0)
+        with pytest.raises(ValueError):
+            synchronizer_mtbf_years(100.0, 1.0, logic_settling_ps=20_000.0)

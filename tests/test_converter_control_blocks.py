@@ -1,0 +1,126 @@
+"""Tests for the ADC, compensator and load profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converter.adc import WindowedADC
+from repro.converter.compensator import PIDCompensator
+from repro.converter.load import ConstantLoad, SteppedLoad
+
+
+class TestWindowedADC:
+    def test_zero_error_gives_zero_code(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5)
+        assert adc.quantize_error(0.9, 0.9) == 0
+
+    def test_quantization_rounds_to_nearest_code(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5)
+        assert adc.quantize_error(0.9, 0.889) == 2
+        assert adc.quantize_error(0.9, 0.912) == -2
+
+    def test_saturation_at_window_edges(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5)
+        assert adc.quantize_error(0.9, 0.0) == adc.max_code
+        assert adc.quantize_error(0.9, 1.8) == adc.min_code
+        assert adc.is_saturated(0.9, 0.0)
+        assert not adc.is_saturated(0.9, 0.898)
+
+    def test_dead_band_suppresses_small_errors(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5, dead_band_v=0.01)
+        assert adc.quantize_error(0.9, 0.893) == 0
+        assert adc.quantize_error(0.9, 0.88) != 0
+
+    def test_full_scale(self):
+        adc = WindowedADC(lsb_v=0.01, bits=4)
+        assert adc.max_code == 7
+        assert adc.min_code == -8
+        assert adc.full_scale_v == pytest.approx(0.07)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedADC(lsb_v=0.0)
+        with pytest.raises(ValueError):
+            WindowedADC(bits=1)
+        with pytest.raises(ValueError):
+            WindowedADC(dead_band_v=-0.1)
+
+
+class TestPIDCompensator:
+    def test_zero_error_holds_initial_duty(self):
+        pid = PIDCompensator(initial_duty=0.5)
+        assert pid.update(0) == pytest.approx(0.5)
+        assert pid.update(0) == pytest.approx(0.5)
+
+    def test_positive_error_raises_duty(self):
+        pid = PIDCompensator(kp=0.01, ki=0.001, initial_duty=0.5)
+        assert pid.update(5) > 0.5
+
+    def test_negative_error_lowers_duty(self):
+        pid = PIDCompensator(kp=0.01, ki=0.001, initial_duty=0.5)
+        assert pid.update(-5) < 0.5
+
+    def test_integral_accumulates(self):
+        pid = PIDCompensator(kp=0.0, ki=0.01, initial_duty=0.5)
+        for _ in range(10):
+            pid.update(1)
+        assert pid.integral == pytest.approx(0.6)
+
+    def test_anti_windup_clamps_integrator(self):
+        pid = PIDCompensator(kp=0.0, ki=0.1, initial_duty=0.5, max_duty=0.8)
+        for _ in range(100):
+            duty = pid.update(10)
+        assert pid.integral <= 0.8
+        assert duty <= 0.8
+
+    def test_output_respects_duty_limits(self):
+        pid = PIDCompensator(kp=1.0, initial_duty=0.5)
+        assert pid.update(100) == 1.0
+        assert pid.update(-100) == 0.0
+
+    def test_derivative_term_reacts_to_error_change(self):
+        pid = PIDCompensator(kp=0.0, ki=0.0, kd=0.01, initial_duty=0.5)
+        first = pid.update(4)
+        second = pid.update(4)
+        assert first > 0.5
+        assert second == pytest.approx(0.5)
+
+    def test_reset_restores_initial_state(self):
+        pid = PIDCompensator(ki=0.01, initial_duty=0.4)
+        pid.update(10)
+        pid.reset()
+        assert pid.integral == pytest.approx(0.4)
+        assert pid.update(0) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIDCompensator(min_duty=0.9, max_duty=0.5)
+        with pytest.raises(ValueError):
+            PIDCompensator(initial_duty=1.5)
+
+
+class TestLoads:
+    def test_constant_load(self):
+        load = ConstantLoad(resistance_ohm=2.0)
+        assert load.resistance_at(0) == 2.0
+        assert load.resistance_at(10**6) == 2.0
+        with pytest.raises(ValueError):
+            ConstantLoad(resistance_ohm=0.0)
+
+    def test_stepped_load_profile(self):
+        load = SteppedLoad(
+            light_ohm=2.0, heavy_ohm=0.5, step_up_period=100, step_down_period=200
+        )
+        assert load.resistance_at(0) == 2.0
+        assert load.resistance_at(99) == 2.0
+        assert load.resistance_at(100) == 0.5
+        assert load.resistance_at(199) == 0.5
+        assert load.resistance_at(200) == 2.0
+
+    def test_stepped_load_validation(self):
+        with pytest.raises(ValueError):
+            SteppedLoad(light_ohm=0.0, heavy_ohm=1.0, step_up_period=1)
+        with pytest.raises(ValueError):
+            SteppedLoad(light_ohm=1.0, heavy_ohm=1.0, step_up_period=10, step_down_period=5)
+        with pytest.raises(ValueError):
+            SteppedLoad(light_ohm=1.0, heavy_ohm=1.0, step_up_period=-1)

@@ -1,0 +1,87 @@
+"""Tests for the delay-line based windowed ADC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converter.delay_line_adc import DelayLineADC, no_limit_cycle_condition
+from repro.technology.corners import ProcessCorner
+
+
+class TestDelayLineADC:
+    def test_zero_error_at_reference(self):
+        adc = DelayLineADC(reference_v=0.9)
+        assert adc.quantize_error(0.9) == 0
+
+    def test_sign_convention(self):
+        adc = DelayLineADC(reference_v=0.9)
+        # Output below the reference -> positive error (raise the duty).
+        assert adc.quantize_error(0.80) > 0
+        assert adc.quantize_error(1.00) < 0
+
+    def test_code_magnitude_grows_with_error(self):
+        adc = DelayLineADC(reference_v=0.9)
+        small = adc.quantize_error(0.86)
+        large = adc.quantize_error(0.75)
+        assert 0 < small <= large
+
+    def test_saturation(self):
+        adc = DelayLineADC(reference_v=0.9, max_code=7)
+        assert adc.quantize_error(0.3) == 7
+        assert adc.quantize_error(1.8) == -7
+
+    def test_matched_lines_cancel_process_corner(self):
+        # The error code at the reference stays zero at every corner because
+        # both sensing lines shift together -- the property that makes the
+        # delay-line ADC usable without trimming.
+        for corner in ProcessCorner:
+            adc = DelayLineADC(reference_v=0.9, corner=corner)
+            assert adc.quantize_error(0.9) == 0
+
+    def test_lsb_is_a_few_tens_of_millivolts(self):
+        adc = DelayLineADC(reference_v=0.9)
+        assert 0.001 < adc.lsb_v < 0.1
+
+    def test_bits_cover_windowed_range(self):
+        adc = DelayLineADC(max_code=15)
+        assert adc.bits == 5
+
+    def test_taps_reached_bounded_by_line_length(self):
+        adc = DelayLineADC(cells_per_line=16, window_ps=1e6)
+        assert adc.taps_reached(1.0) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayLineADC(reference_v=0.0)
+        with pytest.raises(ValueError):
+            DelayLineADC(window_ps=-1.0)
+        with pytest.raises(ValueError):
+            DelayLineADC(cells_per_line=1)
+        adc = DelayLineADC()
+        with pytest.raises(ValueError):
+            adc.quantize_error(-0.1)
+
+
+class TestNoLimitCycleCondition:
+    def test_fine_dpwm_passes(self):
+        # 1.8 V / 2^10 = 1.8 mV step < a 10 mV ADC bin.
+        assert no_limit_cycle_condition(1.8, dpwm_bits=10, adc_lsb_v=0.010)
+
+    def test_coarse_dpwm_fails(self):
+        # 1.8 V / 2^6 = 28 mV step > a 10 mV ADC bin -> limit cycling.
+        assert not no_limit_cycle_condition(1.8, dpwm_bits=6, adc_lsb_v=0.010)
+
+    def test_rule_motivates_high_resolution_dpwm(self):
+        # The paper's motivating chain: ~13-bit DPWM resolution is what a
+        # ~0.2 mV ADC bin on a 1.8 V rail demands.
+        needed_bits = 13
+        assert no_limit_cycle_condition(1.8, needed_bits, adc_lsb_v=0.00025)
+        assert not no_limit_cycle_condition(1.8, needed_bits - 3, adc_lsb_v=0.00025)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            no_limit_cycle_condition(0.0, 8, 0.01)
+        with pytest.raises(ValueError):
+            no_limit_cycle_condition(1.8, 0, 0.01)
+        with pytest.raises(ValueError):
+            no_limit_cycle_condition(1.8, 8, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for the linear-regulator and switched-capacitor models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converter.linear_regulator import LinearRegulator, LinearRegulatorType
+from repro.converter.switched_capacitor import SwitchedCapacitorConverter
+
+
+class TestLinearRegulatorTypes:
+    def test_dropout_ordering_matches_paper(self):
+        # Paper eqs. 6-8: standard needs the most headroom, LDO the least.
+        standard = LinearRegulatorType.STANDARD.dropout_voltage_v
+        quasi = LinearRegulatorType.QUASI_LDO.dropout_voltage_v
+        ldo = LinearRegulatorType.LDO.dropout_voltage_v
+        assert standard > quasi > ldo
+
+    def test_ground_current_ordering_matches_paper(self):
+        # Paper: the standard regulator has the lowest ground-pin current,
+        # the LDO the highest.
+        load = 0.1
+        currents = {
+            kind: LinearRegulator(kind, output_voltage_v=1.0).ground_pin_current_a(load)
+            for kind in LinearRegulatorType
+        }
+        assert currents[LinearRegulatorType.STANDARD] < currents[LinearRegulatorType.QUASI_LDO]
+        assert currents[LinearRegulatorType.QUASI_LDO] < currents[LinearRegulatorType.LDO]
+
+
+class TestLinearRegulator:
+    def test_ldo_regulates_from_low_headroom(self):
+        ldo = LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=1.0)
+        standard = LinearRegulator(LinearRegulatorType.STANDARD, output_voltage_v=1.0)
+        assert ldo.can_regulate(1.4)
+        assert not standard.can_regulate(1.4)
+
+    def test_efficiency_bounded_by_voltage_ratio(self):
+        ldo = LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=1.0)
+        eta = ldo.efficiency(input_voltage_v=1.8, load_current_a=0.1)
+        assert eta < 1.0 / 1.8 + 1e-9
+        assert eta == pytest.approx(1.0 / 1.8, rel=0.05)
+
+    def test_efficiency_improves_with_smaller_dropout(self):
+        ldo = LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=1.0)
+        assert ldo.efficiency(1.35, 0.1) > ldo.efficiency(1.8, 0.1)
+
+    def test_power_loss_consistent_with_efficiency(self):
+        ldo = LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=1.0)
+        eta = ldo.efficiency(1.8, 0.1)
+        loss = ldo.power_loss_w(1.8, 0.1)
+        p_out = 1.0 * 0.1
+        assert loss == pytest.approx(p_out * (1 / eta - 1))
+
+    def test_regulation_failure_raises(self):
+        standard = LinearRegulator(LinearRegulatorType.STANDARD, output_voltage_v=1.5)
+        with pytest.raises(ValueError, match="cannot regulate"):
+            standard.efficiency(1.8, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=0.0)
+        ldo = LinearRegulator(LinearRegulatorType.LDO, output_voltage_v=1.0)
+        with pytest.raises(ValueError):
+            ldo.efficiency(1.8, 0.0)
+        with pytest.raises(ValueError):
+            ldo.ground_pin_current_a(-1.0)
+
+
+class TestSwitchedCapacitorConverter:
+    def test_unloaded_output_is_ideal_ratio(self):
+        converter = SwitchedCapacitorConverter(conversion_ratio=0.5)
+        assert converter.output_voltage_v(1.8, 0.0) == pytest.approx(0.9)
+
+    def test_load_droops_output(self):
+        converter = SwitchedCapacitorConverter()
+        unloaded = converter.output_voltage_v(1.8, 0.0)
+        loaded = converter.output_voltage_v(1.8, 0.01)
+        assert loaded < unloaded
+
+    def test_weak_line_regulation(self):
+        # Paper: the output follows the input -- no regulation capability.
+        converter = SwitchedCapacitorConverter(conversion_ratio=0.5)
+        error = converter.regulation_error_v(1.8, 2.0, load_current_a=0.01)
+        assert error == pytest.approx(0.1)
+
+    def test_efficiency_degrades_with_load(self):
+        converter = SwitchedCapacitorConverter()
+        assert converter.efficiency(1.8, 0.001) > converter.efficiency(1.8, 0.02)
+
+    def test_faster_switching_or_bigger_caps_stiffen_output(self):
+        weak = SwitchedCapacitorConverter(flying_capacitance_f=1e-9)
+        strong = SwitchedCapacitorConverter(flying_capacitance_f=10e-9)
+        assert strong.output_resistance_ohm < weak.output_resistance_ohm
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchedCapacitorConverter(conversion_ratio=0.0)
+        converter = SwitchedCapacitorConverter()
+        with pytest.raises(ValueError):
+            converter.output_voltage_v(0.0, 0.01)
+        with pytest.raises(ValueError):
+            converter.efficiency(1.8, 0.0)

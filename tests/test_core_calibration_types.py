@@ -1,0 +1,91 @@
+"""Tests for the calibration trace/result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationResult,
+    ContinuousCalibrationTrace,
+    LockingStep,
+    LockingTrace,
+)
+
+
+def _step(cycle, state, delay, locked=False):
+    return LockingStep(
+        cycle=cycle,
+        control_state=state,
+        line_delay_ps=delay,
+        comparison=1 if locked else 0,
+        locked=locked,
+    )
+
+
+class TestLockingTrace:
+    def test_lock_cycle_is_first_locked_step(self):
+        trace = LockingTrace(scheme="proposed", clock_period_ps=10_000.0)
+        trace.append(_step(0, 1, 80.0))
+        trace.append(_step(1, 2, 160.0))
+        trace.append(_step(2, 3, 240.0, locked=True))
+        assert trace.lock_cycle == 2
+        assert trace.final_state == 3
+        assert len(trace) == 3
+
+    def test_lock_cycle_none_when_never_locked(self):
+        trace = LockingTrace(scheme="conventional", clock_period_ps=10_000.0)
+        trace.append(_step(0, 0, 5_000.0))
+        assert trace.lock_cycle is None
+
+    def test_histories(self):
+        trace = LockingTrace(scheme="proposed", clock_period_ps=10_000.0)
+        for cycle in range(4):
+            trace.append(_step(cycle, cycle + 1, 80.0 * (cycle + 1)))
+        assert trace.control_history() == [1, 2, 3, 4]
+        assert trace.delay_history_ps() == [80.0, 160.0, 240.0, 320.0]
+
+    def test_final_state_on_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            LockingTrace(scheme="proposed", clock_period_ps=1.0).final_state
+
+
+class TestCalibrationResult:
+    def test_residual_error_fraction(self):
+        trace = LockingTrace(scheme="proposed", clock_period_ps=10_000.0)
+        result = CalibrationResult(
+            scheme="proposed",
+            locked=True,
+            lock_cycles=10,
+            control_state=62,
+            locked_delay_ps=4_960.0,
+            target_ps=5_000.0,
+            residual_error_ps=-40.0,
+            trace=trace,
+        )
+        assert result.residual_error_fraction == pytest.approx(-0.008)
+
+    def test_zero_target_gives_zero_fraction(self):
+        trace = LockingTrace(scheme="proposed", clock_period_ps=1.0)
+        result = CalibrationResult(
+            scheme="proposed",
+            locked=False,
+            lock_cycles=0,
+            control_state=0,
+            locked_delay_ps=0.0,
+            target_ps=0.0,
+            residual_error_ps=0.0,
+            trace=trace,
+        )
+        assert result.residual_error_fraction == 0.0
+
+
+class TestContinuousCalibrationTrace:
+    def test_append_and_error_metric(self):
+        trace = ContinuousCalibrationTrace(scheme="proposed")
+        trace.append(0, 25.0, 62, 4_960.0, 5_000.0)
+        trace.append(64, 85.0, 60, 4_980.0, 5_000.0)
+        assert len(trace) == 2
+        assert trace.max_tracking_error_fraction() == pytest.approx(0.008)
+
+    def test_empty_trace_error_is_zero(self):
+        assert ContinuousCalibrationTrace(scheme="x").max_tracking_error_fraction() == 0.0

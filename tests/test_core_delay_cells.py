@@ -1,0 +1,124 @@
+"""Tests for delay elements and delay cells."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delay_cells import (
+    DelayElement,
+    FixedDelayCell,
+    TunableDelayCell,
+    thermometer_encode,
+)
+from repro.technology.corners import OperatingConditions
+
+
+class TestThermometerEncode:
+    @pytest.mark.parametrize(
+        "level, width, expected",
+        [(0, 3, 0b000), (1, 3, 0b001), (2, 3, 0b011), (3, 3, 0b111)],
+    )
+    def test_encoding(self, level, width, expected):
+        assert thermometer_encode(level, width) == expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            thermometer_encode(4, 3)
+        with pytest.raises(ValueError):
+            thermometer_encode(-1, 3)
+
+
+class TestDelayElement:
+    def test_single_buffer_matches_library(self, library):
+        element = DelayElement(buffers=1)
+        assert element.delay_ps(OperatingConditions.fast(), library) == pytest.approx(20.0)
+        assert element.delay_ps(OperatingConditions.slow(), library) == pytest.approx(80.0)
+
+    def test_multiple_buffers_add_up(self, library):
+        element = DelayElement(buffers=3)
+        assert element.delay_ps(OperatingConditions.typical(), library) == pytest.approx(120.0)
+
+    def test_mismatch_multipliers_applied(self, library):
+        element = DelayElement(buffers=2)
+        delay = element.delay_ps(
+            OperatingConditions.typical(), library, buffer_multipliers=np.array([1.1, 0.9])
+        )
+        assert delay == pytest.approx(40.0 * 2.0)
+
+    def test_wrong_multiplier_count_rejected(self, library):
+        element = DelayElement(buffers=2)
+        with pytest.raises(ValueError):
+            element.delay_ps(
+                OperatingConditions.typical(), library, buffer_multipliers=np.ones(3)
+            )
+
+    def test_zero_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            DelayElement(buffers=0)
+
+
+class TestFixedDelayCell:
+    def test_delay_is_buffers_times_unit(self, library):
+        cell = FixedDelayCell(buffers=2)
+        assert cell.delay_ps(OperatingConditions.fast(), library) == pytest.approx(40.0)
+        assert cell.buffer_count() == 2
+
+    def test_corner_scaling_is_4x(self, library):
+        cell = FixedDelayCell(buffers=4)
+        fast = cell.delay_ps(OperatingConditions.fast(), library)
+        slow = cell.delay_ps(OperatingConditions.slow(), library)
+        assert slow / fast == pytest.approx(4.0)
+
+    def test_invalid_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelayCell(buffers=0)
+
+
+class TestTunableDelayCell:
+    def test_levels_map_to_element_counts(self):
+        cell = TunableDelayCell(branches=4, buffers_per_element=2)
+        assert [cell.elements_for_level(level) for level in range(4)] == [1, 2, 3, 4]
+
+    def test_delay_grows_linearly_with_level(self, library):
+        cell = TunableDelayCell(branches=4, buffers_per_element=2)
+        conditions = OperatingConditions.typical()
+        delays = [cell.delay_ps(level, conditions, library) for level in range(4)]
+        assert delays == pytest.approx([80.0, 160.0, 240.0, 320.0])
+
+    def test_adjustment_ratio_matches_branch_count(self, library):
+        cell = TunableDelayCell(branches=4, buffers_per_element=1)
+        conditions = OperatingConditions.typical()
+        ratio = cell.max_delay_ps(conditions, library) / cell.min_delay_ps(
+            conditions, library
+        )
+        assert ratio == pytest.approx(4.0)
+
+    def test_slow_corner_minimum_equals_fast_corner_maximum(self, library):
+        # The design intent behind the 1:4 adjustment ratio: the shortest
+        # branch at the slow corner matches the longest branch at the fast
+        # corner, so the line can always be tuned onto the clock period.
+        cell = TunableDelayCell(branches=4, buffers_per_element=2)
+        slow_min = cell.min_delay_ps(OperatingConditions.slow(), library)
+        fast_max = cell.max_delay_ps(OperatingConditions.fast(), library)
+        assert slow_min == pytest.approx(fast_max)
+
+    def test_buffer_count_includes_all_branches(self):
+        cell = TunableDelayCell(branches=4, buffers_per_element=2)
+        # Branches of 1+2+3+4 elements, two buffers each.
+        assert cell.buffer_count() == 20
+
+    def test_control_bits(self):
+        assert TunableDelayCell(branches=3).control_bits() == 2
+        assert TunableDelayCell(branches=4).control_bits() == 3
+
+    def test_level_out_of_range_rejected(self, library):
+        cell = TunableDelayCell(branches=3)
+        with pytest.raises(ValueError):
+            cell.delay_ps(3, OperatingConditions.typical(), library)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            TunableDelayCell(branches=1)
+        with pytest.raises(ValueError):
+            TunableDelayCell(branches=4, buffers_per_element=0)

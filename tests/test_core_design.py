@@ -1,0 +1,102 @@
+"""Tests for the parameterized design procedure (paper section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.technology.corners import OperatingConditions
+
+
+class TestDesignSpec:
+    def test_period_from_frequency(self):
+        assert DesignSpec(100.0, 6).clock_period_ps == pytest.approx(10_000.0)
+        assert DesignSpec(50.0, 6).clock_period_ps == pytest.approx(20_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignSpec(0.0, 6)
+        with pytest.raises(ValueError):
+            DesignSpec(100.0, 0)
+
+
+class TestConventionalDesign:
+    def test_paper_design_example(self, spec_100mhz_6bit, library):
+        design = design_conventional(spec_100mhz_6bit, library)
+        # Paper section 4.2.1: 64 cells, 4 branches, 2 buffers per element.
+        assert design.num_cells == 64
+        assert design.branches == 4
+        assert design.buffers_per_element == 2
+        assert design.mux_inputs == 64
+        assert design.max_delay_elements == 256
+
+    def test_worst_case_delay_matches_paper(self, spec_100mhz_6bit, library):
+        design = design_conventional(spec_100mhz_6bit, library)
+        # Paper eq. 29: 256 elements x 40 ps = 10.24 ns at the fast corner.
+        assert design.worst_case_total_delay_ps(library) == pytest.approx(10_240.0)
+        assert design.guarantees_locking(library)
+
+    def test_lower_frequency_needs_larger_elements(self, library):
+        design_50 = design_conventional(DesignSpec(50.0, 6), library)
+        design_200 = design_conventional(DesignSpec(200.0, 6), library)
+        assert design_50.buffers_per_element > design_200.buffers_per_element
+
+    def test_build_line_reflects_design(self, spec_100mhz_6bit, library):
+        design = design_conventional(spec_100mhz_6bit, library)
+        line = design.build_line(library=library)
+        assert line.config.num_cells == 64
+        assert line.config.branches == 4
+        assert line.config.buffers_per_element == 2
+
+    @pytest.mark.parametrize("frequency", [25.0, 50.0, 100.0, 200.0, 400.0])
+    def test_locking_guaranteed_across_frequencies(self, frequency, library):
+        design = design_conventional(DesignSpec(frequency, 6), library)
+        assert design.guarantees_locking(library)
+
+
+class TestProposedDesign:
+    def test_paper_design_example(self, spec_100mhz_6bit, library):
+        design = design_proposed(spec_100mhz_6bit, library)
+        # Paper section 4.2.2: 256 cells of 2 buffers each.
+        assert design.num_cells == 256
+        assert design.buffers_per_cell == 2
+        assert design.mux_inputs == 256
+
+    def test_worst_case_delay_matches_paper(self, spec_100mhz_6bit, library):
+        design = design_proposed(spec_100mhz_6bit, library)
+        assert design.worst_case_total_delay_ps(library) == pytest.approx(10_240.0)
+        assert design.guarantees_locking(library)
+
+    @pytest.mark.parametrize(
+        "frequency, expected_buffers",
+        [(50.0, 4), (100.0, 2), (200.0, 1)],
+    )
+    def test_buffers_per_cell_across_frequencies(self, frequency, expected_buffers, library):
+        # Paper Table 6: 4 / 2 / 1 buffers per cell at 50 / 100 / 200 MHz.
+        design = design_proposed(DesignSpec(frequency, 6), library)
+        assert design.buffers_per_cell == expected_buffers
+        assert design.num_cells == 256
+
+    def test_cell_count_is_power_of_two(self, library):
+        for bits in range(3, 9):
+            design = design_proposed(DesignSpec(100.0, bits), library)
+            assert design.num_cells & (design.num_cells - 1) == 0
+
+    def test_cell_count_scales_with_resolution(self, library):
+        low = design_proposed(DesignSpec(100.0, 4), library)
+        high = design_proposed(DesignSpec(100.0, 8), library)
+        assert high.num_cells == 16 * low.num_cells
+
+    @pytest.mark.parametrize("frequency", [25.0, 50.0, 100.0, 200.0, 400.0])
+    def test_locking_guaranteed_across_frequencies(self, frequency, library):
+        design = design_proposed(DesignSpec(frequency, 6), library)
+        line = design.build_line(library=library)
+        for conditions in OperatingConditions.all_corners():
+            assert line.covers_clock_period(conditions)
+
+    def test_build_line_reflects_design(self, spec_100mhz_6bit, library):
+        design = design_proposed(spec_100mhz_6bit, library)
+        line = design.build_line(library=library)
+        assert line.config.num_cells == design.num_cells
+        assert line.config.buffers_per_cell == design.buffers_per_cell
+        assert line.config.clock_period_ps == pytest.approx(10_000.0)

@@ -1,0 +1,142 @@
+"""Tests for transfer-curve extraction and the scheme comparison harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import compare_schemes
+from repro.core.conventional import ShiftRegisterController, TuningOrder
+from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.core.linearity import transfer_curve
+from repro.core.proposed import ProposedController
+from repro.technology.corners import OperatingConditions
+from repro.technology.variation import VariationModel
+
+
+class TestTransferCurve:
+    def test_proposed_curve_shape(self, proposed_line):
+        conditions = OperatingConditions.typical()
+        curve = transfer_curve(proposed_line, conditions)
+        assert curve.scheme == "proposed"
+        assert curve.input_words[0] == 1
+        assert curve.input_words[-1] == 255
+        assert curve.delays_ps.shape == curve.ideal_delays_ps.shape
+
+    def test_proposed_curve_is_monotonic(self, proposed_line):
+        curve = transfer_curve(proposed_line, OperatingConditions.fast())
+        assert np.all(np.diff(curve.delays_ps) >= 0)
+
+    def test_proposed_curve_tracks_ideal_line(self, proposed_line):
+        conditions = OperatingConditions.slow()
+        curve = transfer_curve(proposed_line, conditions)
+        assert curve.max_error_fraction_of_period() < 0.05
+
+    def test_explicit_tap_sel_matches_fresh_calibration(self, proposed_line):
+        conditions = OperatingConditions.typical()
+        tap_sel = ProposedController(proposed_line).lock(conditions).control_state
+        explicit = transfer_curve(proposed_line, conditions, tap_sel=tap_sel)
+        implicit = transfer_curve(proposed_line, conditions)
+        assert np.allclose(explicit.delays_ps, implicit.delays_ps)
+
+    def test_conventional_curve_shape(self, conventional_line):
+        conditions = OperatingConditions.typical()
+        curve = transfer_curve(conventional_line, conditions)
+        assert curve.scheme == "conventional"
+        assert curve.input_words[-1] == 63
+
+    def test_conventional_explicit_levels(self, conventional_line):
+        conditions = OperatingConditions.fast()
+        steps = ShiftRegisterController(conventional_line).lock(conditions).control_state
+        levels = conventional_line.levels_for_steps(steps)
+        curve = transfer_curve(conventional_line, conditions, levels=levels)
+        assert curve.delays_ps[-1] <= 10_000.0 * 1.05
+
+    def test_scaled_delays(self, proposed_line):
+        curve = transfer_curve(proposed_line, OperatingConditions.typical())
+        scaled = curve.scaled_delays_ns(2.0)
+        assert scaled == pytest.approx(curve.delays_ps * 2.0 / 1000.0)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            transfer_curve(object(), OperatingConditions.typical())  # type: ignore[arg-type]
+
+    def test_metrics_are_finite(self, proposed_line):
+        metrics = transfer_curve(proposed_line, OperatingConditions.typical()).metrics()
+        assert np.isfinite(metrics.max_dnl_lsb)
+        assert np.isfinite(metrics.max_inl_lsb)
+        assert metrics.distinct_levels > 1
+
+
+class TestLinearityClaims:
+    def test_lower_frequency_more_linear_under_mismatch(self, library):
+        # Paper section 4.3: more buffers per cell average out random
+        # variation, so the 50 MHz configuration is more linear than the
+        # 200 MHz one at the same corner.
+        variation = VariationModel(random_sigma=0.05, gradient_peak=0.0, seed=99)
+        conditions = OperatingConditions.fast()
+        rms = {}
+        for frequency in (50.0, 200.0):
+            design = design_proposed(DesignSpec(frequency, 6), library)
+            sample = variation.sample(design.num_cells, design.buffers_per_cell)
+            line = design.build_line(library=library, variation=sample)
+            curve = transfer_curve(line, conditions)
+            rms[frequency] = curve.metrics().rms_inl_lsb
+        assert rms[50.0] < rms[200.0]
+
+    def test_slow_corner_has_fewer_distinct_levels(self, library, proposed_design):
+        line = proposed_design.build_line(library=library)
+        slow = transfer_curve(line, OperatingConditions.slow()).metrics()
+        fast = transfer_curve(line, OperatingConditions.fast()).metrics()
+        # Paper Figure 50: plateaus at the slow corner (fewer taps in use).
+        assert slow.distinct_levels < fast.distinct_levels
+
+    def test_sequential_tuning_less_linear_than_distributed(self, library):
+        # Paper Figures 41-42.
+        spec = DesignSpec(100.0, 6)
+        conditions = OperatingConditions.typical()
+        errors = {}
+        for order in (TuningOrder.SEQUENTIAL, TuningOrder.DISTRIBUTED):
+            line = design_conventional(spec, library).build_line(
+                library=library, tuning_order=order
+            )
+            curve = transfer_curve(line, conditions)
+            errors[order] = curve.max_error_fraction_of_period()
+        assert errors[TuningOrder.SEQUENTIAL] > errors[TuningOrder.DISTRIBUTED]
+
+
+class TestSchemeComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, library):
+        return compare_schemes(DesignSpec(100.0, 6), library=library)
+
+    def test_proposed_wins_area(self, comparison):
+        # Paper Table 5: 1337 vs 2330 um^2 (ratio ~1.74).
+        assert comparison.proposed_wins_area
+        assert 1.5 < comparison.area_ratio < 2.0
+
+    def test_proposed_wins_linearity(self, comparison):
+        assert comparison.proposed_wins_linearity
+
+    def test_proposed_wins_calibration_time(self, comparison):
+        assert comparison.proposed_wins_calibration_time
+
+    def test_preliminary_rows_cover_paper_criteria(self, comparison):
+        criteria = [row[0] for row in comparison.preliminary_rows()]
+        assert "Delay cell" in criteria
+        assert "Linearity" in criteria
+        assert "Mapper / extra MUX" in criteria
+
+    def test_area_reports_have_expected_blocks(self, comparison):
+        assert set(comparison.proposed_area.distribution()) == {
+            "Delay Line",
+            "Output MUX",
+            "Calibration MUX",
+            "Controller",
+            "Mapper",
+        }
+        assert set(comparison.conventional_area.distribution()) == {
+            "Delay Line",
+            "Output MUX",
+            "Controller",
+        }

@@ -1,0 +1,86 @@
+"""Tests for the proposed scheme's mapping block (paper eq. 18)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapper import MappingBlock
+
+
+class TestMappingBlock:
+    def test_word_bits_and_shift(self):
+        mapper = MappingBlock(num_cells=256)
+        assert mapper.word_bits == 8
+        assert mapper.shift_amount == 7
+        assert mapper.max_word == 255
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            MappingBlock(num_cells=100)
+        with pytest.raises(ValueError):
+            MappingBlock(num_cells=1)
+
+    def test_fast_corner_lock_is_identity_like(self):
+        # With half the line locked to half the period (tap_sel = N/2), the
+        # mapping is the identity: word w selects tap w.
+        mapper = MappingBlock(num_cells=256)
+        for word in (0, 1, 17, 128, 255):
+            assert mapper.map(word, tap_sel=128) == word
+
+    def test_slow_corner_lock_compresses_words(self):
+        # tap_sel = 32 on a 256-cell line: four input words per tap (the
+        # plateaus of paper Figure 50).
+        mapper = MappingBlock(num_cells=256)
+        assert mapper.map(4, tap_sel=32) == 1
+        assert mapper.map(7, tap_sel=32) == 1
+        assert mapper.map(8, tap_sel=32) == 2
+        assert mapper.distinct_levels(tap_sel=32) == 64
+
+    def test_matches_paper_mapping_example(self):
+        # Paper section 3.1.2: 20-cell-per-period system; at the slow corner
+        # (5 cells per period, tap_sel = 2 per half period on an 8-cell
+        # power-of-two line) the 50 % word maps to a quarter of the line.
+        mapper = MappingBlock(num_cells=8)
+        half_scale_word = 4
+        assert mapper.map(half_scale_word, tap_sel=2) == 2
+
+    def test_mapping_is_monotonic_in_duty_word(self):
+        mapper = MappingBlock(num_cells=64)
+        for tap_sel in (5, 16, 32, 64):
+            mapped = [mapper.map(word, tap_sel) for word in range(64)]
+            assert mapped == sorted(mapped)
+
+    def test_mapping_never_exceeds_line_length(self):
+        mapper = MappingBlock(num_cells=64)
+        for tap_sel in (1, 33, 64):
+            for word in range(64):
+                assert 0 <= mapper.map(word, tap_sel) <= 63
+
+    def test_full_scale_word_reaches_roughly_twice_tap_sel(self):
+        # The full-scale word should select about 2*tap_sel cells, i.e. one
+        # full clock period worth of delay.
+        mapper = MappingBlock(num_cells=256)
+        for tap_sel in (31, 64, 100, 128):
+            mapped = mapper.map(255, tap_sel)
+            assert abs(mapped - 2 * tap_sel) <= max(2, 2 * tap_sel // 64)
+
+    def test_zero_word_maps_to_zero(self):
+        mapper = MappingBlock(num_cells=128)
+        for tap_sel in (1, 17, 64, 128):
+            assert mapper.map(0, tap_sel) == 0
+
+    def test_out_of_range_inputs_rejected(self):
+        mapper = MappingBlock(num_cells=64)
+        with pytest.raises(ValueError):
+            mapper.map(64, tap_sel=32)
+        with pytest.raises(ValueError):
+            mapper.map(-1, tap_sel=32)
+        with pytest.raises(ValueError):
+            mapper.map(10, tap_sel=0)
+        with pytest.raises(ValueError):
+            mapper.map(10, tap_sel=65)
+
+    def test_ideal_duty(self):
+        mapper = MappingBlock(num_cells=256)
+        assert mapper.ideal_duty(128) == pytest.approx(0.5)
+        assert mapper.ideal_duty(255) == pytest.approx(255 / 256)

@@ -1,0 +1,217 @@
+"""Tests for the proposed delay line and its controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.proposed import (
+    ProposedController,
+    ProposedDelayLine,
+    ProposedDelayLineConfig,
+)
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.variation import VariationModel
+
+
+def make_line(num_cells=256, buffers_per_cell=2, clock_period_ps=10_000.0, **kwargs):
+    config = ProposedDelayLineConfig(
+        num_cells=num_cells,
+        buffers_per_cell=buffers_per_cell,
+        clock_period_ps=clock_period_ps,
+    )
+    return ProposedDelayLine(config, **kwargs)
+
+
+class TestProposedDelayLineConfig:
+    def test_word_bits(self):
+        assert make_line(num_cells=256).config.word_bits == 8
+        assert make_line(num_cells=64).config.word_bits == 6
+
+    def test_clock_frequency(self):
+        assert make_line(clock_period_ps=10_000.0).config.clock_frequency_mhz == pytest.approx(100.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            ProposedDelayLineConfig(num_cells=100, buffers_per_cell=2, clock_period_ps=1.0)
+
+    def test_rejects_invalid_values(self):
+        with pytest.raises(ValueError):
+            ProposedDelayLineConfig(num_cells=64, buffers_per_cell=0, clock_period_ps=1.0)
+        with pytest.raises(ValueError):
+            ProposedDelayLineConfig(num_cells=64, buffers_per_cell=1, clock_period_ps=0.0)
+
+
+class TestProposedDelayLineDelays:
+    def test_cell_delays_follow_corner(self, library):
+        line = make_line(library=library)
+        assert np.allclose(line.cell_delays_ps(OperatingConditions.fast()), 40.0)
+        assert np.allclose(line.cell_delays_ps(OperatingConditions.typical()), 80.0)
+        assert np.allclose(line.cell_delays_ps(OperatingConditions.slow()), 160.0)
+
+    def test_tap_delays_are_cumulative_and_monotonic(self, library):
+        line = make_line(library=library)
+        taps = line.tap_delays_ps(OperatingConditions.typical())
+        assert taps.shape == (256,)
+        assert np.all(np.diff(taps) > 0)
+        assert taps[0] == pytest.approx(80.0)
+        assert taps[-1] == pytest.approx(256 * 80.0)
+
+    def test_line_covers_clock_period_at_all_corners(self, library):
+        # The design example's guarantee (paper eq. 36).
+        line = make_line(library=library)
+        for conditions in OperatingConditions.all_corners():
+            assert line.covers_clock_period(conditions)
+
+    def test_variation_sample_perturbs_taps(self, library):
+        sample = VariationModel(random_sigma=0.05, seed=3).sample(256, 2)
+        line = make_line(library=library, variation=sample)
+        ideal = make_line(library=library)
+        conditions = OperatingConditions.typical()
+        assert not np.allclose(
+            line.tap_delays_ps(conditions), ideal.tap_delays_ps(conditions)
+        )
+        # The total stays close to ideal because mismatch averages out.
+        assert line.total_delay_ps(conditions) == pytest.approx(
+            ideal.total_delay_ps(conditions), rel=0.02
+        )
+
+    def test_wrong_variation_shape_rejected(self, library):
+        sample = VariationModel().sample(num_cells=64, buffers_per_cell=2)
+        with pytest.raises(ValueError):
+            make_line(num_cells=256, library=library, variation=sample)
+
+
+class TestProposedDelayLineOutput:
+    def test_zero_word_gives_zero_delay(self, library):
+        line = make_line(library=library)
+        assert line.output_delay_ps(0, 128, OperatingConditions.typical()) == 0.0
+
+    def test_output_delay_uses_mapper(self, library):
+        line = make_line(library=library)
+        conditions = OperatingConditions.typical()
+        # Typical corner: 62 cells lock to half the 10 ns period (62 * 80 ps
+        # = 4.96 ns); word 128 should land near half the period.
+        delay = line.output_delay_ps(128, 62, conditions)
+        assert delay == pytest.approx(5_000.0, rel=0.05)
+
+    def test_achieved_duty_tracks_requested(self, library):
+        line = make_line(library=library)
+        conditions = OperatingConditions.slow()
+        tap_sel = ProposedController(line).lock(conditions).control_state
+        for word in (32, 64, 128, 192, 255):
+            requested = word / 256
+            achieved = line.achieved_duty(word, tap_sel, conditions)
+            assert achieved == pytest.approx(requested, abs=0.04)
+
+    def test_netlist_block_names_match_paper_table(self, library):
+        names = [child.name for child in make_line(library=library).netlist().children]
+        assert names == [
+            "Delay Line",
+            "Output MUX",
+            "Calibration MUX",
+            "Controller",
+            "Mapper",
+        ]
+
+    def test_netlist_buffer_count(self, library):
+        from repro.technology.cells import CellKind
+
+        netlist = make_line(library=library).netlist()
+        assert netlist.find("Delay Line").cell_counts()[CellKind.BUFFER] == 512
+
+
+class TestProposedController:
+    @pytest.mark.parametrize(
+        "corner, expected_tap_sel",
+        [
+            (ProcessCorner.FAST, 125),
+            (ProcessCorner.TYPICAL, 62),
+            (ProcessCorner.SLOW, 31),
+        ],
+    )
+    def test_locks_to_expected_cell_count(self, library, corner, expected_tap_sel):
+        line = make_line(library=library)
+        result = ProposedController(line).lock(OperatingConditions(corner=corner))
+        assert result.locked
+        assert result.control_state == expected_tap_sel
+
+    def test_locked_delay_brackets_half_period(self, library):
+        line = make_line(library=library)
+        controller = ProposedController(line)
+        for conditions in OperatingConditions.all_corners():
+            result = controller.lock(conditions)
+            cell_delay = float(line.cell_delays_ps(conditions)[0])
+            assert result.locked_delay_ps <= 5_000.0
+            assert result.locked_delay_ps + cell_delay > 5_000.0
+
+    def test_lock_time_scales_with_cell_count(self, library):
+        line = make_line(library=library)
+        controller = ProposedController(line)
+        fast = controller.lock(OperatingConditions.fast())
+        slow = controller.lock(OperatingConditions.slow())
+        assert fast.lock_cycles > slow.lock_cycles
+        assert fast.lock_cycles <= line.config.num_cells + controller.synchronizer_latency_cycles + 2
+
+    def test_ideal_tap_sel_matches_locked_state(self, library):
+        line = make_line(library=library)
+        controller = ProposedController(line)
+        for conditions in OperatingConditions.all_corners():
+            result = controller.lock(conditions)
+            ideal = controller.ideal_tap_sel(conditions)
+            assert abs(result.control_state - ideal) <= 1
+
+    def test_trace_records_monotonic_search_then_lock(self, library):
+        line = make_line(library=library)
+        result = ProposedController(line).lock(OperatingConditions.typical())
+        states = result.trace.control_history()
+        # Monotonic climb followed by at most one step back at lock.
+        climb = states[:-1]
+        assert climb == sorted(climb)
+        assert result.trace.steps[-1].locked
+
+    def test_saturation_when_line_too_short(self, library):
+        # A line far too short for the clock period cannot bracket half of
+        # it; the controller must saturate and report not-locked.
+        line = make_line(
+            num_cells=16, buffers_per_cell=1, clock_period_ps=100_000.0, library=library
+        )
+        result = ProposedController(line).lock(OperatingConditions.fast())
+        assert not result.locked
+        assert result.control_state == 16
+
+    def test_temperature_drift_changes_lock(self, library):
+        line = make_line(library=library)
+        controller = ProposedController(line)
+        cold = controller.lock(OperatingConditions(temperature_c=0.0))
+        hot = controller.lock(OperatingConditions(temperature_c=110.0))
+        # Hotter silicon is slower, so fewer cells fit in half the period.
+        assert hot.control_state <= cold.control_state
+
+    def test_continuous_tracking_follows_temperature(self, library):
+        line = make_line(library=library)
+        controller = ProposedController(line)
+        schedule = [
+            (0, OperatingConditions(temperature_c=25.0)),
+            (400, OperatingConditions(temperature_c=110.0)),
+        ]
+        trace = controller.track(schedule, total_cycles=800, sample_every=16)
+        assert len(trace) == 50
+        early = trace.control_states[10]
+        late = trace.control_states[-1]
+        assert late <= early
+        # After the initial acquisition ramp (first ~100 cycles) the locked
+        # delay must stay within a couple of cells of half the period.
+        settled_errors = [
+            abs(delay - target) / target
+            for cycle, delay, target in zip(
+                trace.times_cycles, trace.locked_delays_ps, trace.targets_ps
+            )
+            if cycle >= 128
+        ]
+        assert max(settled_errors) < 0.1
+
+    def test_track_requires_schedule(self, library):
+        line = make_line(library=library)
+        with pytest.raises(ValueError):
+            ProposedController(line).track([], total_cycles=10)

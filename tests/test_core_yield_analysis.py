@@ -1,0 +1,127 @@
+"""Tests for the statistical sizing analysis (paper future work, section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignSpec, design_proposed
+from repro.core.yield_analysis import (
+    YieldModel,
+    cells_for_yield,
+    coverage_yield,
+    yield_curve,
+)
+
+
+class TestYieldModel:
+    def test_sample_shape_and_positivity(self):
+        model = YieldModel(seed=1)
+        delays = model.sample_chip_buffer_delays(40.0, num_buffers=32, num_chips=10)
+        assert delays.shape == (10, 32)
+        assert np.all(delays > 0)
+
+    def test_zero_sigma_gives_typical_delay(self):
+        model = YieldModel(global_sigma=0.0, mismatch_sigma=0.0)
+        delays = model.sample_chip_buffer_delays(40.0, 16, 4)
+        assert np.allclose(delays, 40.0)
+
+    def test_global_sigma_spans_the_corner_spread(self):
+        # +/- 3 sigma of the default global spread should reach roughly the
+        # paper's fast (0.5x) and slow (2x) corners.
+        model = YieldModel()
+        three_sigma = np.exp(3 * model.global_sigma)
+        assert 1.8 < three_sigma < 2.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YieldModel(global_sigma=-0.1)
+        model = YieldModel()
+        with pytest.raises(ValueError):
+            model.sample_chip_buffer_delays(0.0, 1, 1)
+        with pytest.raises(ValueError):
+            model.sample_chip_buffer_delays(40.0, 0, 1)
+
+
+class TestCoverageYield:
+    def test_worst_case_design_yields_everything(self, spec_100mhz_6bit, library):
+        design = design_proposed(spec_100mhz_6bit, library)
+        result = coverage_yield(
+            num_cells=design.num_cells,
+            buffers_per_cell=design.buffers_per_cell,
+            clock_period_ps=spec_100mhz_6bit.clock_period_ps,
+            num_chips=500,
+            library=library,
+        )
+        assert result > 0.999
+
+    def test_nominal_design_yields_about_half(self, library):
+        # A line sized exactly for the typical corner covers the period on
+        # roughly half of the chips (the global spread is symmetric in log).
+        result = coverage_yield(
+            num_cells=125,
+            buffers_per_cell=2,
+            clock_period_ps=10_000.0,
+            num_chips=4000,
+            library=library,
+        )
+        assert 0.35 < result < 0.65
+
+    def test_yield_is_monotonic_in_cell_count(self, library):
+        yields = [
+            coverage_yield(
+                num_cells=cells,
+                buffers_per_cell=2,
+                clock_period_ps=10_000.0,
+                num_chips=1500,
+                library=library,
+            )
+            for cells in (100, 140, 180, 256)
+        ]
+        assert yields == sorted(yields)
+        assert yields[0] < 0.2
+        assert yields[-1] > 0.99
+
+    def test_validation(self, library):
+        with pytest.raises(ValueError):
+            coverage_yield(0, 2, 10_000.0, library=library)
+        with pytest.raises(ValueError):
+            coverage_yield(10, 2, -1.0, library=library)
+
+
+class TestYieldCurveAndSizing:
+    def test_curve_spans_nominal_to_worst_case(self, spec_100mhz_6bit, library):
+        points = yield_curve(
+            spec_100mhz_6bit, buffers_per_cell=2, num_chips=800, library=library
+        )
+        assert points[0].num_cells <= 130
+        assert points[-1].num_cells >= 240
+        yields = [point.locking_yield for point in points]
+        assert yields == sorted(yields)
+        areas = [point.line_area_um2 for point in points]
+        assert areas == sorted(areas)
+
+    def test_cells_for_yield_trades_area_for_yield(self, spec_100mhz_6bit, library):
+        relaxed = cells_for_yield(
+            spec_100mhz_6bit,
+            buffers_per_cell=2,
+            target_yield=0.9,
+            num_chips=1500,
+            library=library,
+        )
+        strict = cells_for_yield(
+            spec_100mhz_6bit,
+            buffers_per_cell=2,
+            target_yield=0.999,
+            num_chips=1500,
+            library=library,
+        )
+        assert relaxed.num_cells < strict.num_cells
+        assert relaxed.locking_yield >= 0.9
+        assert strict.locking_yield >= 0.999
+        # The statistical sizing saves cells relative to the worst-case 256.
+        assert relaxed.num_cells < 256
+
+    def test_cells_for_yield_validation(self, spec_100mhz_6bit, library):
+        with pytest.raises(ValueError):
+            cells_for_yield(spec_100mhz_6bit, 2, target_yield=0.0, library=library)

@@ -1,0 +1,166 @@
+"""Tests for the counter-based, delay-line and hybrid DPWM architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpwm.base import DutyCycleRequest
+from repro.dpwm.counter_dpwm import CounterDPWM, CounterDPWMConfig
+from repro.dpwm.delay_line_dpwm import DelayLineDPWM, DelayLineDPWMConfig
+from repro.dpwm.hybrid_dpwm import HybridDPWM, HybridDPWMConfig
+from repro.technology.cells import CellKind
+
+
+class TestDutyCycleRequest:
+    def test_ideal_duty_convention(self):
+        assert DutyCycleRequest(word=0, bits=2).ideal_duty == pytest.approx(0.25)
+        assert DutyCycleRequest(word=3, bits=2).ideal_duty == pytest.approx(1.0)
+
+    def test_msb_lsb_split(self):
+        request = DutyCycleRequest(word=0b10110, bits=5)
+        assert request.msb(3) == 0b101
+        assert request.lsb(2) == 0b10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DutyCycleRequest(word=4, bits=2)
+        with pytest.raises(ValueError):
+            DutyCycleRequest(word=0, bits=0)
+        with pytest.raises(ValueError):
+            DutyCycleRequest(word=1, bits=3).msb(0)
+        with pytest.raises(ValueError):
+            DutyCycleRequest(word=1, bits=3).lsb(4)
+
+
+class TestCounterDPWM:
+    def test_required_clock_frequency(self):
+        config = CounterDPWMConfig(bits=13, switching_frequency_mhz=1.0)
+        # Paper: 13-bit resolution at ~1 MHz switching needs a multi-GHz clock.
+        assert config.counter_clock_frequency_mhz == pytest.approx(8192.0)
+
+    @pytest.mark.parametrize("word", range(4))
+    def test_two_bit_duties_match_figure_19(self, word):
+        dpwm = CounterDPWM(CounterDPWMConfig(bits=2, switching_frequency_mhz=1.0))
+        waveform = dpwm.generate(word)
+        assert waveform.measured_duty == pytest.approx((word + 1) / 4, abs=0.01)
+
+    def test_four_bit_duty_sweep(self):
+        dpwm = CounterDPWM(CounterDPWMConfig(bits=4, switching_frequency_mhz=1.0))
+        for word in (0, 5, 10, 15):
+            waveform = dpwm.generate(word)
+            assert waveform.measured_duty == pytest.approx((word + 1) / 16, abs=0.01)
+            assert waveform.duty_error < 0.01
+
+    def test_netlist_flop_count_scales_with_bits(self, synthesizer):
+        small = CounterDPWM(CounterDPWMConfig(bits=4, switching_frequency_mhz=1.0))
+        large = CounterDPWM(CounterDPWMConfig(bits=13, switching_frequency_mhz=1.0))
+        assert (
+            large.netlist().cell_counts()[CellKind.DFF]
+            > small.netlist().cell_counts()[CellKind.DFF]
+        )
+        # Counter area grows only linearly with resolution.
+        ratio = (
+            synthesizer.synthesize(large.netlist()).total_area_um2
+            / synthesizer.synthesize(small.netlist()).total_area_um2
+        )
+        assert ratio < 4.0
+
+    def test_dynamic_power_scales_with_resolution(self):
+        low = CounterDPWM(CounterDPWMConfig(bits=4, switching_frequency_mhz=1.0))
+        high = CounterDPWM(CounterDPWMConfig(bits=8, switching_frequency_mhz=1.0))
+        # The clock is 16x faster, so power must grow by about that much.
+        assert high.dynamic_power_w() > 8 * low.dynamic_power_w()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CounterDPWMConfig(bits=0, switching_frequency_mhz=1.0)
+        with pytest.raises(ValueError):
+            CounterDPWMConfig(bits=4, switching_frequency_mhz=0.0)
+
+
+class TestDelayLineDPWM:
+    @pytest.mark.parametrize("word", range(4))
+    def test_two_bit_duties_match_figure_21(self, word):
+        dpwm = DelayLineDPWM(DelayLineDPWMConfig(bits=2, switching_frequency_mhz=1.0))
+        waveform = dpwm.generate(word)
+        assert waveform.measured_duty == pytest.approx((word + 1) / 4, abs=0.01)
+
+    def test_three_bit_duty_sweep(self):
+        dpwm = DelayLineDPWM(DelayLineDPWMConfig(bits=3, switching_frequency_mhz=2.0))
+        for word in range(8):
+            waveform = dpwm.generate(word)
+            assert waveform.measured_duty == pytest.approx((word + 1) / 8, abs=0.01)
+
+    def test_only_switching_clock_needed(self):
+        dpwm = DelayLineDPWM(DelayLineDPWMConfig(bits=8, switching_frequency_mhz=1.0))
+        assert dpwm.required_clock_frequency_mhz() == pytest.approx(1.0)
+
+    def test_cell_count_is_exponential_in_bits(self):
+        config = DelayLineDPWMConfig(bits=8, switching_frequency_mhz=1.0)
+        assert config.num_cells == 256
+        dpwm = DelayLineDPWM(config)
+        assert dpwm.netlist().cell_counts()[CellKind.BUFFER] == 256
+
+    def test_custom_cell_delays_shift_duty(self):
+        # A line built from slow cells (uncalibrated, slow corner) overshoots
+        # the requested duty -- the miscalibration of paper Figure 28.
+        config = DelayLineDPWMConfig(bits=2, switching_frequency_mhz=1.0)
+        slow_cells = [config.ideal_cell_delay_ps * 1.5] * config.num_cells
+        dpwm = DelayLineDPWM(config, cell_delays_ps=slow_cells)
+        waveform = dpwm.generate(0)
+        assert waveform.measured_duty == pytest.approx(0.375, abs=0.01)
+
+    def test_cell_delay_validation(self):
+        config = DelayLineDPWMConfig(bits=2, switching_frequency_mhz=1.0)
+        with pytest.raises(ValueError):
+            DelayLineDPWM(config, cell_delays_ps=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            DelayLineDPWM(config, cell_delays_ps=[1.0, 1.0, 1.0, 0.0])
+
+
+class TestHybridDPWM:
+    def test_paper_example_duty(self):
+        # Paper Figure 23: duty word 10110 -> T3 selected -> 23/32 duty.
+        dpwm = HybridDPWM(
+            HybridDPWMConfig(msb_bits=3, lsb_bits=2, switching_frequency_mhz=1.0)
+        )
+        waveform = dpwm.generate(0b10110)
+        assert waveform.measured_duty == pytest.approx(23 / 32, abs=0.005)
+
+    def test_full_sweep_is_monotonic_and_accurate(self):
+        dpwm = HybridDPWM(
+            HybridDPWMConfig(msb_bits=3, lsb_bits=2, switching_frequency_mhz=1.0)
+        )
+        duties = [dpwm.generate(word).measured_duty for word in range(32)]
+        assert duties == sorted(duties)
+        for word, duty in enumerate(duties):
+            assert duty == pytest.approx((word + 1) / 32, abs=0.005)
+
+    def test_clock_and_area_compromise(self, synthesizer):
+        # Paper section 2.2.3: the 5-bit hybrid needs an 8x clock (not 32x)
+        # and 4 delay cells (not 32).
+        hybrid = HybridDPWM(
+            HybridDPWMConfig(msb_bits=3, lsb_bits=2, switching_frequency_mhz=1.0)
+        )
+        counter = CounterDPWM(CounterDPWMConfig(bits=5, switching_frequency_mhz=1.0))
+        line = DelayLineDPWM(DelayLineDPWMConfig(bits=5, switching_frequency_mhz=1.0))
+        assert hybrid.required_clock_frequency_mhz() == pytest.approx(8.0)
+        assert counter.required_clock_frequency_mhz() == pytest.approx(32.0)
+        assert hybrid.config.num_cells == 4
+        assert line.config.num_cells == 32
+        hybrid_area = synthesizer.synthesize(hybrid.netlist()).total_area_um2
+        line_area = synthesizer.synthesize(line.netlist()).total_area_um2
+        assert hybrid_area < line_area
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HybridDPWMConfig(msb_bits=0, lsb_bits=2, switching_frequency_mhz=1.0)
+        with pytest.raises(ValueError):
+            HybridDPWMConfig(msb_bits=3, lsb_bits=2, switching_frequency_mhz=-1.0)
+
+    def test_dynamic_power_between_pure_architectures(self):
+        hybrid = HybridDPWM(
+            HybridDPWMConfig(msb_bits=4, lsb_bits=4, switching_frequency_mhz=1.0)
+        )
+        counter = CounterDPWM(CounterDPWMConfig(bits=8, switching_frequency_mhz=1.0))
+        assert hybrid.dynamic_power_w() < counter.dynamic_power_w()

@@ -1,0 +1,85 @@
+"""Tests for the calibrated delay-line DPWM wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpwm.calibrated import CalibratedDelayLineDPWM
+from repro.technology.corners import OperatingConditions
+
+
+class TestCalibratedProposedDPWM:
+    @pytest.fixture()
+    def dpwm(self, proposed_line):
+        return CalibratedDelayLineDPWM(proposed_line, OperatingConditions.typical())
+
+    def test_scheme_and_word_width(self, dpwm):
+        assert dpwm.scheme == "proposed"
+        assert dpwm.word_bits == 8
+        assert dpwm.max_word == 255
+
+    def test_duty_fraction_tracks_word(self, dpwm):
+        for word in (16, 64, 128, 200, 255):
+            assert dpwm.duty_fraction(word) == pytest.approx(word / 256, abs=0.03)
+
+    def test_zero_word_gives_zero_duty(self, dpwm):
+        assert dpwm.duty_fraction(0) == 0.0
+
+    def test_duty_word_for_round_trip(self, dpwm):
+        for target in (0.1, 0.25, 0.5, 0.75, 0.99):
+            word = dpwm.duty_word_for(target)
+            assert 0 <= word <= dpwm.max_word
+            assert dpwm.duty_fraction(word) == pytest.approx(target, abs=0.03)
+
+    def test_duty_word_for_clamps(self, dpwm):
+        assert dpwm.duty_word_for(-0.5) == 0
+        assert dpwm.duty_word_for(1.5) == dpwm.max_word
+
+    def test_recalibration_across_corners_keeps_duty(self, proposed_line):
+        dpwm = CalibratedDelayLineDPWM(proposed_line, OperatingConditions.fast())
+        fast_duty = dpwm.duty_fraction(128)
+        dpwm.recalibrate(OperatingConditions.slow())
+        slow_duty = dpwm.duty_fraction(128)
+        # The calibration keeps the 50 % request near 50 % at both corners.
+        assert fast_duty == pytest.approx(0.5, abs=0.02)
+        assert slow_duty == pytest.approx(0.5, abs=0.02)
+
+    def test_uncalibrated_would_be_wrong(self, proposed_line):
+        # Sanity check of the premise: the same *tap* (not word) gives very
+        # different duty at different corners without the mapper.
+        fast_taps = proposed_line.tap_delays_ps(OperatingConditions.fast())
+        slow_taps = proposed_line.tap_delays_ps(OperatingConditions.slow())
+        period = proposed_line.config.clock_period_ps
+        assert slow_taps[127] / period > 2 * fast_taps[127] / period
+
+    def test_waveform_generation(self, dpwm):
+        waveform = dpwm.generate(128, periods=3)
+        assert waveform.measured_duty == pytest.approx(0.5, abs=0.03)
+        assert waveform.architecture == "calibrated-proposed"
+
+    def test_out_of_range_word_rejected(self, dpwm):
+        with pytest.raises(ValueError):
+            dpwm.reset_delay_ps(256)
+
+
+class TestCalibratedConventionalDPWM:
+    @pytest.fixture()
+    def dpwm(self, conventional_line):
+        return CalibratedDelayLineDPWM(conventional_line, OperatingConditions.typical())
+
+    def test_scheme_and_word_width(self, dpwm):
+        assert dpwm.scheme == "conventional"
+        assert dpwm.word_bits == 6
+        assert dpwm.max_word == 63
+
+    def test_duty_fraction_tracks_word(self, dpwm):
+        for word in (8, 16, 32, 48, 63):
+            assert dpwm.duty_fraction(word) == pytest.approx(word / 64, abs=0.05)
+
+    def test_recalibrate_at_fast_corner(self, conventional_line):
+        dpwm = CalibratedDelayLineDPWM(conventional_line, OperatingConditions.fast())
+        assert dpwm.duty_fraction(32) == pytest.approx(0.5, abs=0.05)
+
+    def test_unsupported_line_type_rejected(self):
+        with pytest.raises(TypeError):
+            CalibratedDelayLineDPWM(object())  # type: ignore[arg-type]

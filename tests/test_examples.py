@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run to completion and print their reports.
+
+The long-running closed-loop example (``buck_regulation.py``, ~3 x 2500
+switching periods) is not executed here to keep the suite fast; its pieces
+are covered by the closed-loop integration tests and it can be run manually.
+Its corner-level helper is still imported and exercised on a short run.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+FAST_EXAMPLES = sorted(
+    path for path in EXAMPLES_DIR.glob("*.py") if path.stem != "buck_regulation"
+)
+
+
+def test_expected_examples_exist():
+    names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart",
+        "buck_regulation",
+        "pvt_calibration",
+        "dpwm_architecture_tradeoffs",
+        "statistical_sizing",
+    } <= names
+
+
+@pytest.mark.parametrize("example", FAST_EXAMPLES, ids=lambda path: path.stem)
+def test_fast_examples_run_and_print(example, capsys):
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200
+
+
+def test_buck_regulation_helper_runs_shortened(monkeypatch, capsys):
+    module = runpy.run_path(str(EXAMPLES_DIR / "buck_regulation.py"))
+    run_at_corner = module["run_at_corner"]
+    # Shorten the scenario through the module-level constants the helper uses.
+    module_globals = run_at_corner.__globals__
+    module_globals["TOTAL_PERIODS"] = 300
+    module_globals["STEP_UP_PERIOD"] = 100
+    module_globals["STEP_DOWN_PERIOD"] = 200
+    from repro.technology.corners import ProcessCorner
+
+    result = run_at_corner(ProcessCorner.TYPICAL)
+    assert result["corner"] == "typical"
+    assert result["pre_step_v"] == pytest.approx(0.9, abs=0.03)
+    assert result["final_v"] == pytest.approx(0.9, abs=0.05)

@@ -1,0 +1,304 @@
+"""Tests for the experiment harnesses: every table/figure regenerates and the
+paper's qualitative claims hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry, run_experiment
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.runner import main as runner_main
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.experiments.table6 import FREQUENCIES_MHZ, PAPER_TABLE6
+
+EXPECTED_EXPERIMENTS = {
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "fig19",
+    "fig21",
+    "fig23",
+    "fig28",
+    "fig37",
+    "fig41_42",
+    "fig47_48",
+    "fig50_51",
+    "design_example",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        assert EXPECTED_EXPERIMENTS <= set(registry)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("table5")(lambda: None)
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_EXPERIMENTS))
+    def test_experiment_runs_and_reports(self, experiment_id):
+        result = run_experiment(experiment_id)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == experiment_id
+        assert result.data
+        assert len(result.report) > 40
+
+
+class TestTable2Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2")
+
+    def test_counter_needs_much_higher_clock(self, result):
+        for row in result.data["rows"]:
+            assert row["counter_clock_mhz"] > row["delay_line_clock_mhz"]
+            assert row["counter_clock_mhz"] == 2 ** row["bits"]
+
+    def test_delay_line_area_larger_at_high_resolution(self, result):
+        high_res = [row for row in result.data["rows"] if row["bits"] >= 8]
+        for row in high_res:
+            assert row["delay_line_area_um2"] > row["counter_area_um2"]
+
+    def test_hybrid_is_the_compromise(self, result):
+        for row in result.data["rows"]:
+            assert row["hybrid_clock_mhz"] < row["counter_clock_mhz"]
+            if row["bits"] >= 8:
+                assert row["hybrid_area_um2"] < row["delay_line_area_um2"]
+
+    def test_13_bit_counter_clock_is_multi_ghz(self, result):
+        row = next(r for r in result.data["rows"] if r["bits"] == 13)
+        # Paper section 2.2.1: "a clock frequency in the range of multiple GHz".
+        assert row["counter_clock_mhz"] > 2000.0
+
+
+class TestTable4Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table4")
+
+    def test_proposed_wins_linearity_and_calibration(self, result):
+        assert result.data["proposed_wins_linearity"]
+        assert result.data["proposed_wins_calibration_time"]
+
+    def test_conventional_cell_is_multibranch(self, result):
+        assert result.data["conventional_branches"] >= 4
+
+
+class TestTable5Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table5")
+
+    def test_tap_counts_match_paper(self, result):
+        assert result.data["proposed"]["taps"] == PAPER_TABLE5["proposed"]["taps"]
+        assert (
+            result.data["conventional"]["taps"]
+            == PAPER_TABLE5["conventional"]["taps"]
+        )
+
+    def test_total_areas_within_five_percent_of_paper(self, result):
+        for scheme in ("proposed", "conventional"):
+            measured = result.data[scheme]["total_area_um2"]
+            reported = PAPER_TABLE5[scheme]["total_area_um2"]
+            assert measured == pytest.approx(reported, rel=0.05)
+
+    def test_proposed_smaller_by_similar_factor(self, result):
+        paper_ratio = (
+            PAPER_TABLE5["conventional"]["total_area_um2"]
+            / PAPER_TABLE5["proposed"]["total_area_um2"]
+        )
+        assert result.data["area_ratio"] == pytest.approx(paper_ratio, rel=0.1)
+
+    def test_area_distribution_close_to_paper(self, result):
+        for scheme in ("proposed", "conventional"):
+            for block, paper_pct in PAPER_TABLE5[scheme]["distribution"].items():
+                measured_pct = result.data[scheme]["distribution"][block]
+                assert measured_pct == pytest.approx(paper_pct, abs=2.0), (
+                    scheme,
+                    block,
+                )
+
+    def test_conventional_dominated_by_line_and_controller(self, result):
+        distribution = result.data["conventional"]["distribution"]
+        assert distribution["Delay Line"] > 45.0
+        assert distribution["Controller"] > 40.0
+        assert distribution["Output MUX"] < 5.0
+
+
+class TestTable6Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table6")
+
+    def test_buffers_per_cell_match_paper(self, result):
+        for frequency in FREQUENCIES_MHZ:
+            assert (
+                result.data["per_frequency"][frequency]["buffers_per_cell"]
+                == PAPER_TABLE6[frequency]["buffers_per_cell"]
+            )
+
+    def test_total_area_within_five_percent_of_paper(self, result):
+        for frequency in FREQUENCIES_MHZ:
+            measured = result.data["per_frequency"][frequency]["total_area_um2"]
+            assert measured == pytest.approx(
+                PAPER_TABLE6[frequency]["total_area_um2"], rel=0.05
+            )
+
+    def test_area_decreases_with_frequency(self, result):
+        areas = [
+            result.data["per_frequency"][frequency]["total_area_um2"]
+            for frequency in FREQUENCIES_MHZ
+        ]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_delay_line_share_shrinks_with_frequency(self, result):
+        shares = [
+            result.data["per_frequency"][frequency]["distribution"]["Delay Line"]
+            for frequency in FREQUENCIES_MHZ
+        ]
+        assert shares == sorted(shares, reverse=True)
+        for frequency in FREQUENCIES_MHZ:
+            assert result.data["per_frequency"][frequency]["distribution"][
+                "Delay Line"
+            ] == pytest.approx(PAPER_TABLE6[frequency]["delay_line_pct"], abs=2.0)
+
+
+class TestTimingFigures:
+    def test_fig19_duties(self):
+        result = run_experiment("fig19")
+        for word, duty in result.data["measured_duties"].items():
+            assert duty == pytest.approx((word + 1) / 4, abs=0.01)
+
+    def test_fig21_duties(self):
+        result = run_experiment("fig21")
+        for word, duty in result.data["measured_duties"].items():
+            assert duty == pytest.approx((word + 1) / 4, abs=0.01)
+
+    def test_fig23_featured_word(self):
+        result = run_experiment("fig23")
+        assert result.data["featured_duty"] == pytest.approx(23 / 32, abs=0.005)
+        assert result.data["counter_clock_mhz"] == pytest.approx(8.0)
+        assert result.data["num_cells"] == 4
+
+    def test_fig28_corner_spread(self):
+        result = run_experiment("fig28")
+        per_corner = result.data["per_corner"]
+        assert per_corner["fast"]["buffer_delay_ps"] == pytest.approx(20.0)
+        assert per_corner["slow"]["buffer_delay_ps"] == pytest.approx(80.0)
+        # The uncalibrated mid-scale tap drifts from 25 % to ~100 % duty.
+        assert per_corner["fast"]["uncalibrated_duty_at_mid_tap"] < 0.3
+        assert per_corner["slow"]["uncalibrated_duty_at_mid_tap"] > 0.95
+
+
+class TestLockingFigures:
+    def test_fig37_locks_at_fast_and_typical(self):
+        result = run_experiment("fig37")
+        assert result.data["per_corner"]["fast"]["locked"]
+        assert result.data["per_corner"]["typical"]["locked"]
+
+    def test_fig41_42_sequential_is_worst(self):
+        result = run_experiment("fig41_42")
+        scenarios = result.data["scenarios"]
+        assert (
+            scenarios["sequential"]["max_error_fraction_of_period"]
+            > scenarios["distributed"]["max_error_fraction_of_period"]
+        )
+        assert (
+            scenarios["sequential"]["max_inl_lsb"]
+            > scenarios["round_robin"]["max_inl_lsb"]
+        )
+
+    def test_fig47_48_proposed_locks_everywhere_and_faster(self):
+        result = run_experiment("fig47_48")
+        for corner, record in result.data["per_corner"].items():
+            assert record["proposed_locked"], corner
+        # Calibration-time comparison is meaningful at the corners where the
+        # conventional DLL achieves a true lock (it saturates immediately at
+        # the slow corner, see the fig37 experiment).
+        for corner in ("fast", "typical"):
+            record = result.data["per_corner"][corner]
+            assert record["proposed_lock_cycles"] < record["conventional_lock_cycles"]
+
+    def test_fig47_48_tap_sel_scales_with_corner(self):
+        result = run_experiment("fig47_48")
+        per_corner = result.data["per_corner"]
+        assert (
+            per_corner["fast"]["proposed_tap_sel"]
+            > per_corner["typical"]["proposed_tap_sel"]
+            > per_corner["slow"]["proposed_tap_sel"]
+        )
+
+
+class TestLinearityFigures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig50_51")
+
+    def test_all_curves_are_monotonic(self, result):
+        for corner in ("slow", "fast"):
+            for frequency, record in result.data[corner].items():
+                assert record["monotonic"], (corner, frequency)
+
+    def test_slow_corner_has_plateaus(self, result):
+        for frequency in result.data["slow"]:
+            slow_levels = result.data["slow"][frequency]["distinct_levels"]
+            fast_levels = result.data["fast"][frequency]["distinct_levels"]
+            assert slow_levels < fast_levels
+
+    def test_fast_corner_linearity_improves_at_lower_frequency(self, result):
+        fast = result.data["fast"]
+        assert fast[50.0]["rms_inl_lsb"] < fast[200.0]["rms_inl_lsb"]
+
+    def test_curves_overlay_on_common_full_scale(self, result):
+        # After the x1 / x2 / x4 scaling all three frequency curves should
+        # end near the same 20 ns full scale.
+        for corner in ("slow", "fast"):
+            finals = [
+                record["scaled_delay_ns"][-1]
+                for record in result.data[corner].values()
+            ]
+            assert max(finals) - min(finals) < 1.5
+
+    def test_max_error_stays_within_a_few_percent(self, result):
+        for corner in ("slow", "fast"):
+            for record in result.data[corner].values():
+                assert record["max_error_fraction"] < 0.06
+
+
+class TestDesignExampleClaims:
+    def test_matches_paper_section_4_2(self):
+        result = run_experiment("design_example")
+        conventional = result.data["conventional"]
+        proposed = result.data["proposed"]
+        assert conventional["num_cells"] == 64
+        assert conventional["branches"] == 4
+        assert conventional["buffers_per_element"] == 2
+        assert proposed["num_cells"] == 256
+        assert proposed["buffers_per_cell"] == 2
+        assert conventional["worst_case_total_delay_ps"] == pytest.approx(10_240.0)
+        assert proposed["worst_case_total_delay_ps"] == pytest.approx(10_240.0)
+        assert conventional["guarantees_locking"]
+        assert proposed["guarantees_locking"]
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert runner_main(["design_example"]) == 0
+        out = capsys.readouterr().out
+        assert "design_example" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert runner_main(["table99"]) == 2
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert runner_main([]) == 1

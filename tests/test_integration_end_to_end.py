@@ -1,0 +1,138 @@
+"""Integration tests: the full stack working together.
+
+These tests cross module boundaries on purpose: design procedure ->
+delay-line model -> calibration -> DPWM -> buck converter, and design
+procedure -> netlist -> synthesizer -> power model, mirroring how a user of
+the library would assemble the pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import netlist_dynamic_power_w
+from repro.converter.buck import BuckParameters
+from repro.converter.closed_loop import DigitallyControlledBuck, IdealDPWM
+from repro.converter.load import SteppedLoad
+from repro.core.comparison import compare_schemes
+from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.core.linearity import transfer_curve
+from repro.core.proposed import ProposedController
+from repro.dpwm.calibrated import CalibratedDelayLineDPWM
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.synthesis import Synthesizer
+from repro.technology.variation import VariationModel
+
+
+class TestDesignToRegulation:
+    """Spec -> design -> calibration -> DPWM -> closed-loop regulation."""
+
+    @pytest.mark.parametrize("frequency_mhz", [50.0, 100.0, 200.0])
+    def test_regulation_at_every_design_frequency(self, frequency_mhz, library):
+        spec = DesignSpec(clock_frequency_mhz=frequency_mhz, resolution_bits=6)
+        line = design_proposed(spec, library).build_line(library=library)
+        dpwm = CalibratedDelayLineDPWM(line, OperatingConditions.typical())
+        parameters = BuckParameters(
+            input_voltage_v=1.8, switching_frequency_hz=frequency_mhz * 1e6
+        )
+        loop = DigitallyControlledBuck(parameters, dpwm, reference_v=0.9)
+        trace = loop.run(300)
+        assert trace.steady_state_voltage_v() == pytest.approx(0.9, abs=0.03)
+
+    def test_corner_change_recalibration_keeps_regulation(self, library):
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        line = design_proposed(spec, library).build_line(library=library)
+        dpwm = CalibratedDelayLineDPWM(line, OperatingConditions.fast())
+        parameters = BuckParameters(input_voltage_v=1.8, switching_frequency_hz=100e6)
+
+        fast_loop = DigitallyControlledBuck(parameters, dpwm, reference_v=1.2)
+        fast_voltage = fast_loop.run(300).steady_state_voltage_v()
+
+        dpwm.recalibrate(OperatingConditions.slow())
+        slow_loop = DigitallyControlledBuck(parameters, dpwm, reference_v=1.2)
+        slow_voltage = slow_loop.run(300).steady_state_voltage_v()
+
+        assert fast_voltage == pytest.approx(1.2, abs=0.03)
+        assert slow_voltage == pytest.approx(1.2, abs=0.03)
+
+    def test_proposed_dpwm_matches_ideal_dpwm_regulation(self, library):
+        """The calibrated delay-line DPWM regulates as well as an ideal quantizer."""
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        line = design_proposed(spec, library).build_line(library=library)
+        parameters = BuckParameters(input_voltage_v=1.8, switching_frequency_hz=100e6)
+        load = SteppedLoad(light_ohm=2.0, heavy_ohm=1.0, step_up_period=150)
+
+        real = DigitallyControlledBuck(
+            parameters,
+            CalibratedDelayLineDPWM(line, OperatingConditions.typical()),
+            reference_v=0.9,
+            load=load,
+        ).run(400)
+        ideal = DigitallyControlledBuck(
+            parameters, IdealDPWM(bits=8), reference_v=0.9, load=load
+        ).run(400)
+
+        assert real.steady_state_voltage_v() == pytest.approx(
+            ideal.steady_state_voltage_v(), abs=0.02
+        )
+
+    def test_mismatched_silicon_still_regulates(self, library):
+        """Post-APR mismatch flows through calibration into regulation."""
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        design = design_proposed(spec, library)
+        sample = VariationModel(random_sigma=0.05, seed=77).sample(
+            design.num_cells, design.buffers_per_cell
+        )
+        line = design.build_line(library=library, variation=sample)
+        dpwm = CalibratedDelayLineDPWM(line, OperatingConditions.slow())
+        parameters = BuckParameters(input_voltage_v=1.8, switching_frequency_hz=100e6)
+        trace = DigitallyControlledBuck(parameters, dpwm, reference_v=0.9).run(300)
+        assert trace.steady_state_voltage_v() == pytest.approx(0.9, abs=0.03)
+
+
+class TestDesignToSynthesisAndPower:
+    """Spec -> design -> netlist -> area report -> power model."""
+
+    def test_area_and_power_roll_up_consistently(self, library, synthesizer):
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        for build in (design_proposed, design_conventional):
+            design = build(spec, library)
+            netlist = design.build_line(library=library).netlist()
+            report = synthesizer.synthesize(netlist)
+            # Block areas add up to the total.
+            assert sum(block.area_um2 for block in report.blocks) == pytest.approx(
+                report.total_area_um2
+            )
+            # The power model consumes the same netlist without error and
+            # scales linearly with frequency.
+            p100 = netlist_dynamic_power_w(netlist, library, 1.0, 100e6)
+            p200 = netlist_dynamic_power_w(netlist, library, 1.0, 200e6)
+            assert p200 == pytest.approx(2 * p100)
+
+    def test_comparison_consistent_with_individual_synthesis(self, library, synthesizer):
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        comparison = compare_schemes(spec, library=library)
+        direct = synthesizer.synthesize(
+            design_proposed(spec, library).build_line(library=library).netlist()
+        )
+        assert comparison.proposed_area.total_area_um2 == pytest.approx(
+            direct.total_area_um2
+        )
+
+
+class TestCalibrationToLinearity:
+    """Calibration output feeds the linearity analysis coherently."""
+
+    def test_transfer_curve_full_scale_tracks_lock(self, library):
+        spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+        line = design_proposed(spec, library).build_line(library=library)
+        for corner in ProcessCorner:
+            conditions = OperatingConditions(corner=corner)
+            result = ProposedController(line).lock(conditions)
+            curve = transfer_curve(line, conditions, tap_sel=result.control_state)
+            # Full-scale delay approaches (but does not exceed by much) the
+            # clock period at every corner.
+            full_scale = curve.delays_ps[-1]
+            assert full_scale == pytest.approx(10_000.0, rel=0.06)
+            assert np.all(np.diff(curve.delays_ps) >= 0)

@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    differential_nonlinearity,
+    integral_nonlinearity,
+    is_monotonic,
+)
+from repro.core.conventional import (
+    ConventionalDelayLine,
+    ConventionalDelayLineConfig,
+    ShiftRegisterController,
+    TuningOrder,
+)
+from repro.core.mapper import MappingBlock
+from repro.core.proposed import (
+    ProposedController,
+    ProposedDelayLine,
+    ProposedDelayLineConfig,
+)
+from repro.simulation.waveform import WaveformTrace
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
+
+LIBRARY = intel32_like_library()
+
+power_of_two_cells = st.sampled_from([8, 16, 32, 64, 128, 256])
+corners = st.sampled_from(list(ProcessCorner))
+
+
+class TestMapperProperties:
+    @given(
+        num_cells=power_of_two_cells,
+        word_fraction=st.floats(min_value=0.0, max_value=1.0),
+        tap_fraction=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_mapping_is_bounded_and_scales_with_tap_sel(
+        self, num_cells, word_fraction, tap_fraction
+    ):
+        mapper = MappingBlock(num_cells=num_cells)
+        word = min(int(word_fraction * mapper.max_word), mapper.max_word)
+        tap_sel = max(1, min(int(tap_fraction * num_cells), num_cells))
+        mapped = mapper.map(word, tap_sel)
+        assert 0 <= mapped <= num_cells - 1
+        # Exact hardware identity: multiply then shift.
+        assert mapped == min((word * tap_sel) >> (mapper.word_bits - 1), num_cells - 1)
+
+    @given(num_cells=power_of_two_cells, tap_sel_fraction=st.floats(0.01, 1.0))
+    def test_mapping_monotonic_in_word(self, num_cells, tap_sel_fraction):
+        mapper = MappingBlock(num_cells=num_cells)
+        tap_sel = max(1, min(int(tap_sel_fraction * num_cells), num_cells))
+        previous = -1
+        for word in range(0, mapper.max_word + 1, max(1, num_cells // 16)):
+            mapped = mapper.map(word, tap_sel)
+            assert mapped >= previous
+            previous = mapped
+
+    @given(num_cells=power_of_two_cells, word=st.integers(min_value=0, max_value=10_000))
+    def test_mapping_monotonic_in_tap_sel(self, num_cells, word):
+        mapper = MappingBlock(num_cells=num_cells)
+        word = word % (mapper.max_word + 1)
+        previous = -1
+        for tap_sel in range(1, num_cells + 1, max(1, num_cells // 16)):
+            mapped = mapper.map(word, tap_sel)
+            assert mapped >= previous
+            previous = mapped
+
+
+class TestProposedLineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_cells=st.sampled_from([32, 64, 128, 256]),
+        buffers=st.integers(min_value=1, max_value=4),
+        corner=corners,
+        sigma=st.floats(min_value=0.0, max_value=0.08),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_tap_delays_strictly_increasing(self, num_cells, buffers, corner, sigma, seed):
+        variation = VariationModel(random_sigma=sigma, gradient_peak=0.01, seed=seed)
+        sample = variation.sample(num_cells, buffers)
+        line = ProposedDelayLine(
+            ProposedDelayLineConfig(
+                num_cells=num_cells,
+                buffers_per_cell=buffers,
+                clock_period_ps=10_000.0,
+            ),
+            library=LIBRARY,
+            variation=sample,
+        )
+        taps = line.tap_delays_ps(OperatingConditions(corner=corner))
+        assert np.all(np.diff(taps) > 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        corner=corners,
+        temperature=st.floats(min_value=-40.0, max_value=110.0),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_locking_brackets_half_period_whenever_line_is_long_enough(
+        self, corner, temperature, seed
+    ):
+        variation = VariationModel(random_sigma=0.04, seed=seed)
+        line = ProposedDelayLine(
+            ProposedDelayLineConfig(
+                num_cells=256, buffers_per_cell=2, clock_period_ps=10_000.0
+            ),
+            library=LIBRARY,
+            variation=variation.sample(256, 2),
+        )
+        conditions = OperatingConditions(corner=corner, temperature_c=temperature)
+        result = ProposedController(line).lock(conditions)
+        assert result.locked
+        taps = line.tap_delays_ps(conditions)
+        half = 5_000.0
+        locked_delay = taps[result.control_state - 1]
+        next_delay = (
+            taps[result.control_state]
+            if result.control_state < 256
+            else locked_delay
+        )
+        assert locked_delay <= half or result.control_state == 1
+        assert next_delay > half or result.control_state == 256
+
+    @settings(max_examples=20, deadline=None)
+    @given(corner=corners, seed=st.integers(min_value=0, max_value=2**16))
+    def test_calibrated_duty_error_bounded_by_a_few_cells(self, corner, seed):
+        # Random mismatch only: a systematic placement gradient adds a bow
+        # that single-point calibration cannot remove, which is studied
+        # separately in the Figure 50-51 experiment.
+        variation = VariationModel(random_sigma=0.03, gradient_peak=0.0, seed=seed)
+        line = ProposedDelayLine(
+            ProposedDelayLineConfig(
+                num_cells=256, buffers_per_cell=2, clock_period_ps=10_000.0
+            ),
+            library=LIBRARY,
+            variation=variation.sample(256, 2),
+        )
+        conditions = OperatingConditions(corner=corner)
+        tap_sel = ProposedController(line).lock(conditions).control_state
+        cell = float(line.cell_delays_ps(conditions).max())
+        quantum = max(3.5 * cell / 10_000.0, 3.5 / (2 * tap_sel))
+        for word in (16, 64, 128, 200, 255):
+            achieved = line.achieved_duty(word, tap_sel, conditions)
+            assert abs(achieved - word / 256) <= quantum
+
+
+class TestConventionalLineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        steps=st.integers(min_value=0, max_value=192),
+        order=st.sampled_from(list(TuningOrder)),
+        corner=corners,
+    )
+    def test_levels_sum_matches_steps_and_delay_monotonic_in_steps(
+        self, steps, order, corner
+    ):
+        line = ConventionalDelayLine(
+            ConventionalDelayLineConfig(
+                num_cells=64,
+                branches=4,
+                buffers_per_element=2,
+                clock_period_ps=10_000.0,
+                tuning_order=order,
+            ),
+            library=LIBRARY,
+        )
+        levels = line.levels_for_steps(steps)
+        assert int(levels.sum()) == min(steps, 192)
+        conditions = OperatingConditions(corner=corner)
+        if steps < 192:
+            shorter = line.total_delay_ps(levels, conditions)
+            longer = line.total_delay_ps(line.levels_for_steps(steps + 1), conditions)
+            assert longer > shorter
+
+    @settings(max_examples=15, deadline=None)
+    @given(order=st.sampled_from(list(TuningOrder)), corner=corners)
+    def test_lock_never_exceeds_adjustment_range(self, order, corner):
+        line = ConventionalDelayLine(
+            ConventionalDelayLineConfig(
+                num_cells=64,
+                branches=4,
+                buffers_per_element=2,
+                clock_period_ps=10_000.0,
+                tuning_order=order,
+            ),
+            library=LIBRARY,
+        )
+        result = ShiftRegisterController(line).lock(OperatingConditions(corner=corner))
+        assert 0 <= result.control_state <= 192
+        if result.locked:
+            levels = line.levels_for_steps(result.control_state)
+            taps = line.tap_delays_ps(levels, OperatingConditions(corner=corner))
+            assert taps[-2] < 10_000.0 <= taps[-1]
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=64,
+        )
+    )
+    def test_cumulative_curves_are_monotonic_with_zero_negative_dnl_floor(self, steps):
+        curve = np.cumsum(np.asarray(steps))
+        assert is_monotonic(curve)
+        dnl = differential_nonlinearity(curve)
+        # For a strictly increasing curve, DNL can never reach -1.
+        assert np.all(dnl > -1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+            min_size=3,
+            max_size=64,
+        ),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    def test_inl_is_shift_invariant(self, noise, lsb):
+        codes = np.arange(len(noise), dtype=float) * lsb
+        curve = codes + np.asarray(noise) * 0.01
+        if abs(curve[-1] - curve[0]) < 1e-9:
+            return
+        inl_a = integral_nonlinearity(curve, lsb=lsb)
+        inl_b = integral_nonlinearity(curve + 123.4, lsb=lsb)
+        assert np.allclose(inl_a, inl_b)
+
+
+class TestWaveformProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_high_time_never_exceeds_window(self, transitions):
+        trace = WaveformTrace(name="w")
+        for time_ps, value in sorted(transitions, key=lambda item: item[0]):
+            trace.record(time_ps, value)
+        window = 1e4
+        high = trace.high_time_ps(0.0, window)
+        assert 0.0 <= high <= window
+        duty = trace.duty_cycle(window)
+        assert 0.0 <= duty <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for the VCD exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpwm.counter_dpwm import CounterDPWM, CounterDPWMConfig
+from repro.simulation.vcd import dump_vcd, traces_to_vcd
+from repro.simulation.waveform import WaveformTrace
+
+
+def make_trace(name: str, points) -> WaveformTrace:
+    trace = WaveformTrace(name=name)
+    for time_ps, value in points:
+        trace.record(time_ps, value)
+    return trace
+
+
+class TestTracesToVcd:
+    def test_header_and_definitions(self):
+        trace = make_trace("clk", [(0.0, 1), (50.0, 0)])
+        text = traces_to_vcd([trace])
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1 ! clk $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_scalar_value_changes_in_time_order(self):
+        trace = make_trace("clk", [(0.0, 1), (50.0, 0), (100.0, 1)])
+        text = traces_to_vcd([trace])
+        body = text.split("$enddefinitions $end")[1]
+        assert body.index("#0") < body.index("#50") < body.index("#100")
+        assert "1!" in body and "0!" in body
+
+    def test_vector_signals_use_binary_format(self):
+        trace = make_trace("cnt", [(0.0, 0), (10.0, 5)])
+        text = traces_to_vcd([trace])
+        assert "$var wire 3 ! cnt $end" in text
+        assert "b101 !" in text
+
+    def test_multiple_traces_share_timeline(self):
+        clk = make_trace("clk", [(0.0, 1), (50.0, 0)])
+        out = make_trace("out", [(0.0, 1), (25.0, 0)])
+        text = traces_to_vcd([clk, out])
+        body = text.split("$enddefinitions $end")[1]
+        assert body.count("#0") == 1  # shared timestamp emitted once
+        assert "#25" in body and "#50" in body
+
+    def test_duplicate_names_rejected(self):
+        trace = make_trace("clk", [(0.0, 1)])
+        with pytest.raises(ValueError):
+            traces_to_vcd([trace, make_trace("clk", [(0.0, 0)])])
+
+    def test_dump_vcd_writes_file(self, tmp_path):
+        trace = make_trace("clk", [(0.0, 1), (10.0, 0)])
+        path = dump_vcd([trace], tmp_path / "wave.vcd")
+        assert path.exists()
+        assert "$enddefinitions" in path.read_text()
+
+    def test_dpwm_waveform_round_trip(self, tmp_path):
+        # End-to-end: simulate a DPWM and dump its waveforms.
+        dpwm = CounterDPWM(CounterDPWMConfig(bits=2, switching_frequency_mhz=1.0))
+        waveform = dpwm.generate(1)
+        traces = [waveform.trace, *waveform.support_traces.values()]
+        path = dump_vcd(traces, tmp_path / "dpwm.vcd")
+        content = path.read_text()
+        assert "dpwm_out" in content
+        assert "cnt" in content
+        assert content.count("$var wire") == len(traces)

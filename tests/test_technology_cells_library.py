@@ -1,0 +1,98 @@
+"""Tests for standard-cell models and the calibrated library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.cells import CellKind, StandardCell
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+
+
+class TestStandardCell:
+    def _cell(self, **overrides):
+        base = dict(
+            kind=CellKind.BUFFER,
+            name="BUF_TEST",
+            area_um2=1.0,
+            delay_ps=40.0,
+            leakage_nw=1.0,
+            input_capacitance_ff=1.0,
+        )
+        base.update(overrides)
+        return StandardCell(**base)
+
+    def test_delay_scales_with_corner(self):
+        cell = self._cell()
+        assert cell.delay_at(OperatingConditions.fast()) == pytest.approx(20.0)
+        assert cell.delay_at(OperatingConditions.typical()) == pytest.approx(40.0)
+        assert cell.delay_at(OperatingConditions.slow()) == pytest.approx(80.0)
+
+    def test_switching_energy_scales_with_vdd_squared(self):
+        cell = self._cell(input_capacitance_ff=2.0)
+        assert cell.switching_energy_fj(1.0) == pytest.approx(2.0)
+        assert cell.switching_energy_fj(2.0) == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("area_um2", 0.0),
+            ("area_um2", -1.0),
+            ("delay_ps", -1.0),
+            ("leakage_nw", -0.1),
+            ("input_capacitance_ff", -0.5),
+        ],
+    )
+    def test_invalid_characterization_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            self._cell(**{field: value})
+
+
+class TestIntel32LikeLibrary:
+    def test_library_contains_all_needed_kinds(self, library):
+        for kind in CellKind:
+            assert kind in library, f"missing cell kind {kind}"
+
+    def test_buffer_delay_matches_paper_design_example(self, library):
+        # Paper section 4.2: 20 ps at the fast corner, 80 ps at the slow corner.
+        assert library.buffer_delay_ps(OperatingConditions.fast()) == pytest.approx(20.0)
+        assert library.buffer_delay_ps(OperatingConditions.slow()) == pytest.approx(80.0)
+        assert library.buffer_delay_ps(OperatingConditions.typical()) == pytest.approx(40.0)
+
+    def test_dff_is_much_larger_than_buffer(self, library):
+        # The conventional scheme's area is dominated by its flip-flop-heavy
+        # shift register; the calibration relies on DFF >> BUF.
+        assert library.area(CellKind.DFF) > 5 * library.area(CellKind.BUFFER)
+
+    def test_each_call_returns_independent_library(self):
+        first = intel32_like_library()
+        second = intel32_like_library()
+        first.add_cell(
+            StandardCell(
+                kind=CellKind.BUFFER,
+                name="BUF_HUGE",
+                area_um2=100.0,
+                delay_ps=40.0,
+                leakage_nw=1.0,
+                input_capacitance_ff=1.0,
+            )
+        )
+        assert second.area(CellKind.BUFFER) != 100.0
+
+    def test_unknown_cell_raises_key_error(self):
+        empty = TechnologyLibrary(name="empty", feature_size_nm=32.0)
+        with pytest.raises(KeyError, match="no cell of kind"):
+            empty.cell(CellKind.BUFFER)
+
+    def test_leakage_and_capacitance_accessors(self, library):
+        assert library.leakage_nw(CellKind.DFF) > 0
+        assert library.input_capacitance_ff(CellKind.MUX2) > 0
+
+    def test_len_counts_cells(self, library):
+        assert len(library) == len(CellKind)
+
+    def test_delay_accessor_matches_cell(self, library):
+        conditions = OperatingConditions.slow()
+        assert library.delay(CellKind.MUX2, conditions) == pytest.approx(
+            library.cell(CellKind.MUX2).delay_at(conditions)
+        )

@@ -1,0 +1,126 @@
+"""Tests for process corners and operating conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.corners import (
+    NOMINAL_TEMPERATURE_C,
+    NOMINAL_VDD_V,
+    OperatingConditions,
+    OperatingPointSweep,
+    ProcessCorner,
+    TemperatureGrade,
+)
+
+
+class TestProcessCorner:
+    def test_paper_corner_spread_is_4x(self):
+        assert (
+            ProcessCorner.SLOW.delay_scale / ProcessCorner.FAST.delay_scale == 4.0
+        )
+
+    def test_typical_scale_is_unity(self):
+        assert ProcessCorner.TYPICAL.delay_scale == 1.0
+
+    def test_fast_is_half_typical(self):
+        assert ProcessCorner.FAST.delay_scale == 0.5
+
+    def test_slow_is_twice_typical(self):
+        assert ProcessCorner.SLOW.delay_scale == 2.0
+
+    def test_from_name_accepts_any_case(self):
+        assert ProcessCorner.from_name("fast") is ProcessCorner.FAST
+        assert ProcessCorner.from_name("SLOW") is ProcessCorner.SLOW
+        assert ProcessCorner.from_name(" Typical ") is ProcessCorner.TYPICAL
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown process corner"):
+            ProcessCorner.from_name("nominal")
+
+
+class TestTemperatureGrade:
+    def test_grades_cover_industrial_range(self):
+        assert TemperatureGrade.COLD.celsius == -40.0
+        assert TemperatureGrade.HOT.celsius == 85.0
+        assert TemperatureGrade.JUNCTION_MAX.celsius > TemperatureGrade.HOT.celsius
+
+
+class TestOperatingConditions:
+    def test_default_is_nominal(self):
+        conditions = OperatingConditions()
+        assert conditions.corner is ProcessCorner.TYPICAL
+        assert conditions.temperature_c == NOMINAL_TEMPERATURE_C
+        assert conditions.vdd_v == NOMINAL_VDD_V
+        assert conditions.delay_scale == pytest.approx(1.0)
+
+    def test_corner_constructors(self):
+        assert OperatingConditions.fast().corner is ProcessCorner.FAST
+        assert OperatingConditions.slow().corner is ProcessCorner.SLOW
+        assert OperatingConditions.typical().corner is ProcessCorner.TYPICAL
+
+    def test_all_corners_returns_three_points(self):
+        corners = OperatingConditions.all_corners()
+        assert len(corners) == 3
+        assert {point.corner for point in corners} == set(ProcessCorner)
+
+    def test_higher_temperature_increases_delay(self):
+        cold = OperatingConditions(temperature_c=0.0)
+        hot = OperatingConditions(temperature_c=100.0)
+        assert hot.delay_scale > cold.delay_scale
+
+    def test_higher_vdd_decreases_delay(self):
+        low = OperatingConditions(vdd_v=0.9)
+        high = OperatingConditions(vdd_v=1.1)
+        assert high.delay_scale < low.delay_scale
+
+    def test_delay_scale_is_always_positive(self):
+        extreme = OperatingConditions(
+            corner=ProcessCorner.FAST, temperature_c=-55.0, vdd_v=3.0
+        )
+        assert extreme.delay_scale > 0.0
+
+    def test_with_corner_preserves_other_fields(self):
+        base = OperatingConditions(temperature_c=85.0, vdd_v=0.95)
+        derived = base.with_corner(ProcessCorner.SLOW)
+        assert derived.corner is ProcessCorner.SLOW
+        assert derived.temperature_c == 85.0
+        assert derived.vdd_v == 0.95
+
+    def test_with_temperature_and_vdd(self):
+        base = OperatingConditions.fast()
+        assert base.with_temperature(85.0).temperature_c == 85.0
+        assert base.with_vdd(1.05).vdd_v == 1.05
+        assert base.with_temperature(85.0).corner is ProcessCorner.FAST
+
+    def test_invalid_vdd_rejected(self):
+        with pytest.raises(ValueError, match="supply voltage"):
+            OperatingConditions(vdd_v=0.0)
+
+    def test_out_of_range_temperature_rejected(self):
+        with pytest.raises(ValueError, match="temperature"):
+            OperatingConditions(temperature_c=200.0)
+
+    def test_conditions_are_hashable_and_frozen(self):
+        conditions = OperatingConditions()
+        assert conditions in {conditions}
+        with pytest.raises(AttributeError):
+            conditions.vdd_v = 1.2  # type: ignore[misc]
+
+
+class TestOperatingPointSweep:
+    def test_default_sweep_covers_three_corners(self):
+        sweep = OperatingPointSweep()
+        assert len(sweep) == 3
+        assert {point.corner for point in sweep} == set(ProcessCorner)
+
+    def test_cartesian_product_size(self):
+        sweep = OperatingPointSweep(
+            temperatures_c=(0.0, 25.0, 85.0), vdds_v=(0.95, 1.0, 1.05)
+        )
+        assert len(sweep) == 3 * 3 * 3
+
+    def test_sweep_order_is_deterministic(self):
+        sweep_a = OperatingPointSweep(temperatures_c=(0.0, 85.0))
+        sweep_b = OperatingPointSweep(temperatures_c=(0.0, 85.0))
+        assert sweep_a.points == sweep_b.points

@@ -1,0 +1,115 @@
+"""Tests for structural netlists and the area synthesizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.cells import CellKind
+from repro.technology.netlist import CellInstanceGroup, Netlist
+from repro.technology.synthesis import Synthesizer
+
+
+class TestNetlist:
+    def test_add_cells_accumulates_counts(self):
+        block = Netlist(name="block")
+        block.add_cells(CellKind.BUFFER, 10).add_cells(CellKind.BUFFER, 5)
+        assert block.cell_counts()[CellKind.BUFFER] == 15
+
+    def test_hierarchical_counts_include_children(self):
+        child = Netlist(name="child").add_cells(CellKind.DFF, 4)
+        parent = Netlist(name="parent").add_cells(CellKind.MUX2, 3).add_child(child)
+        counts = parent.cell_counts()
+        assert counts[CellKind.DFF] == 4
+        assert counts[CellKind.MUX2] == 3
+        assert parent.total_instances() == 7
+
+    def test_flatten_produces_hierarchical_paths(self):
+        child = Netlist(name="child").add_cells(CellKind.DFF, 1)
+        parent = Netlist(name="parent").add_child(child)
+        paths = [path for path, _ in parent.flatten()]
+        assert paths == ["parent/child"]
+
+    def test_find_locates_nested_block(self):
+        inner = Netlist(name="inner").add_cells(CellKind.BUFFER, 1)
+        middle = Netlist(name="middle").add_child(inner)
+        top = Netlist(name="top").add_child(middle)
+        assert top.find("inner") is inner
+        assert top.find("top") is top
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Netlist(name="top").find("ghost")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CellInstanceGroup(kind=CellKind.BUFFER, count=-1)
+
+
+class TestSynthesizer:
+    def _simple_design(self) -> Netlist:
+        line = Netlist(name="Line").add_cells(CellKind.BUFFER, 100)
+        controller = Netlist(name="Controller").add_cells(CellKind.DFF, 10)
+        return Netlist(name="design").add_child(line).add_child(controller)
+
+    def test_total_area_is_sum_of_cell_areas(self, library, synthesizer):
+        report = synthesizer.synthesize(self._simple_design())
+        expected = 100 * library.area(CellKind.BUFFER) + 10 * library.area(CellKind.DFF)
+        assert report.total_area_um2 == pytest.approx(expected)
+
+    def test_block_fractions_sum_to_one(self, synthesizer):
+        report = synthesizer.synthesize(self._simple_design())
+        assert sum(block.fraction for block in report.blocks) == pytest.approx(1.0)
+
+    def test_distribution_percentages(self, synthesizer):
+        report = synthesizer.synthesize(self._simple_design())
+        distribution = report.distribution()
+        assert set(distribution) == {"Line", "Controller"}
+        assert sum(distribution.values()) == pytest.approx(100.0)
+
+    def test_block_lookup(self, synthesizer):
+        report = synthesizer.synthesize(self._simple_design())
+        assert report.block("Line").instances == 100
+        with pytest.raises(KeyError):
+            report.block("Mapper")
+
+    def test_top_level_cells_grouped_under_top(self, synthesizer):
+        design = Netlist(name="design").add_cells(CellKind.BUFFER, 5)
+        report = synthesizer.synthesize(design)
+        assert report.blocks[0].name == "Top"
+        assert report.total_instances == 5
+
+    def test_leakage_and_capacitance_rollups(self, library, synthesizer):
+        design = Netlist(name="design").add_cells(CellKind.DFF, 3)
+        report = synthesizer.synthesize(design)
+        assert report.total_leakage_nw == pytest.approx(
+            3 * library.leakage_nw(CellKind.DFF)
+        )
+        assert report.total_switched_capacitance_ff == pytest.approx(
+            3 * library.input_capacitance_ff(CellKind.DFF)
+        )
+
+    def test_utilization_inflates_reported_area(self, library):
+        dense = Synthesizer(library=library, utilization=1.0)
+        placed = Synthesizer(library=library, utilization=0.8)
+        design = self._simple_design()
+        assert placed.synthesize(design).total_area_um2 == pytest.approx(
+            dense.synthesize(design).total_area_um2 / 0.8
+        )
+
+    def test_invalid_utilization_rejected(self, library):
+        with pytest.raises(ValueError):
+            Synthesizer(library=library, utilization=0.0)
+        with pytest.raises(ValueError):
+            Synthesizer(library=library, utilization=1.5)
+
+    def test_format_contains_blocks_and_total(self, synthesizer):
+        report = synthesizer.synthesize(self._simple_design())
+        text = report.format()
+        assert "Total area" in text
+        assert "Line" in text
+        assert "Controller" in text
+
+    def test_empty_design_has_zero_area(self, synthesizer):
+        report = synthesizer.synthesize(Netlist(name="empty"))
+        assert report.total_area_um2 == 0.0
+        assert report.total_instances == 0
