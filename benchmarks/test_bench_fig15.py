@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 15 (closed-loop regulation at scale)."""
+
+from repro.experiments.figure15 import REFERENCE_V, run as run_fig15
+
+
+def test_bench_fig15(benchmark):
+    result = benchmark(run_fig15)
+    architectures = result.data["architectures"]
+    # Every DPWM architecture regulates to the reference (paper eq. 11) and
+    # recovers after both load steps.
+    for entry in architectures.values():
+        assert abs(entry["pre_step_v"] - REFERENCE_V) < 0.02
+        assert abs(entry["heavy_v"] - REFERENCE_V) < 0.02
+        assert abs(entry["final_v"] - REFERENCE_V) < 0.02
+        # The load step visibly dips the output before the loop recovers.
+        assert entry["dip_v"] < REFERENCE_V - 0.05
+    # The calibrated delay-line DPWMs regulate as well as the ideal one.
+    ideal_error = abs(architectures["ideal 6-bit"]["final_v"] - REFERENCE_V)
+    for name in ("calibrated proposed", "calibrated conventional"):
+        assert abs(architectures[name]["final_v"] - REFERENCE_V) < ideal_error + 0.01
+    # Monte-Carlo sweep: essentially every component draw still regulates.
+    monte_carlo = result.data["monte_carlo"]
+    assert monte_carlo["regulation_yield"] > 0.99
+    assert monte_carlo["worst_error_v"] < 0.02

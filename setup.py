@@ -1,10 +1,13 @@
 """Setuptools shim.
 
-The execution environment has no ``wheel`` package, so PEP 517 editable
-installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``pip install -e .`` on environments where pip falls back to it) work from
-the metadata declared in ``pyproject.toml``.
+All project metadata (name, version, dependencies, the
+``repro-experiments`` console script) lives in ``pyproject.toml``; this file
+only exists for legacy install paths.  On environments with the ``wheel``
+package, plain ``pip install -e .`` works.  The offline containers this
+repository targets ship setuptools without ``wheel``, where PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``; there, use
+``python setup.py develop`` (or just run with ``PYTHONPATH=src``, which the
+test suite's ``conftest.py`` sets up automatically).
 """
 
 from setuptools import setup

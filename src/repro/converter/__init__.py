@@ -14,8 +14,9 @@ topologies the paper compares in chapter 2:
   plus the no-limit-cycle DPWM/ADC resolution rule.
 * :mod:`repro.converter.compensator` -- discrete PID compensator producing
   the duty command.
-* :mod:`repro.converter.load` -- load profiles (static and stepped) for
-  transient-response studies.
+* :mod:`repro.converter.load` -- load profiles (static, stepped, ramp,
+  pulse-train, random-burst) plus reference-step and line-transient
+  scenarios for transient-response studies.
 * :mod:`repro.converter.closed_loop` -- the digitally controlled buck: ADC +
   compensator + DPWM + power stage in a cycle-by-cycle loop.
 * :mod:`repro.converter.linear_regulator` -- standard / LDO / quasi-LDO
@@ -33,7 +34,15 @@ from repro.converter.linear_regulator import (
     LinearRegulator,
     LinearRegulatorType,
 )
-from repro.converter.load import ConstantLoad, SteppedLoad
+from repro.converter.load import (
+    ConstantLoad,
+    LineTransient,
+    PulseTrainLoad,
+    RampLoad,
+    RandomBurstLoad,
+    ReferenceStep,
+    SteppedLoad,
+)
 from repro.converter.switched_capacitor import SwitchedCapacitorConverter
 
 __all__ = [
@@ -44,7 +53,12 @@ __all__ = [
     "DigitallyControlledBuck",
     "LinearRegulator",
     "LinearRegulatorType",
+    "LineTransient",
     "PIDCompensator",
+    "PulseTrainLoad",
+    "RampLoad",
+    "RandomBurstLoad",
+    "ReferenceStep",
     "RegulationTrace",
     "SteppedLoad",
     "SwitchedCapacitorConverter",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["WindowedADC"]
 
 
@@ -50,15 +52,39 @@ class WindowedADC:
         """Largest positive error representable before saturation."""
         return self.max_code * self.lsb_v
 
-    def quantize_error(self, reference_v: float, measured_v: float) -> int:
-        """Quantize ``reference - measured`` into a signed error code."""
+    def _unclamped_code(self, reference_v: float, measured_v: float) -> int:
+        """Signed code before window clamping (dead band already applied).
+
+        Both :meth:`quantize_error` and :meth:`is_saturated` derive from this
+        single quantization so the two can never disagree about dead band or
+        rounding.
+        """
         error = reference_v - measured_v
         if abs(error) <= self.dead_band_v:
             return 0
-        code = int(round(error / self.lsb_v))
+        return int(round(error / self.lsb_v))
+
+    def quantize_error(self, reference_v: float, measured_v: float) -> int:
+        """Quantize ``reference - measured`` into a signed error code."""
+        code = self._unclamped_code(reference_v, measured_v)
         return max(self.min_code, min(self.max_code, code))
 
     def is_saturated(self, reference_v: float, measured_v: float) -> bool:
         """Whether the error falls outside the ADC window."""
-        code = int(round((reference_v - measured_v) / self.lsb_v))
+        code = self._unclamped_code(reference_v, measured_v)
         return code > self.max_code or code < self.min_code
+
+    def quantize_error_array(self, reference_v, measured_v) -> np.ndarray:
+        """Vectorized :meth:`quantize_error` over arrays of voltages.
+
+        Used by the batch simulation engine; element-for-element identical to
+        the scalar method (``np.rint`` and Python's ``round`` both round half
+        to even).
+        """
+        error = np.asarray(reference_v, dtype=float) - np.asarray(
+            measured_v, dtype=float
+        )
+        codes = np.clip(
+            np.rint(error / self.lsb_v).astype(np.int64), self.min_code, self.max_code
+        )
+        return np.where(np.abs(error) <= self.dead_band_v, 0, codes)

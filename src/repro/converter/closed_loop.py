@@ -29,6 +29,49 @@ from repro.converter.load import ConstantLoad
 __all__ = ["DutyQuantizer", "IdealDPWM", "RegulationTrace", "DigitallyControlledBuck"]
 
 
+def validate_reference_profile(reference_profile, input_voltage_v) -> None:
+    """Reject reference profiles that peak above the input voltage.
+
+    Shared by the scalar loop and the batch engine.  ``input_voltage_v`` may
+    be a scalar or a per-variant array; profiles without a
+    ``max_reference_v`` attribute (custom duck-typed ones) are accepted
+    as-is.
+
+    Raises:
+        ValueError: if the profile's peak exceeds any input voltage.
+    """
+    max_reference = getattr(reference_profile, "max_reference_v", None)
+    if max_reference is not None and np.any(
+        np.asarray(max_reference) > np.asarray(input_voltage_v)
+    ):
+        raise ValueError(
+            f"reference profile peaks at {max_reference} V, above the input "
+            "voltage"
+        )
+
+
+def steady_state_tail(voltages: np.ndarray, tail_fraction: float) -> np.ndarray:
+    """Validated tail slice (along axis 0) for steady-state statistics.
+
+    Shared by the scalar :class:`RegulationTrace` and the batch engine's
+    result container so the two can never diverge on validation or slicing.
+
+    Raises:
+        ValueError: if the history is empty or ``tail_fraction`` is outside
+            ``(0, 1]``.
+    """
+    num_periods = voltages.shape[0]
+    if num_periods == 0:
+        raise ValueError(
+            "cannot compute steady-state statistics of an empty trace; "
+            "run the loop for at least one period first"
+        )
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    start = int(num_periods * (1.0 - tail_fraction))
+    return voltages[min(start, num_periods - 1) :]
+
+
 class DutyQuantizer(Protocol):
     """The interface the closed loop needs from a DPWM."""
 
@@ -98,17 +141,25 @@ class RegulationTrace:
             "rload_ohm": np.asarray(self.load_resistances_ohm),
         }
 
+    def _tail(self, tail_fraction: float) -> np.ndarray:
+        """Last ``tail_fraction`` of the voltage history, validated non-empty."""
+        return steady_state_tail(np.asarray(self.output_voltages_v), tail_fraction)
+
     def steady_state_voltage_v(self, tail_fraction: float = 0.25) -> float:
-        """Mean output voltage over the last ``tail_fraction`` of the run."""
-        voltages = np.asarray(self.output_voltages_v)
-        start = int(len(voltages) * (1.0 - tail_fraction))
-        return float(voltages[start:].mean())
+        """Mean output voltage over the last ``tail_fraction`` of the run.
+
+        Raises:
+            ValueError: if the trace is empty.
+        """
+        return float(self._tail(tail_fraction).mean())
 
     def steady_state_ripple_v(self, tail_fraction: float = 0.25) -> float:
-        """Peak-to-peak per-period voltage variation over the run's tail."""
-        voltages = np.asarray(self.output_voltages_v)
-        start = int(len(voltages) * (1.0 - tail_fraction))
-        tail = voltages[start:]
+        """Peak-to-peak per-period voltage variation over the run's tail.
+
+        Raises:
+            ValueError: if the trace is empty.
+        """
+        tail = self._tail(tail_fraction)
         return float(tail.max() - tail.min())
 
 
@@ -124,28 +175,54 @@ class DigitallyControlledBuck:
         compensator: PIDCompensator | None = None,
         load=None,
         start_at_reference: bool = True,
+        reference_profile=None,
+        source_profile=None,
+        stepper: str = "exact",
     ) -> None:
+        """Assemble the loop.
+
+        Args:
+            reference_profile: optional object with ``reference_at(period)``
+                (e.g. :class:`~repro.converter.load.ReferenceStep`)
+                overriding the constant ``reference_v`` per period.
+            source_profile: optional object with ``voltage_at(period)``
+                (e.g. :class:`~repro.converter.load.LineTransient`) driving
+                the input rail per period instead of the nominal value.
+            stepper: power-stage integration method, ``"exact"`` (default)
+                or ``"euler"`` (the seed fixed-step integrator).
+        """
         if reference_v <= 0 or reference_v > parameters.input_voltage_v:
             raise ValueError(
                 "reference voltage must be positive and below the input voltage"
             )
+        if reference_profile is not None:
+            validate_reference_profile(reference_profile, parameters.input_voltage_v)
         self.parameters = parameters
         self.dpwm = dpwm
         self.reference_v = reference_v
+        self.reference_profile = reference_profile
+        self.source_profile = source_profile
         self.adc = adc or WindowedADC()
+        # The operating point at period 0 follows the profile when one is
+        # given (e.g. a ReferenceStep that begins below reference_v).
+        initial_reference = (
+            reference_profile.reference_at(0)
+            if reference_profile is not None
+            else reference_v
+        )
         self.compensator = compensator or PIDCompensator(
-            initial_duty=reference_v / parameters.input_voltage_v
+            initial_duty=initial_reference / parameters.input_voltage_v
         )
         self.load = load or ConstantLoad(resistance_ohm=1.0)
-        self.power_stage = BuckPowerStage(parameters)
+        self.power_stage = BuckPowerStage(parameters, method=stepper)
         if start_at_reference:
             # Start at the operating point so runs focus on regulation and
             # load transients rather than the cold-start charge-up; pass
             # ``start_at_reference=False`` to study the start-up itself.
             initial_load = self.load.resistance_at(0)
             self.power_stage.reset(
-                output_voltage_v=reference_v,
-                inductor_current_a=reference_v / initial_load,
+                output_voltage_v=initial_reference,
+                inductor_current_a=initial_reference / initial_load,
             )
         else:
             self.power_stage.reset(output_voltage_v=0.0, inductor_current_a=0.0)
@@ -158,12 +235,24 @@ class DigitallyControlledBuck:
         period_s = self.parameters.switching_period_s
         for index in range(periods):
             measured = self.power_stage.state.output_voltage_v
-            error_code = self.adc.quantize_error(self.reference_v, measured)
+            reference = (
+                self.reference_profile.reference_at(index)
+                if self.reference_profile is not None
+                else self.reference_v
+            )
+            error_code = self.adc.quantize_error(reference, measured)
             duty_command = self.compensator.update(error_code)
             duty_word = self.dpwm.duty_word_for(duty_command)
             duty = self.dpwm.duty_fraction(duty_word)
             load_resistance = self.load.resistance_at(index)
-            state = self.power_stage.run_period(duty, load_resistance)
+            source_voltage = (
+                self.source_profile.voltage_at(index)
+                if self.source_profile is not None
+                else None
+            )
+            state = self.power_stage.run_period(
+                duty, load_resistance, source_voltage_v=source_voltage
+            )
             trace.times_s.append((index + 1) * period_s)
             trace.output_voltages_v.append(state.output_voltage_v)
             trace.inductor_currents_a.append(state.inductor_current_a)

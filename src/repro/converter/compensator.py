@@ -52,6 +52,11 @@ class PIDCompensator:
         """Current integrator value (the slowly varying duty estimate)."""
         return self._integral
 
+    @property
+    def previous_error(self) -> float:
+        """Error code seen on the previous update (the derivative memory)."""
+        return self._previous_error
+
     def update(self, error_code: int) -> float:
         """Advance one switching period and return the new duty command."""
         error = float(error_code)

@@ -1,16 +1,31 @@
-"""Load profiles for regulation and transient-response experiments.
+"""Load profiles and transient scenarios for regulation experiments.
 
 The paper motivates precise regulation by the load transients a
 microprocessor imposes on its regulator; these profiles express the load as a
 resistance seen by the buck output as a function of the switching-period
-index.
+index.  Beyond the constant and single-step loads, the module models the
+realistic core workloads the closed loop has to survive -- current ramps
+(DVFS-style activity ramps), periodic pulse trains (a duty-cycled
+accelerator) and seeded random bursts (interrupt-driven activity) -- plus
+the two non-load disturbances of regulator bring-up: reference steps (DVS
+voltage transitions) and line transients (input-rail droop).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["ConstantLoad", "SteppedLoad"]
+import numpy as np
+
+__all__ = [
+    "ConstantLoad",
+    "SteppedLoad",
+    "RampLoad",
+    "PulseTrainLoad",
+    "RandomBurstLoad",
+    "ReferenceStep",
+    "LineTransient",
+]
 
 
 @dataclass(frozen=True)
@@ -59,3 +74,182 @@ class SteppedLoad:
         if self.step_up_period <= period_index < self.step_down_period:
             return self.heavy_ohm
         return self.light_ohm
+
+
+@dataclass(frozen=True)
+class RampLoad:
+    """A load whose resistance ramps linearly between two values.
+
+    Models a DVFS-style activity ramp: the load current rises (resistance
+    falls) gradually instead of stepping, which exercises the loop's
+    tracking rather than its transient recovery.
+
+    Attributes:
+        start_ohm: resistance before ``ramp_start_period``.
+        end_ohm: resistance after ``ramp_end_period``.
+        ramp_start_period: period index at which the ramp begins.
+        ramp_end_period: period index at which the ramp completes.
+    """
+
+    start_ohm: float
+    end_ohm: float
+    ramp_start_period: int
+    ramp_end_period: int
+
+    def __post_init__(self) -> None:
+        if self.start_ohm <= 0 or self.end_ohm <= 0:
+            raise ValueError("load resistances must be positive")
+        if self.ramp_start_period < 0:
+            raise ValueError("ramp_start_period must be non-negative")
+        if self.ramp_end_period <= self.ramp_start_period:
+            raise ValueError("ramp_end_period must come after ramp_start_period")
+
+    def resistance_at(self, period_index: int) -> float:
+        """Load resistance during the given switching period."""
+        if period_index <= self.ramp_start_period:
+            return self.start_ohm
+        if period_index >= self.ramp_end_period:
+            return self.end_ohm
+        progress = (period_index - self.ramp_start_period) / (
+            self.ramp_end_period - self.ramp_start_period
+        )
+        return self.start_ohm + progress * (self.end_ohm - self.start_ohm)
+
+
+@dataclass(frozen=True)
+class PulseTrainLoad:
+    """A load that pulses periodically between a light and a heavy value.
+
+    Models a duty-cycled workload (e.g. an accelerator woken every scheduling
+    quantum): starting at ``first_pulse_period``, the load is heavy for
+    ``pulse_periods`` switching periods out of every ``train_period``.
+    """
+
+    light_ohm: float
+    heavy_ohm: float
+    pulse_periods: int
+    train_period: int
+    first_pulse_period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.light_ohm <= 0 or self.heavy_ohm <= 0:
+            raise ValueError("load resistances must be positive")
+        if self.pulse_periods < 1:
+            raise ValueError("pulse_periods must be positive")
+        if self.train_period <= self.pulse_periods:
+            raise ValueError("train_period must exceed pulse_periods")
+        if self.first_pulse_period < 0:
+            raise ValueError("first_pulse_period must be non-negative")
+
+    def resistance_at(self, period_index: int) -> float:
+        """Load resistance during the given switching period."""
+        if period_index < self.first_pulse_period:
+            return self.light_ohm
+        phase = (period_index - self.first_pulse_period) % self.train_period
+        return self.heavy_ohm if phase < self.pulse_periods else self.light_ohm
+
+
+@dataclass(frozen=True)
+class RandomBurstLoad:
+    """A load with random heavy bursts, reproducible from a seed.
+
+    Models interrupt-driven activity: each switching period independently
+    starts a burst with probability ``burst_probability``; a burst holds the
+    heavy load for ``burst_periods`` periods.  The burst schedule is drawn
+    once for ``horizon_periods`` periods and repeats beyond the horizon, so
+    ``resistance_at`` is a pure function of the period index and two runs
+    with the same seed see the same workload.
+    """
+
+    light_ohm: float
+    heavy_ohm: float
+    burst_probability: float = 0.02
+    burst_periods: int = 20
+    horizon_periods: int = 4096
+    seed: int = 0
+    _heavy_mask: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.light_ohm <= 0 or self.heavy_ohm <= 0:
+            raise ValueError("load resistances must be positive")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        if self.burst_periods < 1 or self.horizon_periods < 1:
+            raise ValueError("burst_periods and horizon_periods must be positive")
+        rng = np.random.default_rng(self.seed)
+        starts = rng.random(self.horizon_periods) < self.burst_probability
+        mask = np.zeros(self.horizon_periods, dtype=bool)
+        for start in np.flatnonzero(starts):
+            mask[start : start + self.burst_periods] = True
+        object.__setattr__(self, "_heavy_mask", mask)
+
+    def resistance_at(self, period_index: int) -> float:
+        """Load resistance during the given switching period."""
+        if period_index < 0:
+            raise ValueError("period index must be non-negative")
+        if self._heavy_mask[period_index % self.horizon_periods]:
+            return self.heavy_ohm
+        return self.light_ohm
+
+
+@dataclass(frozen=True)
+class ReferenceStep:
+    """A reference voltage that steps at a given period (a DVS transition).
+
+    Attributes:
+        initial_v: reference before ``step_period``.
+        final_v: reference from ``step_period`` onwards.
+        step_period: period index of the transition.
+    """
+
+    initial_v: float
+    final_v: float
+    step_period: int
+
+    def __post_init__(self) -> None:
+        if self.initial_v <= 0 or self.final_v <= 0:
+            raise ValueError("reference voltages must be positive")
+        if self.step_period < 0:
+            raise ValueError("step_period must be non-negative")
+
+    @property
+    def max_reference_v(self) -> float:
+        return max(self.initial_v, self.final_v)
+
+    def reference_at(self, period_index: int) -> float:
+        """Reference voltage during the given switching period."""
+        return self.final_v if period_index >= self.step_period else self.initial_v
+
+
+@dataclass(frozen=True)
+class LineTransient:
+    """An input-voltage disturbance (the rail droops, then recovers).
+
+    Attributes:
+        nominal_v: input voltage outside the disturbance window.
+        disturbed_v: input voltage inside ``[start_period, end_period)``.
+        start_period / end_period: disturbance window in period indices.
+    """
+
+    nominal_v: float
+    disturbed_v: float
+    start_period: int
+    end_period: int
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0 or self.disturbed_v <= 0:
+            raise ValueError("input voltages must be positive")
+        if self.start_period < 0:
+            raise ValueError("start_period must be non-negative")
+        if self.end_period <= self.start_period:
+            raise ValueError("end_period must come after start_period")
+
+    @property
+    def min_voltage_v(self) -> float:
+        return min(self.nominal_v, self.disturbed_v)
+
+    def voltage_at(self, period_index: int) -> float:
+        """Input voltage during the given switching period."""
+        if self.start_period <= period_index < self.end_period:
+            return self.disturbed_v
+        return self.nominal_v

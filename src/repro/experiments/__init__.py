@@ -14,6 +14,7 @@ implementing modules) and EXPERIMENTS.md for paper-vs-measured values.
 from repro.experiments.base import ExperimentResult, registry, run_experiment
 from repro.experiments import (  # noqa: F401  (imported for registration)
     design_example,
+    figure15,
     figure19,
     figure21,
     figure23,

@@ -10,11 +10,22 @@ paper uses for functional verification.  It provides:
 * behavioural primitives (:mod:`repro.simulation.primitives`): buffers,
   inverters, multiplexers, D flip-flops with setup-time checking and an
   optional metastability model, set/reset flops, counters and comparators,
-* clock and pulse generators (:mod:`repro.simulation.clocks`), and
+* clock and pulse generators (:mod:`repro.simulation.clocks`),
 * waveform analysis helpers (:mod:`repro.simulation.waveform`) used to
-  measure duty cycles and pulse widths for the DPWM timing figures.
+  measure duty cycles and pulse widths for the DPWM timing figures, and
+* the vectorized batch engine (:mod:`repro.simulation.batch`) that advances
+  whole fleets of digitally controlled buck variants with exact
+  state-space steps -- the workhorse of the Monte-Carlo regulation sweeps.
 """
 
+from repro.simulation.batch import (
+    BatchBuckParameters,
+    BatchClosedLoop,
+    BatchCompensator,
+    BatchQuantizer,
+    BatchRegulationResult,
+    from_closed_loops,
+)
 from repro.simulation.clocks import ClockGenerator, PulseGenerator
 from repro.simulation.primitives import (
     Buffer,
@@ -33,8 +44,14 @@ from repro.simulation.vcd import dump_vcd, traces_to_vcd
 from repro.simulation.waveform import WaveformTrace, duty_cycle_of, pulse_widths
 
 __all__ = [
+    "BatchBuckParameters",
+    "BatchClosedLoop",
+    "BatchCompensator",
+    "BatchQuantizer",
+    "BatchRegulationResult",
     "Buffer",
     "ClockGenerator",
+    "from_closed_loops",
     "Comparator",
     "Counter",
     "DFlipFlop",

@@ -1,0 +1,625 @@
+"""Vectorized batch simulation engine for the digitally controlled buck.
+
+The scalar closed loop (:class:`~repro.converter.closed_loop.DigitallyControlledBuck`)
+advances one converter, one switching period at a time, in Python.  The
+regulation experiments the paper builds on it -- Monte-Carlo yield sweeps,
+DPWM-architecture comparisons, load-transient studies -- all run *fleets* of
+independent converter variants through the same per-period control law, so
+this module stacks N variants into numpy state arrays and advances all of
+them simultaneously:
+
+* :class:`BatchBuckParameters` -- stacked electrical parameters, one entry
+  per variant (Monte-Carlo component draws, corner sweeps ...).
+* :class:`BatchQuantizer` -- per-variant duty-word -> achieved-duty tables
+  extracted from any scalar DPWM (ideal or calibrated delay line), applied
+  with one fancy-indexing gather per period.
+* :class:`BatchCompensator` -- the PID law of
+  :class:`~repro.converter.compensator.PIDCompensator` on arrays.
+* :class:`BatchClosedLoop` -- ADC + compensator + DPWM + power stage for all
+  variants at once; each on/off interval uses the closed-form state-space
+  update of :func:`~repro.converter.buck.exact_interval_coefficients`, so a
+  whole switching period is a handful of vectorized operations instead of
+  N x 128 Python iterations.
+* :func:`from_closed_loops` -- lift a list of scalar loops into one batch
+  run (the cross-validation path: the batch engine reproduces the scalar
+  exact-stepper loop bit-for-bit on the control decisions).
+
+Per-period quantities (reference, input voltage, load resistance) follow the
+same scenario objects as the scalar loop (:mod:`repro.converter.load`), so
+reference steps, line transients, ramps, pulse trains and random bursts all
+work unchanged on whole fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.converter.adc import WindowedADC
+from repro.converter.buck import (
+    BuckParameters,
+    exact_interval_coefficients,
+    plant_matrix_entries,
+)
+from repro.converter.closed_loop import (
+    RegulationTrace,
+    steady_state_tail,
+    validate_reference_profile,
+)
+from repro.converter.load import ConstantLoad
+
+__all__ = [
+    "BatchBuckParameters",
+    "BatchQuantizer",
+    "BatchCompensator",
+    "BatchClosedLoop",
+    "BatchRegulationResult",
+    "from_closed_loops",
+]
+
+
+def _as_variant_array(value, num_variants: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or (N,) sequence to a float array of length N."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim == 0:
+        array = np.full(num_variants, float(array))
+    if array.shape != (num_variants,):
+        raise ValueError(
+            f"{name} must be a scalar or have shape ({num_variants},), "
+            f"got shape {array.shape}"
+        )
+    return array
+
+
+@dataclass
+class BatchBuckParameters:
+    """Electrical parameters of N independent buck converter variants.
+
+    Every field is a float array of shape ``(num_variants,)``; scalars
+    broadcast on construction.  Mirrors
+    :class:`~repro.converter.buck.BuckParameters` field for field.
+    """
+
+    input_voltage_v: np.ndarray
+    inductance_h: np.ndarray
+    capacitance_f: np.ndarray
+    switching_frequency_hz: np.ndarray
+    switch_resistance_ohm: np.ndarray
+    inductor_resistance_ohm: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [np.atleast_1d(np.asarray(getattr(self, name), dtype=float))
+                  for name in self._field_names()]
+        num_variants = max(array.shape[0] for array in arrays)
+        for name in self._field_names():
+            setattr(
+                self, name, _as_variant_array(getattr(self, name), num_variants, name)
+            )
+        if np.any(self.input_voltage_v <= 0):
+            raise ValueError("input voltages must be positive")
+        if np.any(self.inductance_h <= 0) or np.any(self.capacitance_f <= 0):
+            raise ValueError("L and C must be positive")
+        if np.any(self.switching_frequency_hz <= 0):
+            raise ValueError("switching frequencies must be positive")
+        if np.any(self.switch_resistance_ohm < 0) or np.any(
+            self.inductor_resistance_ohm < 0
+        ):
+            raise ValueError("parasitic resistances must be non-negative")
+
+    @staticmethod
+    def _field_names() -> tuple[str, ...]:
+        return (
+            "input_voltage_v",
+            "inductance_h",
+            "capacitance_f",
+            "switching_frequency_hz",
+            "switch_resistance_ohm",
+            "inductor_resistance_ohm",
+        )
+
+    @property
+    def num_variants(self) -> int:
+        return self.input_voltage_v.shape[0]
+
+    @property
+    def switching_period_s(self) -> np.ndarray:
+        return 1.0 / self.switching_frequency_hz
+
+    @classmethod
+    def from_parameters(
+        cls, parameters: Sequence[BuckParameters]
+    ) -> "BatchBuckParameters":
+        """Stack a sequence of scalar parameter sets into one batch."""
+        if not parameters:
+            raise ValueError("need at least one parameter set")
+        return cls(
+            **{
+                name: np.array([getattr(p, name) for p in parameters])
+                for name in cls._field_names()
+            }
+        )
+
+    @classmethod
+    def uniform(cls, nominal: BuckParameters, num_variants: int) -> "BatchBuckParameters":
+        """N identical copies of one nominal parameter set."""
+        if num_variants < 1:
+            raise ValueError("need at least one variant")
+        return cls(
+            **{
+                name: np.full(num_variants, getattr(nominal, name))
+                for name in cls._field_names()
+            }
+        )
+
+    def variant(self, index: int) -> BuckParameters:
+        """The scalar parameter set of one variant (for cross-validation)."""
+        return BuckParameters(
+            **{name: float(getattr(self, name)[index]) for name in self._field_names()}
+        )
+
+
+class BatchQuantizer:
+    """Vectorized duty quantizer backed by per-variant word -> duty tables.
+
+    Both the ideal DPWM and the calibrated delay-line DPWMs quantize a duty
+    command the same way (``word = round(command * 2**bits)`` clamped to the
+    word range) and differ only in the duty each word *achieves*, so any
+    scalar quantizer reduces to a lookup table of its
+    ``duty_fraction(word)`` values.  ``levels`` has shape
+    ``(num_variants, max_num_words)`` (a single row is shared by all
+    variants); variants may have *different* resolutions -- pass per-variant
+    ``num_words`` and pad the shorter rows -- which lets one batch compare
+    DPWM architectures of unequal word width.
+    """
+
+    def __init__(
+        self,
+        levels: np.ndarray,
+        num_variants: int | None = None,
+        num_words: np.ndarray | None = None,
+    ) -> None:
+        levels = np.atleast_2d(np.asarray(levels, dtype=float))
+        if levels.shape[1] < 2:
+            raise ValueError("need at least two duty words")
+        if np.any(levels < 0.0) or np.any(levels > 1.0):
+            raise ValueError("duty levels must lie in [0, 1]")
+        if num_variants is None:
+            num_variants = levels.shape[0]
+        if levels.shape[0] == 1:
+            levels = np.broadcast_to(levels, (num_variants, levels.shape[1]))
+        if levels.shape[0] != num_variants:
+            raise ValueError(
+                f"levels rows ({levels.shape[0]}) do not match the "
+                f"{num_variants} variants"
+            )
+        if num_words is None:
+            num_words = np.full(levels.shape[0], levels.shape[1], dtype=np.int64)
+        else:
+            num_words = np.asarray(num_words, dtype=np.int64)
+            if num_words.shape != (levels.shape[0],):
+                raise ValueError("need one word count per levels row")
+            if np.any(num_words < 2) or np.any(num_words > levels.shape[1]):
+                raise ValueError("word counts must lie in [2, levels columns]")
+        self.levels = levels
+        self.num_variants = num_variants
+        self.num_words = num_words
+        self._rows = np.arange(num_variants)
+
+    @property
+    def max_word(self) -> np.ndarray:
+        """Per-variant top duty word."""
+        return self.num_words - 1
+
+    @classmethod
+    def ideal(cls, bits: int, num_variants: int) -> "BatchQuantizer":
+        """An ideal n-bit quantizer shared by all variants."""
+        if bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+        levels = np.arange(1 << bits, dtype=float) / float(1 << bits)
+        return cls(levels[np.newaxis, :], num_variants=num_variants)
+
+    @classmethod
+    def from_quantizers(cls, quantizers: Sequence) -> "BatchQuantizer":
+        """Extract the word -> duty tables of scalar DPWM objects.
+
+        Every quantizer must expose ``max_word`` / ``duty_fraction`` (the
+        :class:`~repro.converter.closed_loop.DutyQuantizer` protocol); word
+        widths may differ between quantizers.
+        """
+        if not quantizers:
+            raise ValueError("need at least one quantizer")
+        num_words = np.array([q.max_word + 1 for q in quantizers], dtype=np.int64)
+        levels = np.zeros((len(quantizers), int(num_words.max())))
+        for row, quantizer in enumerate(quantizers):
+            levels[row, : num_words[row]] = [
+                quantizer.duty_fraction(word) for word in range(num_words[row])
+            ]
+        return cls(levels, num_words=num_words)
+
+    def quantize(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Duty commands -> (duty words, achieved duty fractions).
+
+        Matches the scalar ``duty_word_for`` of the ideal and calibrated
+        DPWMs exactly (clip to [0, 1], round half to even, clamp to the top
+        word).
+        """
+        commands = np.atleast_1d(np.clip(np.asarray(commands, dtype=float), 0.0, 1.0))
+        if self.num_variants != 1 and commands.shape != (self.num_variants,):
+            raise ValueError(
+                f"need one duty command per variant ({self.num_variants}), "
+                f"got shape {commands.shape}"
+            )
+        rows = self._rows[: commands.shape[0]]
+        num_words = self.num_words[rows]
+        words = np.minimum(
+            np.rint(commands * num_words).astype(np.int64), num_words - 1
+        )
+        return words, self.levels[rows, words]
+
+
+class BatchCompensator:
+    """The PID law of :class:`~repro.converter.compensator.PIDCompensator`
+    applied to stacked error-code arrays (one entry per variant)."""
+
+    def __init__(
+        self,
+        num_variants: int,
+        kp=0.001,
+        ki=5e-5,
+        kd=0.0,
+        initial_duty=0.5,
+        min_duty=0.0,
+        max_duty=1.0,
+    ) -> None:
+        self.kp = _as_variant_array(kp, num_variants, "kp")
+        self.ki = _as_variant_array(ki, num_variants, "ki")
+        self.kd = _as_variant_array(kd, num_variants, "kd")
+        self.min_duty = _as_variant_array(min_duty, num_variants, "min_duty")
+        self.max_duty = _as_variant_array(max_duty, num_variants, "max_duty")
+        self.initial_duty = _as_variant_array(initial_duty, num_variants, "initial_duty")
+        if np.any(self.min_duty < 0) or np.any(self.max_duty > 1) or np.any(
+            self.min_duty >= self.max_duty
+        ):
+            raise ValueError("require 0 <= min_duty < max_duty <= 1 per variant")
+        if np.any(self.initial_duty < self.min_duty) or np.any(
+            self.initial_duty > self.max_duty
+        ):
+            raise ValueError("initial_duty must lie inside the duty limits")
+        self.num_variants = num_variants
+        self.reset()
+
+    def reset(self) -> None:
+        self.integral = self.initial_duty.copy()
+        self.previous_error = np.zeros(self.num_variants)
+
+    def update(self, error_codes: np.ndarray) -> np.ndarray:
+        """Advance one switching period; returns the duty commands."""
+        error = np.asarray(error_codes, dtype=float)
+        self.integral += self.ki * error
+        np.clip(self.integral, self.min_duty, self.max_duty, out=self.integral)
+        derivative = error - self.previous_error
+        self.previous_error = error
+        duty = self.integral + self.kp * error + self.kd * derivative
+        return np.clip(duty, self.min_duty, self.max_duty)
+
+
+@dataclass
+class BatchRegulationResult:
+    """Per-period history of a batch closed-loop run.
+
+    All matrices have shape ``(periods, num_variants)``.
+    """
+
+    switching_period_s: np.ndarray
+    output_voltages_v: np.ndarray
+    inductor_currents_a: np.ndarray
+    duty_words: np.ndarray
+    duty_fractions: np.ndarray
+    error_codes: np.ndarray
+    load_resistances_ohm: np.ndarray
+
+    @property
+    def num_periods(self) -> int:
+        return self.output_voltages_v.shape[0]
+
+    @property
+    def num_variants(self) -> int:
+        return self.output_voltages_v.shape[1]
+
+    def _tail(self, tail_fraction: float) -> np.ndarray:
+        return steady_state_tail(self.output_voltages_v, tail_fraction)
+
+    def steady_state_voltage_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+        """Per-variant mean output voltage over the run's tail; shape (N,)."""
+        return self._tail(tail_fraction).mean(axis=0)
+
+    def steady_state_ripple_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+        """Per-variant peak-to-peak tail voltage variation; shape (N,)."""
+        tail = self._tail(tail_fraction)
+        return tail.max(axis=0) - tail.min(axis=0)
+
+    def trace(self, variant: int) -> RegulationTrace:
+        """One variant's history as a scalar :class:`RegulationTrace`."""
+        period = float(self.switching_period_s[variant])
+        return RegulationTrace(
+            times_s=[(index + 1) * period for index in range(self.num_periods)],
+            output_voltages_v=list(self.output_voltages_v[:, variant]),
+            inductor_currents_a=list(self.inductor_currents_a[:, variant]),
+            duty_words=[int(word) for word in self.duty_words[:, variant]],
+            duty_fractions=list(self.duty_fractions[:, variant]),
+            error_codes=[int(code) for code in self.error_codes[:, variant]],
+            load_resistances_ohm=list(self.load_resistances_ohm[:, variant]),
+        )
+
+
+class BatchClosedLoop:
+    """N digitally controlled bucks advanced together, period by period.
+
+    The control law, quantization and state update are element-for-element
+    the same as the scalar :class:`DigitallyControlledBuck` with the exact
+    stepper; only the bookkeeping is vectorized.
+    """
+
+    #: Bound on memoized per-period transition coefficients (each entry is
+    #: ~10 x N floats); regulation runs use a handful, continuously varying
+    #: scenarios (ramps) would otherwise grow the memo per period.
+    MAX_CACHED_PERIODS = 512
+
+    def __init__(
+        self,
+        parameters: BatchBuckParameters,
+        quantizer: BatchQuantizer,
+        reference_v,
+        adc: WindowedADC | None = None,
+        compensator: BatchCompensator | None = None,
+        load=None,
+        loads: Sequence | None = None,
+        start_at_reference: bool = True,
+        reference_profile=None,
+        source_profile=None,
+    ) -> None:
+        """Assemble the batch loop.
+
+        Args:
+            parameters: stacked electrical parameters (defines N).
+            quantizer: vectorized DPWM (must cover the same N variants, or a
+                single shared table).
+            reference_v: regulation target, scalar or per-variant array.
+            adc: shared windowed error ADC (configuration, not state).
+            compensator: vectorized PID; defaults to the scalar loop's
+                defaults with the integrator preloaded at ``Vref / Vg``.
+            load: one load profile shared by every variant.
+            loads: alternatively, one profile per variant.
+            start_at_reference: start at the operating point (as the scalar
+                loop does) rather than from a cold start.
+            reference_profile / source_profile: shared per-period scenario
+                objects (see :mod:`repro.converter.load`).
+        """
+        num_variants = parameters.num_variants
+        if quantizer.num_variants not in (1, num_variants):
+            raise ValueError(
+                f"quantizer covers {quantizer.num_variants} variants, "
+                f"parameters define {num_variants}"
+            )
+        self.parameters = parameters
+        self.quantizer = quantizer
+        self.reference_v = _as_variant_array(reference_v, num_variants, "reference_v")
+        if np.any(self.reference_v <= 0) or np.any(
+            self.reference_v > parameters.input_voltage_v
+        ):
+            raise ValueError(
+                "reference voltages must be positive and below the input voltage"
+            )
+        if reference_profile is not None:
+            validate_reference_profile(reference_profile, parameters.input_voltage_v)
+        self.adc = adc or WindowedADC()
+        # The operating point at period 0 follows the profile when one is
+        # given (e.g. a ReferenceStep that begins below reference_v).
+        initial_reference = (
+            _as_variant_array(
+                reference_profile.reference_at(0), num_variants, "reference_at(0)"
+            )
+            if reference_profile is not None
+            else self.reference_v
+        )
+        if compensator is not None and compensator.num_variants != num_variants:
+            raise ValueError(
+                f"compensator covers {compensator.num_variants} variants, "
+                f"parameters define {num_variants}"
+            )
+        self.compensator = compensator or BatchCompensator(
+            num_variants,
+            initial_duty=initial_reference / parameters.input_voltage_v,
+        )
+        if load is not None and loads is not None:
+            raise ValueError("pass either a shared load or per-variant loads")
+        if loads is not None and len(loads) != num_variants:
+            raise ValueError(f"need one load per variant ({num_variants})")
+        self._shared_load = load or (ConstantLoad(resistance_ohm=1.0) if loads is None else None)
+        self._variant_loads = list(loads) if loads is not None else None
+        self.reference_profile = reference_profile
+        self.source_profile = source_profile
+        if start_at_reference:
+            initial_load = self._load_resistances(0)
+            self.output_voltage_v = initial_reference.copy()
+            self.inductor_current_a = initial_reference / initial_load
+        else:
+            self.output_voltage_v = np.zeros(num_variants)
+            self.inductor_current_a = np.zeros(num_variants)
+
+    @property
+    def num_variants(self) -> int:
+        return self.parameters.num_variants
+
+    def _load_resistances(self, period_index: int) -> np.ndarray:
+        if self._variant_loads is not None:
+            resistances = np.array(
+                [load.resistance_at(period_index) for load in self._variant_loads]
+            )
+        else:
+            resistances = np.broadcast_to(
+                np.asarray(self._shared_load.resistance_at(period_index), dtype=float),
+                (self.num_variants,),
+            )
+        if np.any(resistances <= 0):
+            raise ValueError(
+                f"load resistance must be positive in period {period_index}"
+            )
+        return resistances
+
+    def run(self, periods: int) -> BatchRegulationResult:
+        """Run the closed loop for a number of switching periods."""
+        if periods < 1:
+            raise ValueError("periods must be >= 1")
+        params = self.parameters
+        num_variants = self.num_variants
+        series_resistance = params.switch_resistance_ohm + params.inductor_resistance_ohm
+        period_s = params.switching_period_s
+
+        voltages = np.empty((periods, num_variants))
+        currents = np.empty((periods, num_variants))
+        words_out = np.empty((periods, num_variants), dtype=np.int64)
+        duties_out = np.empty((periods, num_variants))
+        codes_out = np.empty((periods, num_variants), dtype=np.int64)
+        loads_out = np.empty((periods, num_variants))
+
+        current = self.inductor_current_a
+        voltage = self.output_voltage_v
+        # Once the loop settles, the duty words dither among a handful of
+        # values and the load takes few distinct levels, so whole periods
+        # share their transition coefficients; memoize them per
+        # (duty words, load) fingerprint.  The source voltage is deliberately
+        # absent from the key: the cached Ad / M coefficients do not depend
+        # on it, and the drive term is applied outside the cache.
+        coefficient_cache: dict[bytes, tuple] = {}
+        for index in range(periods):
+            if self.reference_profile is not None:
+                reference = self.reference_profile.reference_at(index)
+            else:
+                reference = self.reference_v
+            codes = self.adc.quantize_error_array(reference, voltage)
+            commands = self.compensator.update(codes)
+            words, duties = self.quantizer.quantize(commands)
+            rload = self._load_resistances(index)
+            if self.source_profile is not None:
+                source_voltage = self.source_profile.voltage_at(index)
+            else:
+                source_voltage = params.input_voltage_v
+            key = words.tobytes() + np.asarray(rload).tobytes()
+            coefficients = coefficient_cache.get(key)
+            if coefficients is None:
+                a, b, c, d = plant_matrix_entries(
+                    inductance_h=params.inductance_h,
+                    capacitance_f=params.capacitance_f,
+                    series_resistance_ohm=series_resistance,
+                    load_resistance_ohm=rload,
+                )
+                on_time = duties * period_s
+                coefficients = (
+                    exact_interval_coefficients(a, b, c, d, on_time),
+                    exact_interval_coefficients(a, b, c, d, period_s - on_time),
+                )
+                if len(coefficient_cache) >= self.MAX_CACHED_PERIODS:
+                    coefficient_cache.clear()
+                coefficient_cache[key] = coefficients
+            on_step, off_step = coefficients
+            # On interval: switch node at the source voltage.
+            ad11, ad12, ad21, ad22, m11, m21 = on_step
+            drive = source_voltage / params.inductance_h
+            current, voltage = (
+                ad11 * current + ad12 * voltage + m11 * drive,
+                ad21 * current + ad22 * voltage + m21 * drive,
+            )
+            # Off interval: switch node grounded (no drive term).
+            ad11, ad12, ad21, ad22, _, _ = off_step
+            current, voltage = (
+                ad11 * current + ad12 * voltage,
+                ad21 * current + ad22 * voltage,
+            )
+            voltages[index] = voltage
+            currents[index] = current
+            words_out[index] = words
+            duties_out[index] = duties
+            codes_out[index] = codes
+            loads_out[index] = rload
+        self.inductor_current_a = current
+        self.output_voltage_v = voltage
+        return BatchRegulationResult(
+            switching_period_s=period_s,
+            output_voltages_v=voltages,
+            inductor_currents_a=currents,
+            duty_words=words_out,
+            duty_fractions=duties_out,
+            error_codes=codes_out,
+            load_resistances_ohm=loads_out,
+        )
+
+
+def from_closed_loops(loops: Sequence) -> BatchClosedLoop:
+    """Lift scalar :class:`DigitallyControlledBuck` loops into one batch.
+
+    The loops must share the ADC configuration and scenario objects (their
+    per-variant parameters, DPWMs, compensator gains, references, loads and
+    current power-stage states all carry over).  The returned batch starts
+    from the loops' present state, so ``from_closed_loops(loops).run(p)``
+    parallels ``[loop.run(p) for loop in loops]``.
+    """
+    loops = list(loops)
+    if not loops:
+        raise ValueError("need at least one closed loop")
+    euler_loops = [loop for loop in loops if loop.power_stage.method != "exact"]
+    if euler_loops:
+        raise ValueError(
+            "the batch engine only reproduces exact-stepper loops; "
+            f"{len(euler_loops)} loop(s) use the Euler integrator"
+        )
+    adcs = {loop.adc for loop in loops}
+    if len(adcs) != 1:
+        raise ValueError("all loops must share one ADC configuration")
+    reference_profile = loops[0].reference_profile
+    source_profile = loops[0].source_profile
+    if any(
+        loop.reference_profile != reference_profile
+        or loop.source_profile != source_profile
+        for loop in loops[1:]
+    ):
+        raise ValueError("all loops must share the reference and source profiles")
+    parameters = BatchBuckParameters.from_parameters([loop.parameters for loop in loops])
+    quantizer = BatchQuantizer.from_quantizers([loop.dpwm for loop in loops])
+    compensator = BatchCompensator(
+        len(loops),
+        kp=[loop.compensator.kp for loop in loops],
+        ki=[loop.compensator.ki for loop in loops],
+        kd=[loop.compensator.kd for loop in loops],
+        initial_duty=[loop.compensator.integral for loop in loops],
+        min_duty=[loop.compensator.min_duty for loop in loops],
+        max_duty=[loop.compensator.max_duty for loop in loops],
+    )
+    shared_load = loops[0].load
+    loads = None
+    if any(loop.load != shared_load for loop in loops[1:]):
+        shared_load, loads = None, [loop.load for loop in loops]
+    batch = BatchClosedLoop(
+        parameters,
+        quantizer,
+        reference_v=[loop.reference_v for loop in loops],
+        adc=loops[0].adc,
+        compensator=compensator,
+        load=shared_load,
+        loads=loads,
+        reference_profile=reference_profile,
+        source_profile=source_profile,
+        start_at_reference=False,
+    )
+    batch.output_voltage_v = np.array(
+        [loop.power_stage.state.output_voltage_v for loop in loops]
+    )
+    batch.inductor_current_a = np.array(
+        [loop.power_stage.state.inductor_current_a for loop in loops]
+    )
+    batch.compensator.previous_error = np.array(
+        [loop.compensator.previous_error for loop in loops]
+    )
+    return batch

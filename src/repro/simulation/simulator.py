@@ -119,13 +119,13 @@ class Simulator:
             )
         executed = 0
         while self._queue and self._queue[0].time_ps <= time_ps:
-            self.step()
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events before reaching {time_ps} ps; "
                     "possible combinational loop"
                 )
+            self.step()
+            executed += 1
         self._now_ps = max(self._now_ps, time_ps)
 
     def run(self, max_events: int = 1_000_000) -> None:
@@ -135,9 +135,10 @@ class Simulator:
             SimulationError: if the event budget is exhausted (runaway loop).
         """
         executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
+        while self._queue:
+            if executed >= max_events:
                 raise SimulationError(
                     f"exceeded {max_events} events; possible combinational loop"
                 )
+            self.step()
+            executed += 1

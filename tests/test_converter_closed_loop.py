@@ -6,8 +6,17 @@ import numpy as np
 import pytest
 
 from repro.converter.buck import BuckParameters
-from repro.converter.closed_loop import DigitallyControlledBuck, IdealDPWM
-from repro.converter.load import ConstantLoad, SteppedLoad
+from repro.converter.closed_loop import (
+    DigitallyControlledBuck,
+    IdealDPWM,
+    RegulationTrace,
+)
+from repro.converter.load import (
+    ConstantLoad,
+    LineTransient,
+    ReferenceStep,
+    SteppedLoad,
+)
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
 from repro.technology.corners import OperatingConditions
 
@@ -93,6 +102,76 @@ class TestClosedLoopWithIdealDPWM:
         loop = DigitallyControlledBuck(params, IdealDPWM(bits=8), reference_v=0.9)
         with pytest.raises(ValueError):
             loop.run(0)
+
+    def test_empty_trace_statistics_raise(self):
+        # Regression: mean() of an empty trace used to yield NaN plus a
+        # numpy warning instead of a clear error.
+        trace = RegulationTrace()
+        with pytest.raises(ValueError, match="empty trace"):
+            trace.steady_state_voltage_v()
+        with pytest.raises(ValueError, match="empty trace"):
+            trace.steady_state_ripple_v()
+
+    def test_invalid_tail_fraction_rejected(self, params):
+        trace = DigitallyControlledBuck(params, IdealDPWM(bits=8), reference_v=0.9).run(10)
+        with pytest.raises(ValueError):
+            trace.steady_state_voltage_v(tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            trace.steady_state_ripple_v(tail_fraction=1.5)
+
+    def test_euler_stepper_selectable_and_close(self, params):
+        exact = DigitallyControlledBuck(params, IdealDPWM(bits=8), reference_v=0.9)
+        euler = DigitallyControlledBuck(
+            params, IdealDPWM(bits=8), reference_v=0.9, stepper="euler"
+        )
+        assert exact.power_stage.method == "exact"
+        assert euler.power_stage.method == "euler"
+        v_exact = exact.run(400).steady_state_voltage_v()
+        v_euler = euler.run(400).steady_state_voltage_v()
+        assert v_exact == pytest.approx(v_euler, abs=1e-3)
+
+    def test_start_at_reference_follows_profile_initial_value(self, params):
+        profile = ReferenceStep(initial_v=0.6, final_v=0.9, step_period=300)
+        loop = DigitallyControlledBuck(
+            params, IdealDPWM(bits=8), reference_v=0.9, reference_profile=profile
+        )
+        assert loop.power_stage.state.output_voltage_v == pytest.approx(0.6)
+        trace = loop.run(250)
+        voltages = np.asarray(trace.output_voltages_v)
+        # No artificial transient before the step: the loop holds 0.6 V.
+        assert voltages[200:250].mean() == pytest.approx(0.6, abs=0.02)
+
+    def test_reference_profile_above_input_rejected(self, params):
+        profile = ReferenceStep(initial_v=0.9, final_v=2.5, step_period=300)
+        with pytest.raises(ValueError, match="reference profile"):
+            DigitallyControlledBuck(
+                params, IdealDPWM(bits=8), reference_v=0.9, reference_profile=profile
+            )
+
+    def test_reference_step_scenario(self, params):
+        profile = ReferenceStep(initial_v=0.9, final_v=1.1, step_period=300)
+        loop = DigitallyControlledBuck(
+            params, IdealDPWM(bits=8), reference_v=0.9, reference_profile=profile
+        )
+        trace = loop.run(800)
+        voltages = np.asarray(trace.output_voltages_v)
+        assert voltages[250:300].mean() == pytest.approx(0.9, abs=0.03)
+        assert voltages[-50:].mean() == pytest.approx(1.1, abs=0.03)
+
+    def test_line_transient_scenario(self, params):
+        profile = LineTransient(
+            nominal_v=1.8, disturbed_v=1.4, start_period=300, end_period=600
+        )
+        loop = DigitallyControlledBuck(
+            params, IdealDPWM(bits=8), reference_v=0.9, source_profile=profile
+        )
+        trace = loop.run(900)
+        voltages = np.asarray(trace.output_voltages_v)
+        duties = np.asarray(trace.duty_fractions)
+        # The loop re-regulates through the droop by raising the duty.
+        assert voltages[550:600].mean() == pytest.approx(0.9, abs=0.03)
+        assert duties[550:600].mean() > duties[250:300].mean()
+        assert voltages[-50:].mean() == pytest.approx(0.9, abs=0.03)
 
     def test_cold_start_reaches_reference(self, params):
         loop = DigitallyControlledBuck(

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.converter.adc import WindowedADC
 from repro.converter.compensator import PIDCompensator
-from repro.converter.load import ConstantLoad, SteppedLoad
+from repro.converter.load import (
+    ConstantLoad,
+    LineTransient,
+    PulseTrainLoad,
+    RampLoad,
+    RandomBurstLoad,
+    ReferenceStep,
+    SteppedLoad,
+)
 
 
 class TestWindowedADC:
@@ -30,6 +39,31 @@ class TestWindowedADC:
         adc = WindowedADC(lsb_v=0.005, bits=5, dead_band_v=0.01)
         assert adc.quantize_error(0.9, 0.893) == 0
         assert adc.quantize_error(0.9, 0.88) != 0
+
+    def test_dead_band_error_is_never_saturated(self):
+        # Regression: is_saturated used to re-quantize without the dead band,
+        # so a wide dead band could disagree with quantize_error.
+        adc = WindowedADC(lsb_v=0.005, bits=4, dead_band_v=0.1)
+        # |error| = 0.08 is inside the dead band (code 0) but 16 LSBs wide,
+        # beyond the 3-bit signed window.
+        assert adc.quantize_error(0.9, 0.82) == 0
+        assert not adc.is_saturated(0.9, 0.82)
+
+    def test_saturation_agrees_with_quantization_everywhere(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5, dead_band_v=0.012)
+        for measured in np.linspace(0.6, 1.2, 601):
+            code = adc.quantize_error(0.9, measured)
+            saturated = adc.is_saturated(0.9, measured)
+            if saturated:
+                assert code in (adc.min_code, adc.max_code)
+            if code not in (adc.min_code, adc.max_code):
+                assert not saturated
+
+    def test_vectorized_quantization_matches_scalar(self):
+        adc = WindowedADC(lsb_v=0.005, bits=5, dead_band_v=0.008)
+        measured = np.linspace(0.5, 1.3, 257)
+        codes = adc.quantize_error_array(0.9, measured)
+        assert codes.tolist() == [adc.quantize_error(0.9, m) for m in measured]
 
     def test_full_scale(self):
         adc = WindowedADC(lsb_v=0.01, bits=4)
@@ -124,3 +158,75 @@ class TestLoads:
             SteppedLoad(light_ohm=1.0, heavy_ohm=1.0, step_up_period=10, step_down_period=5)
         with pytest.raises(ValueError):
             SteppedLoad(light_ohm=1.0, heavy_ohm=1.0, step_up_period=-1)
+
+    def test_ramp_load_interpolates(self):
+        load = RampLoad(start_ohm=2.0, end_ohm=1.0, ramp_start_period=100, ramp_end_period=300)
+        assert load.resistance_at(0) == 2.0
+        assert load.resistance_at(100) == 2.0
+        assert load.resistance_at(200) == pytest.approx(1.5)
+        assert load.resistance_at(300) == 1.0
+        assert load.resistance_at(10**6) == 1.0
+
+    def test_ramp_load_validation(self):
+        with pytest.raises(ValueError):
+            RampLoad(start_ohm=0.0, end_ohm=1.0, ramp_start_period=0, ramp_end_period=10)
+        with pytest.raises(ValueError):
+            RampLoad(start_ohm=1.0, end_ohm=2.0, ramp_start_period=10, ramp_end_period=10)
+
+    def test_pulse_train_load_repeats(self):
+        load = PulseTrainLoad(
+            light_ohm=2.0, heavy_ohm=0.5, pulse_periods=3, train_period=10,
+            first_pulse_period=5,
+        )
+        assert load.resistance_at(4) == 2.0
+        for start in (5, 15, 25):
+            assert load.resistance_at(start) == 0.5
+            assert load.resistance_at(start + 2) == 0.5
+            assert load.resistance_at(start + 3) == 2.0
+
+    def test_pulse_train_validation(self):
+        with pytest.raises(ValueError):
+            PulseTrainLoad(light_ohm=1.0, heavy_ohm=1.0, pulse_periods=5, train_period=5)
+        with pytest.raises(ValueError):
+            PulseTrainLoad(light_ohm=1.0, heavy_ohm=1.0, pulse_periods=0, train_period=5)
+
+    def test_random_burst_load_is_reproducible(self):
+        load_a = RandomBurstLoad(light_ohm=2.0, heavy_ohm=0.5, seed=7)
+        load_b = RandomBurstLoad(light_ohm=2.0, heavy_ohm=0.5, seed=7)
+        values_a = [load_a.resistance_at(i) for i in range(500)]
+        values_b = [load_b.resistance_at(i) for i in range(500)]
+        assert values_a == values_b
+        assert set(values_a) <= {2.0, 0.5}
+
+    def test_random_burst_load_bursts_hold(self):
+        load = RandomBurstLoad(
+            light_ohm=2.0, heavy_ohm=0.5, burst_probability=0.05,
+            burst_periods=10, horizon_periods=1000, seed=3,
+        )
+        values = np.array([load.resistance_at(i) for i in range(1000)])
+        heavy = values == 0.5
+        assert heavy.any() and not heavy.all()
+        # Each burst holds the heavy load for at least burst_periods.
+        starts = np.flatnonzero(heavy[1:] & ~heavy[:-1]) + 1
+        for start in starts:
+            assert heavy[start : start + 10].all() or start + 10 > 1000
+
+    def test_reference_step(self):
+        step = ReferenceStep(initial_v=0.9, final_v=1.2, step_period=100)
+        assert step.reference_at(99) == 0.9
+        assert step.reference_at(100) == 1.2
+        assert step.max_reference_v == 1.2
+        with pytest.raises(ValueError):
+            ReferenceStep(initial_v=0.0, final_v=1.0, step_period=0)
+
+    def test_line_transient(self):
+        transient = LineTransient(
+            nominal_v=1.8, disturbed_v=1.5, start_period=100, end_period=200
+        )
+        assert transient.voltage_at(99) == 1.8
+        assert transient.voltage_at(100) == 1.5
+        assert transient.voltage_at(199) == 1.5
+        assert transient.voltage_at(200) == 1.8
+        assert transient.min_voltage_v == 1.5
+        with pytest.raises(ValueError):
+            LineTransient(nominal_v=1.8, disturbed_v=1.5, start_period=10, end_period=10)

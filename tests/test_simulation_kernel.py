@@ -86,6 +86,45 @@ class TestSimulator:
         with pytest.raises(SimulationError, match="combinational loop"):
             sim.run(max_events=100)
 
+    def test_run_budget_is_exact(self):
+        # Regression: the budget check used to run after incrementing, so
+        # max_events + 1 events executed before the error fired.
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+        assert sim.events_executed == 100
+
+    def test_run_exactly_at_budget_succeeds(self):
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=100)
+        assert sim.events_executed == 100
+
+    def test_run_until_budget_is_exact(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="exceeded 50 events"):
+            sim.run_until(10.0, max_events=50)
+        assert sim.events_executed == 50
+
+    def test_run_until_exactly_at_budget_succeeds(self):
+        sim = Simulator()
+        for _ in range(50):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(10.0, max_events=50)
+        assert sim.events_executed == 50
+        assert sim.now_ps == 10.0
+
     def test_event_counter(self):
         sim = Simulator()
         for _ in range(5):
