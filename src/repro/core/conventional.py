@@ -41,7 +41,26 @@ __all__ = [
     "ConventionalDelayLineConfig",
     "ConventionalDelayLine",
     "ShiftRegisterController",
+    "active_branch_delays_ps",
 ]
+
+
+def active_branch_delays_ps(
+    multipliers: np.ndarray, buffers_active: np.ndarray, unit_delay_ps: float
+) -> np.ndarray:
+    """Delay of the active branch of every cell, from per-buffer multipliers.
+
+    The active branch of a cell uses the first ``buffers_active`` buffers of
+    its longest branch, so its delay is the unit delay times the prefix sum
+    of those multipliers -- one gather into the running cumulative sum along
+    the buffer axis.  ``multipliers`` is ``(..., cells, buffers)`` and
+    ``buffers_active`` ``(..., cells)``; leading batch axes broadcast, and
+    the accumulation order is the same for every caller, so the scalar line
+    and the ensemble engine are bit-identical by construction.
+    """
+    prefix_sums = np.cumsum(multipliers, axis=-1)
+    indices = (buffers_active - 1)[..., np.newaxis]
+    return unit_delay_ps * np.take_along_axis(prefix_sums, indices, axis=-1)[..., 0]
 
 
 class TuningOrder(enum.Enum):
@@ -131,11 +150,18 @@ class ConventionalDelayLine:
             branches=config.branches,
             buffers_per_element=config.buffers_per_element,
         )
-        if variation is not None and variation.num_cells != config.num_cells:
-            raise ValueError(
-                f"variation sample has {variation.num_cells} cells, "
-                f"line has {config.num_cells}"
-            )
+        if variation is not None:
+            if variation.num_cells != config.num_cells:
+                raise ValueError(
+                    f"variation sample has {variation.num_cells} cells, "
+                    f"line has {config.num_cells}"
+                )
+            longest_branch = config.branches * config.buffers_per_element
+            if variation.buffers_per_cell < longest_branch:
+                raise ValueError(
+                    f"variation sample has {variation.buffers_per_cell} buffers "
+                    f"per cell, the longest branch needs {longest_branch}"
+                )
         self.variation = variation
 
     # ------------------------------------------------------------------ #
@@ -189,16 +215,11 @@ class ConventionalDelayLine:
             raise ValueError("tuning level out of range")
         unit = self.library.buffer_delay_ps(conditions)
         buffers_active = (levels + 1) * config.buffers_per_element
-        delays = buffers_active.astype(float) * unit
-        if self.variation is not None:
-            # The variation sample stores one multiplier per buffer of the
-            # longest branch; the active branch uses the first
-            # ``buffers_active`` of them.
-            for index in range(config.num_cells):
-                active = buffers_active[index]
-                multipliers = self.variation.multipliers[index, :active]
-                delays[index] = unit * float(multipliers.sum())
-        return delays
+        if self.variation is None:
+            return buffers_active.astype(float) * unit
+        return active_branch_delays_ps(
+            self.variation.multipliers, buffers_active, unit
+        )
 
     def tap_delays_ps(
         self, levels: np.ndarray, conditions: OperatingConditions

@@ -12,6 +12,7 @@ from repro.core.conventional import (
     TuningOrder,
 )
 from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.variation import VariationModel
 
 
 def make_line(
@@ -120,6 +121,33 @@ class TestConventionalDelays:
         bad[0] = 4
         with pytest.raises(ValueError):
             line.cell_delays_ps(bad, OperatingConditions.typical())
+
+    def test_variation_branch_matches_per_cell_reference(self, library):
+        # The vectorized cumulative-sum gather must reproduce the per-cell
+        # prefix sums of the variation multipliers for every tuning profile.
+        sample = VariationModel(random_sigma=0.05, gradient_peak=0.01, seed=7).sample(
+            num_cells=64, buffers_per_cell=8
+        )
+        line = make_line(library=library, variation=sample)
+        unit = library.buffer_delay_ps(OperatingConditions.typical())
+        for steps in (0, 1, 17, 64, 100, 192):
+            levels = line.levels_for_steps(steps)
+            delays = line.cell_delays_ps(levels, OperatingConditions.typical())
+            active = (levels + 1) * line.config.buffers_per_element
+            reference = np.array(
+                [
+                    unit * sample.multipliers[index, : active[index]].sum()
+                    for index in range(64)
+                ]
+            )
+            np.testing.assert_allclose(delays, reference, rtol=0, atol=1e-12)
+
+    def test_undersized_variation_sample_rejected(self, library):
+        # The longest branch of the 64x4x2 line spans 8 buffers; a 4-buffer
+        # sample cannot cover it (the seed implementation silently truncated).
+        sample = VariationModel(seed=7).sample(num_cells=64, buffers_per_cell=4)
+        with pytest.raises(ValueError, match="longest branch"):
+            make_line(library=library, variation=sample)
 
     def test_output_delay_zero_word(self, library):
         line = make_line(library=library)
