@@ -5,13 +5,18 @@ Usage::
     repro-experiments --list
     repro-experiments table5 fig50_51
     repro-experiments --all
+    repro-experiments fig50_51_mc --json results.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from dataclasses import asdict, is_dataclass
+
+import numpy as np
 
 from repro.experiments import registry, run_experiment
 
@@ -34,7 +39,28 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available experiment ids"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the structured results (ExperimentResult.data and "
+        "paper references) of the selected experiments as JSON",
+    )
     return parser
+
+
+def _jsonable(value):
+    """Recursively convert experiment data into JSON-serializable types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -46,6 +72,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         for experiment_id in sorted(registry):
             print(experiment_id)
         return 0
+
+    if args.all and args.experiments:
+        print(
+            "--all runs every experiment and cannot be combined with "
+            f"explicit ids ({', '.join(args.experiments)})",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.all:
         selected = sorted(registry)
@@ -61,11 +95,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"known experiments: {', '.join(sorted(registry))}", file=sys.stderr)
         return 2
 
+    collected: dict[str, dict] = {}
+    failures: list[str] = []
     for experiment_id in selected:
-        result = run_experiment(experiment_id)
+        try:
+            result = run_experiment(experiment_id)
+        except Exception as error:  # noqa: BLE001 - report and keep going
+            failures.append(experiment_id)
+            print(
+                f"experiment {experiment_id} failed: "
+                f"{type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            continue
         print(f"=== {result.experiment_id}: {result.title} ===")
         print(result.report)
         print()
+        collected[experiment_id] = {
+            "title": result.title,
+            "data": _jsonable(result.data),
+            "paper_reference": _jsonable(result.paper_reference),
+        }
+
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2, sort_keys=True)
+        print(f"wrote {len(collected)} experiment result(s) to {args.json}")
+
+    if failures:
+        print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 
