@@ -1,0 +1,29 @@
+"""Benchmark: the Monte-Carlo linearity-yield sweep (Figures 50-51 at scale)."""
+
+from repro.experiments.figure50_51_mc import FREQUENCIES_MHZ, run as run_fig50_51_mc
+
+
+def test_bench_fig50_51_mc(benchmark):
+    # One round is enough: the experiment itself sweeps 12 x 1000 instances,
+    # so repeated rounds only multiply the suite's wall-clock.
+    result = benchmark.pedantic(run_fig50_51_mc, rounds=1, iterations=1)
+    # The proposed scheme locks for the whole population at every corner and
+    # frequency; the conventional DLL's lock yield collapses at the slow
+    # corner (paper fig37's saturation, now as a population statement).
+    for corner in ("slow", "fast"):
+        for record in result.data["proposed"][corner].values():
+            assert record["lock_yield"] == 1.0
+    for record in result.data["conventional"]["slow"].values():
+        assert record["lock_yield"] < 0.1
+    # Lower frequencies are more linear (more buffers per cell average out
+    # mismatch), so the slow-corner linearity yield decreases with frequency.
+    yields = [
+        result.data["proposed"]["slow"][frequency]["linearity_yield"]
+        for frequency in FREQUENCIES_MHZ
+    ]
+    assert yields == sorted(yields, reverse=True)
+    # Every sampled instance of both schemes stays monotonic post-APR.
+    for scheme in ("proposed", "conventional"):
+        for corner in ("slow", "fast"):
+            for record in result.data[scheme][corner].values():
+                assert record["monotonic_fraction"] == 1.0

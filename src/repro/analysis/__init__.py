@@ -20,8 +20,11 @@ from repro.analysis.metastability import (
     synchronizer_mtbf_years,
 )
 from repro.analysis.metrics import (
+    BatchLinearityMetrics,
     LinearityMetrics,
+    batch_linearity_metrics,
     differential_nonlinearity,
+    distinct_level_counts,
     duty_cycle_error,
     integral_nonlinearity,
     is_monotonic,
@@ -33,10 +36,13 @@ from repro.analysis.power import dynamic_power_w, netlist_dynamic_power_w
 from repro.analysis.reports import format_series, format_table
 
 __all__ = [
+    "BatchLinearityMetrics",
     "FlipFlopMetastabilityModel",
     "LinearityMetrics",
+    "batch_linearity_metrics",
     "buck_efficiency_estimate",
     "differential_nonlinearity",
+    "distinct_level_counts",
     "duty_cycle_error",
     "dynamic_power_w",
     "format_series",

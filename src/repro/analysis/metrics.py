@@ -21,8 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "BatchLinearityMetrics",
     "LinearityMetrics",
+    "batch_linearity_metrics",
     "differential_nonlinearity",
+    "distinct_level_counts",
     "integral_nonlinearity",
     "is_monotonic",
     "linearity_metrics",
@@ -33,49 +36,75 @@ __all__ = [
 
 
 def _validate_curve(values: np.ndarray) -> np.ndarray:
+    """Validate a transfer curve or a stack of them.
+
+    Curves live along the *last* axis, so a 1-D array is one curve and a 2-D
+    ``(instances, words)`` array is an ensemble of curves; every metric below
+    operates along that axis and broadcasts over any leading axes.
+    """
     values = np.asarray(values, dtype=float)
-    if values.ndim != 1 or values.size < 2:
+    if values.ndim == 0 or values.shape[-1] < 2:
         raise ValueError("a transfer curve needs at least two points")
     return values
 
 
-def differential_nonlinearity(values: np.ndarray, lsb: float | None = None) -> np.ndarray:
+def _endpoint_lsb(values: np.ndarray, lsb: float | np.ndarray | None) -> np.ndarray:
+    """The endpoint-fit LSB step, shaped to broadcast against ``values``."""
+    if lsb is None:
+        lsb = (values[..., -1] - values[..., 0]) / (values.shape[-1] - 1)
+    lsb = np.asarray(lsb, dtype=float)
+    if np.any(lsb == 0):
+        raise ValueError("ideal LSB step is zero; curve is degenerate")
+    return lsb
+
+
+def differential_nonlinearity(
+    values: np.ndarray, lsb: float | np.ndarray | None = None
+) -> np.ndarray:
     """Per-code DNL in LSB units.
 
     Args:
         values: transfer-curve output (e.g. delay in ps) for consecutive
-            input codes.
-        lsb: the ideal step size; defaults to the average step of the curve
+            input codes; a 2-D array is treated as a batch of curves (one per
+            row).
+        lsb: the ideal step size; defaults to the average step of each curve
             (endpoint-fit convention).
     """
     values = _validate_curve(values)
-    steps = np.diff(values)
-    if lsb is None:
-        lsb = (values[-1] - values[0]) / (values.size - 1)
-    if lsb == 0:
-        raise ValueError("ideal LSB step is zero; curve is degenerate")
-    return steps / lsb - 1.0
+    steps = np.diff(values, axis=-1)
+    lsb = _endpoint_lsb(values, lsb)
+    return steps / lsb[..., np.newaxis] - 1.0
 
 
-def integral_nonlinearity(values: np.ndarray, lsb: float | None = None) -> np.ndarray:
-    """Per-code INL in LSB units (endpoint-fit)."""
+def integral_nonlinearity(
+    values: np.ndarray, lsb: float | np.ndarray | None = None
+) -> np.ndarray:
+    """Per-code INL in LSB units (endpoint-fit); batches along leading axes."""
     values = _validate_curve(values)
-    if lsb is None:
-        lsb = (values[-1] - values[0]) / (values.size - 1)
-    if lsb == 0:
-        raise ValueError("ideal LSB step is zero; curve is degenerate")
-    codes = np.arange(values.size)
-    ideal = values[0] + codes * lsb
-    return (values - ideal) / lsb
+    lsb = _endpoint_lsb(values, lsb)
+    codes = np.arange(values.shape[-1])
+    ideal = values[..., 0, np.newaxis] + codes * lsb[..., np.newaxis]
+    return (values - ideal) / lsb[..., np.newaxis]
 
 
-def is_monotonic(values: np.ndarray, strict: bool = False) -> bool:
-    """Whether the transfer curve never decreases (or strictly increases)."""
+def is_monotonic(values: np.ndarray, strict: bool = False) -> bool | np.ndarray:
+    """Whether the transfer curve never decreases (or strictly increases).
+
+    Returns a plain bool for one curve, a boolean array (one entry per curve)
+    for a batch.
+    """
     values = _validate_curve(values)
-    steps = np.diff(values)
-    if strict:
-        return bool(np.all(steps > 0))
-    return bool(np.all(steps >= 0))
+    steps = np.diff(values, axis=-1)
+    flags = np.all(steps > 0 if strict else steps >= 0, axis=-1)
+    return bool(flags) if values.ndim == 1 else flags
+
+
+def distinct_level_counts(values: np.ndarray) -> int | np.ndarray:
+    """Number of distinct output values per curve (vectorized over batches)."""
+    values = _validate_curve(values)
+    ordered = np.sort(values, axis=-1)
+    counts = 1 + np.count_nonzero(np.diff(ordered, axis=-1) != 0, axis=-1)
+    return int(counts) if values.ndim == 1 else counts
 
 
 @dataclass(frozen=True)
@@ -99,8 +128,13 @@ class LinearityMetrics:
 
 
 def linearity_metrics(values: np.ndarray, lsb: float | None = None) -> LinearityMetrics:
-    """Compute the summary linearity metrics of a transfer curve."""
+    """Compute the summary linearity metrics of one transfer curve."""
     values = _validate_curve(values)
+    if values.ndim != 1:
+        raise ValueError(
+            "linearity_metrics summarizes one curve; "
+            "use batch_linearity_metrics for curve batches"
+        )
     dnl = differential_nonlinearity(values, lsb)
     inl = integral_nonlinearity(values, lsb)
     return LinearityMetrics(
@@ -109,6 +143,51 @@ def linearity_metrics(values: np.ndarray, lsb: float | None = None) -> Linearity
         rms_inl_lsb=float(np.sqrt(np.mean(inl**2))),
         monotonic=is_monotonic(values),
         distinct_levels=int(np.unique(values).size),
+    )
+
+
+@dataclass(frozen=True)
+class BatchLinearityMetrics:
+    """Summary linearity metrics of a batch of transfer curves.
+
+    Every attribute is an array with one entry per curve (instance), computed
+    in one vectorized pass over the ``(instances, words)`` curve matrix.
+    """
+
+    max_dnl_lsb: np.ndarray
+    max_inl_lsb: np.ndarray
+    rms_inl_lsb: np.ndarray
+    monotonic: np.ndarray
+    distinct_levels: np.ndarray
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.max_dnl_lsb.shape[0])
+
+    def instance(self, index: int) -> LinearityMetrics:
+        """The scalar metrics of one curve of the batch."""
+        return LinearityMetrics(
+            max_dnl_lsb=float(self.max_dnl_lsb[index]),
+            max_inl_lsb=float(self.max_inl_lsb[index]),
+            rms_inl_lsb=float(self.rms_inl_lsb[index]),
+            monotonic=bool(self.monotonic[index]),
+            distinct_levels=int(self.distinct_levels[index]),
+        )
+
+
+def batch_linearity_metrics(
+    values: np.ndarray, lsb: float | np.ndarray | None = None
+) -> BatchLinearityMetrics:
+    """Summary linearity metrics of an ``(instances, words)`` curve batch."""
+    values = _validate_curve(np.atleast_2d(np.asarray(values, dtype=float)))
+    dnl = differential_nonlinearity(values, lsb)
+    inl = integral_nonlinearity(values, lsb)
+    return BatchLinearityMetrics(
+        max_dnl_lsb=np.max(np.abs(dnl), axis=-1),
+        max_inl_lsb=np.max(np.abs(inl), axis=-1),
+        rms_inl_lsb=np.sqrt(np.mean(inl**2, axis=-1)),
+        monotonic=is_monotonic(values),
+        distinct_levels=distinct_level_counts(values),
     )
 
 

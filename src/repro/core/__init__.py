@@ -23,6 +23,9 @@ Supporting modules:
   4.2 (how many cells, how many buffers per cell/element, multiplexer sizes).
 * :mod:`repro.core.linearity` -- transfer-curve extraction (delay versus
   input word) used for Figures 41-42 and 50-51.
+* :mod:`repro.core.ensemble` -- the vectorized ensemble engine: batch
+  calibration (closed-form locks) and batch transfer curves over stacks of
+  fabricated instances; the scalar linearity path is a thin view of it.
 * :mod:`repro.core.comparison` -- the scheme-versus-scheme comparison harness
   behind Tables 4 and 5.
 """
@@ -40,6 +43,13 @@ from repro.core.conventional import (
     TuningOrder,
 )
 from repro.core.delay_cells import DelayElement, FixedDelayCell, TunableDelayCell
+from repro.core.ensemble import (
+    ConventionalEnsemble,
+    DelayLineEnsemble,
+    EnsembleCalibration,
+    EnsembleTransferCurves,
+    ProposedEnsemble,
+)
 from repro.core.design import (
     ConventionalDesign,
     DesignSpec,
@@ -57,10 +67,12 @@ from repro.core.proposed import (
 from repro.core.structural import StructuralLockResult, StructuralProposedDelayLine
 from repro.core.comparison import SchemeComparison, compare_schemes
 from repro.core.yield_analysis import (
+    LinearityYieldResult,
     YieldModel,
     YieldPoint,
     cells_for_yield,
     coverage_yield,
+    linearity_yield,
     yield_curve,
 )
 
@@ -70,9 +82,14 @@ __all__ = [
     "ConventionalDelayLine",
     "ConventionalDelayLineConfig",
     "ConventionalDesign",
+    "ConventionalEnsemble",
     "DelayElement",
+    "DelayLineEnsemble",
     "DesignSpec",
+    "EnsembleCalibration",
+    "EnsembleTransferCurves",
     "FixedDelayCell",
+    "LinearityYieldResult",
     "LockingStep",
     "LockingTrace",
     "MappingBlock",
@@ -80,6 +97,7 @@ __all__ = [
     "ProposedDelayLine",
     "ProposedDelayLineConfig",
     "ProposedDesign",
+    "ProposedEnsemble",
     "SchemeComparison",
     "ShiftRegisterController",
     "StructuralLockResult",
@@ -94,6 +112,7 @@ __all__ = [
     "coverage_yield",
     "design_conventional",
     "design_proposed",
+    "linearity_yield",
     "transfer_curve",
     "yield_curve",
 ]

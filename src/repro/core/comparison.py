@@ -6,6 +6,16 @@ synthesizer, calibrates both lines at a chosen operating point, and collects
 the qualitative and quantitative criteria the paper compares on: area and its
 distribution, delay-cell complexity, extra blocks, calibration time and
 linearity.
+
+Calibration and linearity run on the vectorized ensemble engine
+(:mod:`repro.core.ensemble`): each line is wrapped in a single-instance
+ensemble, locked closed-form and swept as a batch, and the scalar comparison
+numbers are thin views of those batch results (the closed-form lock is
+provably identical to the cycle-accurate controllers' fixed points).  The
+returned calibration results therefore carry *empty* locking traces; use
+:class:`~repro.core.proposed.ProposedController` /
+:class:`~repro.core.conventional.ShiftRegisterController` directly when the
+cycle-by-cycle walk itself is needed (as the fig37/fig47_48 experiments do).
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import LinearityMetrics
 from repro.core.calibration import CalibrationResult
-from repro.core.conventional import ShiftRegisterController, TuningOrder
+from repro.core.conventional import TuningOrder
 from repro.core.design import (
     ConventionalDesign,
     DesignSpec,
@@ -22,8 +32,7 @@ from repro.core.design import (
     design_conventional,
     design_proposed,
 )
-from repro.core.linearity import transfer_curve
-from repro.core.proposed import ProposedController
+from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.synthesis import AreaReport, Synthesizer
@@ -149,21 +158,20 @@ def compare_schemes(
     proposed_area = synthesizer.synthesize(proposed_line.netlist())
     conventional_area = synthesizer.synthesize(conventional_line.netlist())
 
-    proposed_calibration = ProposedController(proposed_line).lock(conditions)
-    conventional_calibration = ShiftRegisterController(conventional_line).lock(
-        conditions
-    )
+    proposed_ensemble = ProposedEnsemble.from_line(proposed_line)
+    conventional_ensemble = ConventionalEnsemble.from_line(conventional_line)
 
-    proposed_curve = transfer_curve(
-        proposed_line, conditions, tap_sel=proposed_calibration.control_state
-    )
-    conventional_curve = transfer_curve(
-        conventional_line,
-        conditions,
-        levels=conventional_line.levels_for_steps(
-            conventional_calibration.control_state
-        ),
-    )
+    proposed_lock = proposed_ensemble.lock(conditions)
+    conventional_lock = conventional_ensemble.lock(conditions)
+    proposed_calibration = proposed_lock.result(0)
+    conventional_calibration = conventional_lock.result(0)
+
+    proposed_curve = proposed_ensemble.transfer_curves(
+        conditions, calibration=proposed_lock
+    ).curve(0)
+    conventional_curve = conventional_ensemble.transfer_curves(
+        conditions, calibration=conventional_lock
+    ).curve(0)
 
     return SchemeComparison(
         spec=spec,

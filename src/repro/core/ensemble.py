@@ -1,0 +1,568 @@
+"""Vectorized ensemble engine for the delay-line core.
+
+The paper's linearity claims (Figures 41-42 and 50-51) are population
+statements: how linear is a *fabricated* delay line, across corners and
+post-APR mismatch?  The scalar models answer that one instance, one word and
+one lock cycle at a time.  This module answers it for whole ensembles: a
+:class:`DelayLineEnsemble` holds a stack of variation samples (one fabricated
+instance per slice) and computes per-cell delay matrices, cumulative tap
+delays, calibration locks and full ``(instances, words)`` transfer-curve
+matrices in vectorized numpy, with no per-word, per-cell or per-instance
+Python loops.
+
+Batch calibration is **closed-form**, not simulated:
+
+* Proposed scheme -- the cycle-accurate :class:`ProposedController` walks
+  ``tap_sel`` one step per cycle and declares lock on the first up/down
+  toggle.  Because the tap delays are a strictly increasing sequence (every
+  cell delay is positive), that walk has a unique fixed point: the number of
+  taps whose cumulative delay does not exceed half the clock period.  With
+  ``count = #{k : tap_delay[k] <= T/2}`` the scalar run provably ends with
+  ``control_state = clip(count, 1, N)``, ``locked = 1 <= count <= N - 1``
+  (``count = 0`` saturates at the bottom of the line, ``count = N`` at the
+  top) and ``lock_cycles = clip(count, 1, N) + synchronizer latency``.  The
+  batch lock evaluates that closed form for every instance at once; the
+  cycle-accurate loop is kept for the Figure 47-48 locking traces.
+* Conventional scheme -- the shift-register controller raises the line's
+  tuning level one step per update and stops at the first step whose total
+  line delay reaches the clock period.  The tuning-level *schedule* (which
+  cell is at which level after ``s`` steps) depends only on the
+  configuration, so the ensemble evaluates the total delay of every
+  ``(instance, step)`` pair with one gather into per-buffer prefix sums and
+  finds each instance's first crossing with an argmax -- the exact step the
+  scalar :class:`ShiftRegisterController` halts on, including the
+  saturated-at-maximum (``up_limit``) and already-over-long edge cases.
+
+Both locks and the transfer curves are bit-identical to the scalar paths
+because they share the same accumulation order (cumulative sums along the
+same axes); ``tests/test_core_ensemble.py`` asserts the equivalence
+property-based, and ``benchmarks/test_bench_linearity_engine.py`` gates the
+speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import BatchLinearityMetrics, batch_linearity_metrics
+from repro.core.calibration import CalibrationResult, LockingTrace
+from repro.core.conventional import (
+    ConventionalDelayLine,
+    ConventionalDelayLineConfig,
+    active_branch_delays_ps,
+)
+from repro.core.mapper import MappingBlock
+from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.variation import BatchVariationSample, VariationModel
+
+__all__ = [
+    "ConventionalEnsemble",
+    "DelayLineEnsemble",
+    "EnsembleCalibration",
+    "EnsembleTransferCurves",
+    "ProposedEnsemble",
+]
+
+
+@dataclass(frozen=True)
+class EnsembleCalibration:
+    """Batch calibration outcome: one lock result per ensemble instance.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        control_state: per-instance locked controller state (``tap_sel`` for
+            the proposed scheme, shifted-in ones for the conventional one).
+        locked: per-instance valid-lock flags.
+        lock_cycles: per-instance clock cycles from reset to lock (or to the
+            end of the run when no lock was achieved).
+        locked_delay_ps: per-instance delay of the locked tap / line.
+        target_ps: the reference interval (clock period for the conventional
+            scheme, half of it for the proposed scheme).
+    """
+
+    scheme: str
+    control_state: np.ndarray
+    locked: np.ndarray
+    lock_cycles: np.ndarray
+    locked_delay_ps: np.ndarray
+    target_ps: float
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.control_state.shape[0])
+
+    @property
+    def residual_error_ps(self) -> np.ndarray:
+        """Per-instance ``locked_delay - target`` (positive on overshoot)."""
+        return self.locked_delay_ps - self.target_ps
+
+    @property
+    def clock_period_ps(self) -> float:
+        """The switching period (the proposed scheme locks to half of it)."""
+        return 2.0 * self.target_ps if self.scheme == "proposed" else self.target_ps
+
+    def result(self, index: int) -> CalibrationResult:
+        """One instance's outcome as a scalar :class:`CalibrationResult`.
+
+        The trace is empty: the closed-form lock jumps straight to the fixed
+        point instead of replaying the cycle-by-cycle walk (use the scalar
+        controllers for Figure 47-48 style traces).
+        """
+        locked_delay = float(self.locked_delay_ps[index])
+        return CalibrationResult(
+            scheme=self.scheme,
+            locked=bool(self.locked[index]),
+            lock_cycles=int(self.lock_cycles[index]),
+            control_state=int(self.control_state[index]),
+            locked_delay_ps=locked_delay,
+            target_ps=self.target_ps,
+            residual_error_ps=locked_delay - self.target_ps,
+            trace=LockingTrace(
+                scheme=self.scheme, clock_period_ps=self.clock_period_ps
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EnsembleTransferCurves:
+    """A stack of post-calibration transfer curves, one row per instance.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        input_words: the swept duty words (shared by all instances).
+        delays_ps: ``(instances, words)`` reset-edge delay matrix.
+        ideal_delays_ps: the ideal straight line (shared by all instances).
+        clock_period_ps: switching period used for the ideal line.
+    """
+
+    scheme: str
+    input_words: np.ndarray
+    delays_ps: np.ndarray
+    ideal_delays_ps: np.ndarray
+    clock_period_ps: float
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.delays_ps.shape[0])
+
+    def metrics(self) -> BatchLinearityMetrics:
+        """Per-instance DNL/INL/monotonicity metrics, vectorized."""
+        return batch_linearity_metrics(self.delays_ps)
+
+    def max_error_ps(self) -> np.ndarray:
+        """Per-instance worst-case absolute deviation from the ideal line."""
+        return np.max(np.abs(self.delays_ps - self.ideal_delays_ps), axis=1)
+
+    def max_error_fraction_of_period(self) -> np.ndarray:
+        """Per-instance worst-case deviation as a fraction of the period."""
+        return self.max_error_ps() / self.clock_period_ps
+
+    def curve(self, index: int):
+        """One instance's row as a scalar :class:`TransferCurve` view."""
+        from repro.core.linearity import TransferCurve
+
+        return TransferCurve(
+            scheme=self.scheme,
+            input_words=self.input_words,
+            delays_ps=self.delays_ps[index],
+            ideal_delays_ps=self.ideal_delays_ps,
+            clock_period_ps=self.clock_period_ps,
+        )
+
+
+class DelayLineEnsemble:
+    """Shared machinery of the scheme-specific ensembles.
+
+    An ensemble is a configuration plus a stack of variation samples; the
+    ideal (no-mismatch) ensemble is represented by ``batch=None`` and a
+    chosen instance count, in which case every instance is the nominal line.
+    """
+
+    scheme: str = ""
+
+    def __init__(
+        self,
+        num_cells: int,
+        buffers_per_cell: int,
+        library: TechnologyLibrary | None,
+        batch: BatchVariationSample | None,
+        num_instances: int | None,
+    ) -> None:
+        self.library = library or intel32_like_library()
+        if batch is not None:
+            expected = (num_cells, buffers_per_cell)
+            actual = (batch.num_cells, batch.buffers_per_cell)
+            if actual != expected:
+                raise ValueError(
+                    f"variation batch shape {actual} does not match the "
+                    f"line's (num_cells, buffers_per_cell) = {expected}"
+                )
+            if num_instances is not None and num_instances != batch.num_instances:
+                raise ValueError(
+                    f"num_instances={num_instances} conflicts with a batch of "
+                    f"{batch.num_instances} instances"
+                )
+        self.batch = batch
+        self._num_instances = (
+            batch.num_instances if batch is not None else (num_instances or 1)
+        )
+
+    @property
+    def num_instances(self) -> int:
+        return self._num_instances
+
+    def unit_delay_ps(self, conditions: OperatingConditions) -> float:
+        """Nominal per-buffer delay at the operating point."""
+        return self.library.buffer_delay_ps(conditions)
+
+
+class ProposedEnsemble(DelayLineEnsemble):
+    """Vectorized ensemble of proposed-scheme delay lines."""
+
+    scheme = "proposed"
+
+    #: Controller timing (matches ProposedController's default).
+    synchronizer_latency_cycles = 2
+
+    def __init__(
+        self,
+        config: ProposedDelayLineConfig,
+        library: TechnologyLibrary | None = None,
+        batch: BatchVariationSample | None = None,
+        num_instances: int | None = None,
+    ) -> None:
+        super().__init__(
+            config.num_cells, config.buffers_per_cell, library, batch, num_instances
+        )
+        self.config = config
+        # The transfer curves apply the mapper's eq.-18 multiply/shift/clamp
+        # as one vectorized integer expression over (instances, words); its
+        # constants come from the hardware model itself.
+        self.mapper = MappingBlock(num_cells=config.num_cells)
+
+    @classmethod
+    def sample(
+        cls,
+        config: ProposedDelayLineConfig,
+        num_instances: int,
+        model: VariationModel,
+        library: TechnologyLibrary | None = None,
+        first_instance: int = 0,
+    ) -> "ProposedEnsemble":
+        """Draw an ensemble of fabricated instances from a variation model."""
+        batch = model.sample_batch(
+            num_instances,
+            config.num_cells,
+            config.buffers_per_cell,
+            first_instance=first_instance,
+        )
+        return cls(config, library=library, batch=batch)
+
+    @classmethod
+    def from_line(cls, line: ProposedDelayLine) -> "ProposedEnsemble":
+        """A single-instance ensemble sharing one scalar line's sample."""
+        batch = None
+        if line.variation is not None:
+            batch = BatchVariationSample(
+                multipliers=line.variation.multipliers[np.newaxis]
+            )
+        return cls(line.config, library=line.library, batch=batch)
+
+    def line(self, index: int) -> ProposedDelayLine:
+        """One instance as a scalar :class:`ProposedDelayLine` view."""
+        variation = self.batch.instance(index) if self.batch is not None else None
+        return ProposedDelayLine(self.config, library=self.library, variation=variation)
+
+    def cell_delays_ps(self, conditions: OperatingConditions) -> np.ndarray:
+        """``(instances, num_cells)`` per-cell delay matrix."""
+        unit = self.unit_delay_ps(conditions)
+        if self.batch is None:
+            nominal = unit * self.config.buffers_per_cell
+            return np.full((self.num_instances, self.config.num_cells), nominal)
+        return self.batch.multipliers.sum(axis=2) * unit
+
+    def tap_delays_ps(self, conditions: OperatingConditions) -> np.ndarray:
+        """``(instances, num_cells)`` cumulative tap-delay matrix."""
+        return np.cumsum(self.cell_delays_ps(conditions), axis=1)
+
+    def lock(self, conditions: OperatingConditions) -> EnsembleCalibration:
+        """Closed-form batch lock of every instance (see the module docstring)."""
+        config = self.config
+        taps = self.tap_delays_ps(conditions)
+        half = config.clock_period_ps / 2.0
+        # Tap delays increase strictly along the line, so the count of taps
+        # at or below the half period is the searchsorted insertion point --
+        # the fixed point the scalar up/down walk dithers around.
+        count = np.count_nonzero(taps <= half, axis=1)
+        control = np.clip(count, 1, config.num_cells)
+        locked = (count >= 1) & (count <= config.num_cells - 1)
+        lock_cycles = control + self.synchronizer_latency_cycles
+        locked_delay = np.take_along_axis(
+            taps, (control - 1)[:, np.newaxis], axis=1
+        )[:, 0]
+        return EnsembleCalibration(
+            scheme=self.scheme,
+            control_state=control,
+            locked=locked,
+            lock_cycles=lock_cycles,
+            locked_delay_ps=locked_delay,
+            target_ps=half,
+        )
+
+    def transfer_curves(
+        self,
+        conditions: OperatingConditions,
+        calibration: EnsembleCalibration | None = None,
+        tap_sel: np.ndarray | None = None,
+    ) -> EnsembleTransferCurves:
+        """``(instances, words)`` post-calibration transfer-curve matrix.
+
+        Args:
+            conditions: PVT operating point.
+            calibration: a previous :meth:`lock` result to reuse.
+            tap_sel: explicit per-instance locked cell counts (overrides
+                ``calibration``); calibrated on the fly when both are omitted.
+        """
+        if tap_sel is None:
+            if calibration is None:
+                calibration = self.lock(conditions)
+            tap_sel = calibration.control_state
+        tap_sel = np.asarray(tap_sel, dtype=int)
+        if tap_sel.shape != (self.num_instances,):
+            raise ValueError(
+                f"expected {self.num_instances} tap_sel values, got {tap_sel.shape}"
+            )
+        if np.any(tap_sel < 1) or np.any(tap_sel > self.config.num_cells):
+            raise ValueError("tap_sel out of range [1, num_cells]")
+        taps = self.tap_delays_ps(conditions)
+        words = np.arange(1, self.mapper.max_word + 1)
+        # The mapping block, vectorized over (instances, words): integer
+        # multiply, right shift, clamp to the last tap.
+        cal_sel = np.minimum(
+            (words[np.newaxis, :] * tap_sel[:, np.newaxis])
+            >> self.mapper.shift_amount,
+            self.config.num_cells - 1,
+        )
+        delays = np.take_along_axis(taps, np.maximum(cal_sel - 1, 0), axis=1)
+        delays = np.where(cal_sel == 0, 0.0, delays)
+        period = self.config.clock_period_ps
+        ideal = words / float(self.mapper.max_word + 1) * period
+        return EnsembleTransferCurves(
+            scheme=self.scheme,
+            input_words=words,
+            delays_ps=delays,
+            ideal_delays_ps=ideal,
+            clock_period_ps=period,
+        )
+
+
+class ConventionalEnsemble(DelayLineEnsemble):
+    """Vectorized ensemble of conventional adjustable-cells delay lines."""
+
+    scheme = "conventional"
+
+    #: Controller timing (matches ShiftRegisterController's defaults).
+    cycles_per_update = 2
+    synchronizer_latency_cycles = 2
+
+    def __init__(
+        self,
+        config: ConventionalDelayLineConfig,
+        library: TechnologyLibrary | None = None,
+        batch: BatchVariationSample | None = None,
+        num_instances: int | None = None,
+    ) -> None:
+        longest_branch = config.branches * config.buffers_per_element
+        if batch is not None and batch.buffers_per_cell > longest_branch:
+            # Like the scalar line, accept samples wider than the longest
+            # branch: only the first ``longest_branch`` buffers of a cell are
+            # ever active, so the extra columns are dead weight.
+            batch = BatchVariationSample(
+                multipliers=batch.multipliers[:, :, :longest_branch]
+            )
+        super().__init__(
+            config.num_cells,
+            longest_branch,
+            library,
+            batch,
+            num_instances,
+        )
+        self.config = config
+        # A nominal template line provides the tuning-level bookkeeping, so
+        # the level schedule is computed by the exact code the scalar
+        # controller uses (including the DISTRIBUTED order's non-nested
+        # remainder placement).
+        self._template = ConventionalDelayLine(config, library=self.library)
+        self._schedule: np.ndarray | None = None
+
+    @classmethod
+    def sample(
+        cls,
+        config: ConventionalDelayLineConfig,
+        num_instances: int,
+        model: VariationModel,
+        library: TechnologyLibrary | None = None,
+        first_instance: int = 0,
+    ) -> "ConventionalEnsemble":
+        """Draw an ensemble of fabricated instances from a variation model.
+
+        The sample spans the longest branch of every cell
+        (``branches * buffers_per_element`` buffers), like the scalar
+        experiments do.
+        """
+        batch = model.sample_batch(
+            num_instances,
+            config.num_cells,
+            config.branches * config.buffers_per_element,
+            first_instance=first_instance,
+        )
+        return cls(config, library=library, batch=batch)
+
+    @classmethod
+    def from_line(cls, line: ConventionalDelayLine) -> "ConventionalEnsemble":
+        """A single-instance ensemble sharing one scalar line's sample."""
+        batch = None
+        if line.variation is not None:
+            batch = BatchVariationSample(
+                multipliers=line.variation.multipliers[np.newaxis]
+            )
+        return cls(line.config, library=line.library, batch=batch)
+
+    def line(self, index: int) -> ConventionalDelayLine:
+        """One instance as a scalar :class:`ConventionalDelayLine` view."""
+        variation = self.batch.instance(index) if self.batch is not None else None
+        return ConventionalDelayLine(
+            self.config, library=self.library, variation=variation
+        )
+
+    def levels_schedule(self) -> np.ndarray:
+        """Tuning levels after every step: ``(max_steps + 1, num_cells)``.
+
+        The schedule depends only on the (immutable) configuration, never on
+        the variation, so it is computed once, shared by all instances and
+        reused between the lock and the transfer curves.
+        """
+        if self._schedule is None:
+            steps = range(self.config.max_adjustment_steps + 1)
+            self._schedule = np.stack(
+                [self._template.levels_for_steps(s) for s in steps]
+            )
+        return self._schedule
+
+    def cell_delays_ps(
+        self, levels: np.ndarray, conditions: OperatingConditions
+    ) -> np.ndarray:
+        """Per-cell delay matrix for per-instance tuning levels.
+
+        ``levels`` may be one shared ``(num_cells,)`` vector or a per-instance
+        ``(instances, num_cells)`` matrix; the result is always
+        ``(instances, num_cells)``.
+        """
+        config = self.config
+        levels = np.asarray(levels, dtype=int)
+        if levels.ndim == 1:
+            levels = np.broadcast_to(levels, (self.num_instances, config.num_cells))
+        if levels.shape != (self.num_instances, config.num_cells):
+            raise ValueError(
+                f"expected levels of shape ({self.num_instances}, "
+                f"{config.num_cells}), got {levels.shape}"
+            )
+        if np.any(levels < 0) or np.any(levels >= config.branches):
+            raise ValueError("tuning level out of range")
+        unit = self.unit_delay_ps(conditions)
+        buffers_active = (levels + 1) * config.buffers_per_element
+        if self.batch is None:
+            return buffers_active.astype(float) * unit
+        return active_branch_delays_ps(self.batch.multipliers, buffers_active, unit)
+
+    def tap_delays_ps(
+        self, levels: np.ndarray, conditions: OperatingConditions
+    ) -> np.ndarray:
+        """Cumulative tap-delay matrix for per-instance tuning levels."""
+        return np.cumsum(self.cell_delays_ps(levels, conditions), axis=1)
+
+    def lock(self, conditions: OperatingConditions) -> EnsembleCalibration:
+        """Batch first-crossing lock of every instance (see module docstring)."""
+        config = self.config
+        period = config.clock_period_ps
+        unit = self.unit_delay_ps(conditions)
+        schedule = self.levels_schedule()  # (steps + 1, cells)
+        buffers_active = (schedule + 1) * config.buffers_per_element
+        if self.batch is None:
+            cell_delays = buffers_active.astype(float) * unit
+            step_taps = np.cumsum(cell_delays, axis=1, out=cell_delays)
+            step_taps = np.broadcast_to(
+                step_taps, (self.num_instances, *step_taps.shape)
+            )
+        else:
+            # One gather evaluates every (instance, step, cell) delay from
+            # the per-buffer prefix sums (leading axes broadcast: instances
+            # against the shared step schedule); the in-place cumulative sum
+            # along the cell axis then reproduces the scalar tap accumulation
+            # order bit-exactly without a second (instances, steps, cells)
+            # allocation.
+            cell_delays = active_branch_delays_ps(
+                self.batch.multipliers[:, np.newaxis],
+                buffers_active[np.newaxis],
+                unit,
+            )
+            step_taps = np.cumsum(cell_delays, axis=2, out=cell_delays)
+        totals = step_taps[..., -1]  # (instances, steps + 1)
+        last_but_one = step_taps[..., -2]
+        # The controller halts at the first step whose total reaches the
+        # period; when none does it saturates at the maximum step (up_limit).
+        reaches = totals >= period
+        any_reach = reaches.any(axis=1)
+        steps = np.where(
+            any_reach, np.argmax(reaches, axis=1), config.max_adjustment_steps
+        )
+        rows = np.arange(self.num_instances)
+        total_at_stop = totals[rows, steps]
+        locked = (last_but_one[rows, steps] < period) & (total_at_stop >= period)
+        lock_cycles = (
+            self.synchronizer_latency_cycles + steps * self.cycles_per_update
+        )
+        return EnsembleCalibration(
+            scheme=self.scheme,
+            control_state=steps,
+            locked=locked,
+            lock_cycles=lock_cycles,
+            locked_delay_ps=total_at_stop,
+            target_ps=period,
+        )
+
+    def transfer_curves(
+        self,
+        conditions: OperatingConditions,
+        calibration: EnsembleCalibration | None = None,
+        levels: np.ndarray | None = None,
+    ) -> EnsembleTransferCurves:
+        """``(instances, words)`` post-calibration transfer-curve matrix.
+
+        Args:
+            conditions: PVT operating point.
+            calibration: a previous :meth:`lock` result to reuse.
+            levels: explicit tuning levels, shared ``(num_cells,)`` or
+                per-instance ``(instances, num_cells)`` (overrides
+                ``calibration``); calibrated on the fly when both are omitted.
+        """
+        if levels is None:
+            if calibration is None:
+                calibration = self.lock(conditions)
+            levels = self.levels_schedule()[calibration.control_state]
+        taps = self.tap_delays_ps(levels, conditions)
+        words = np.arange(1, self.config.num_cells)
+        delays = taps[:, words - 1]
+        period = self.config.clock_period_ps
+        ideal = words / float(self.config.num_cells) * period
+        return EnsembleTransferCurves(
+            scheme=self.scheme,
+            input_words=words,
+            delays_ps=delays,
+            ideal_delays_ps=ideal,
+            clock_period_ps=period,
+        )

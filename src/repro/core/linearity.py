@@ -6,6 +6,12 @@ corners) all plot the DPWM reset-edge delay against the input duty word after
 calibration.  :func:`transfer_curve` produces exactly that data for either
 scheme, and :class:`TransferCurve` bundles it with the ideal straight line and
 the standard linearity metrics.
+
+Since the ensemble engine landed, the scalar path is a thin view of the batch
+one: :func:`transfer_curve` wraps the line in a single-instance
+:class:`~repro.core.ensemble.DelayLineEnsemble`, calibrates with the
+closed-form batch lock and returns row zero of the batch curve matrix -- so
+scalar and ensemble results are identical by construction.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ import numpy as np
 
 from repro.analysis.metrics import LinearityMetrics, linearity_metrics
 from repro.core.conventional import ConventionalDelayLine
-from repro.core.proposed import ProposedController, ProposedDelayLine
+from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
+from repro.core.proposed import ProposedDelayLine
 from repro.technology.corners import OperatingConditions
 
 __all__ = ["TransferCurve", "transfer_curve"]
@@ -62,42 +69,6 @@ class TransferCurve:
         return self.delays_ps * factor / 1000.0
 
 
-def _proposed_curve(
-    line: ProposedDelayLine,
-    conditions: OperatingConditions,
-    tap_sel: int | None,
-) -> tuple[np.ndarray, np.ndarray, float]:
-    if tap_sel is None:
-        calibration = ProposedController(line).lock(conditions)
-        tap_sel = calibration.control_state
-    words = np.arange(1, line.mapper.max_word + 1)
-    delays = np.array(
-        [line.output_delay_ps(int(word), tap_sel, conditions) for word in words]
-    )
-    period = line.config.clock_period_ps
-    ideal = words / float(line.mapper.max_word + 1) * period
-    return words, delays, ideal
-
-
-def _conventional_curve(
-    line: ConventionalDelayLine,
-    conditions: OperatingConditions,
-    levels: np.ndarray | None,
-) -> tuple[np.ndarray, np.ndarray, float]:
-    if levels is None:
-        # Import here to avoid a circular import at module load time.
-        from repro.core.conventional import ShiftRegisterController
-
-        calibration = ShiftRegisterController(line).lock(conditions)
-        levels = line.levels_for_steps(calibration.control_state)
-    words = np.arange(1, line.config.num_cells)
-    taps = line.tap_delays_ps(levels, conditions)
-    delays = taps[words - 1]
-    period = line.config.clock_period_ps
-    ideal = words / float(line.config.num_cells) * period
-    return words, np.asarray(delays, dtype=float), ideal
-
-
 def transfer_curve(
     line: ProposedDelayLine | ConventionalDelayLine,
     conditions: OperatingConditions,
@@ -119,19 +90,13 @@ def transfer_curve(
         skipped, as in the paper's figures, because it produces no pulse).
     """
     if isinstance(line, ProposedDelayLine):
-        words, delays, ideal = _proposed_curve(line, conditions, tap_sel)
-        scheme = "proposed"
-        period = line.config.clock_period_ps
+        ensemble = ProposedEnsemble.from_line(line)
+        explicit = None if tap_sel is None else np.array([tap_sel])
+        curves = ensemble.transfer_curves(conditions, tap_sel=explicit)
     elif isinstance(line, ConventionalDelayLine):
-        words, delays, ideal = _conventional_curve(line, conditions, levels)
-        scheme = "conventional"
-        period = line.config.clock_period_ps
+        ensemble = ConventionalEnsemble.from_line(line)
+        explicit = None if levels is None else np.asarray(levels)
+        curves = ensemble.transfer_curves(conditions, levels=explicit)
     else:
         raise TypeError(f"unsupported delay-line type: {type(line)!r}")
-    return TransferCurve(
-        scheme=scheme,
-        input_words=words,
-        delays_ps=delays,
-        ideal_delays_ps=ideal,
-        clock_period_ps=period,
-    )
+    return curves.curve(0)

@@ -26,6 +26,13 @@ DPWM ultimately serves:
 * :func:`regulation_yield` runs a whole fleet of varied converters through
   the vectorized batch engine and reports the fraction that regulate within
   a voltage tolerance -- the regulation-side analogue of the locking yield.
+
+Finally, :func:`linearity_yield` is the delay-line analogue of
+:func:`regulation_yield`: it fabricates an ensemble of post-APR instances of
+either scheme, calibrates and extracts every transfer curve with the
+vectorized :mod:`repro.core.ensemble` engine, and reports the fraction of
+instances that meet a DNL/INL/monotonicity specification -- the
+population-level question behind the paper's Figures 41-42 and 50-51.
 """
 
 from __future__ import annotations
@@ -35,18 +42,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.converter.buck import BuckParameters
-from repro.core.design import DesignSpec
+from repro.core.design import DesignSpec, design_conventional, design_proposed
 from repro.technology.cells import CellKind
+from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.variation import VariationModel
 
 __all__ = [
     "YieldModel",
     "YieldPoint",
     "ComponentVariation",
+    "LinearityYieldResult",
     "RegulationYieldResult",
     "coverage_yield",
     "yield_curve",
     "cells_for_yield",
+    "linearity_yield",
     "regulation_yield",
 ]
 
@@ -353,4 +364,127 @@ def regulation_yield(
         steady_state_voltages_v=steady_state,
         steady_state_ripples_v=ripple,
         worst_error_v=float(errors.max()),
+    )
+
+
+@dataclass(frozen=True)
+class LinearityYieldResult:
+    """Outcome of a Monte-Carlo linearity sweep over fabricated instances.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        linearity_yield: fraction of instances meeting the full specification
+            (lock if required, DNL/INL limits, monotonicity if required).
+        lock_yield: fraction of instances whose controller achieved a valid
+            lock.
+        passes: per-instance pass/fail flags.
+        locked: per-instance lock flags.
+        max_dnl_lsb / max_inl_lsb / rms_inl_lsb: per-instance metrics.
+        monotonic: per-instance monotonicity flags.
+        max_error_fraction_of_period: per-instance worst-case deviation from
+            the ideal line as a fraction of the switching period.
+    """
+
+    scheme: str
+    linearity_yield: float
+    lock_yield: float
+    passes: np.ndarray
+    locked: np.ndarray
+    max_dnl_lsb: np.ndarray
+    max_inl_lsb: np.ndarray
+    rms_inl_lsb: np.ndarray
+    monotonic: np.ndarray
+    max_error_fraction_of_period: np.ndarray
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.passes.shape[0])
+
+
+def linearity_yield(
+    scheme: str,
+    spec: DesignSpec,
+    conditions: OperatingConditions,
+    variation: VariationModel | None = None,
+    num_instances: int = 1000,
+    dnl_limit_lsb: float | None = None,
+    inl_limit_lsb: float | None = None,
+    error_limit_fraction: float | None = None,
+    require_monotonic: bool = True,
+    require_lock: bool = True,
+    library: TechnologyLibrary | None = None,
+    first_instance: int = 0,
+) -> LinearityYieldResult:
+    """Monte-Carlo estimate of the fraction of instances meeting a linearity spec.
+
+    The design procedure sizes the requested scheme for the specification,
+    ``num_instances`` post-APR instances are drawn from the variation model,
+    and the whole ensemble is calibrated and swept in one vectorized run of
+    the :mod:`repro.core.ensemble` engine -- the delay-line analogue of
+    :func:`regulation_yield`.
+
+    An instance "yields" when its controller locks (when ``require_lock``),
+    its transfer curve is monotonic (when ``require_monotonic``) and its
+    worst-case |DNL| / |INL| / ideal-line deviation stay within whichever of
+    the three limits are given.  ``dnl_limit_lsb`` and ``inl_limit_lsb`` are
+    in LSB units of the scheme's own step size; ``error_limit_fraction`` is
+    referred to the switching period, the quantity that translates into
+    output-voltage error (paper eq. 12) and therefore the right scale for
+    cross-scheme comparisons.
+    """
+    from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
+
+    if num_instances < 1:
+        raise ValueError("need at least one instance")
+    for name, limit in (
+        ("dnl_limit_lsb", dnl_limit_lsb),
+        ("inl_limit_lsb", inl_limit_lsb),
+        ("error_limit_fraction", error_limit_fraction),
+    ):
+        if limit is not None and limit <= 0:
+            raise ValueError(f"{name} must be positive")
+    library = library or intel32_like_library()
+    variation = variation or VariationModel()
+    if scheme == "proposed":
+        config = design_proposed(spec, library).build_line(library=library).config
+        ensemble = ProposedEnsemble.sample(
+            config, num_instances, variation, library=library,
+            first_instance=first_instance,
+        )
+    elif scheme == "conventional":
+        config = design_conventional(spec, library).build_line(library=library).config
+        ensemble = ConventionalEnsemble.sample(
+            config, num_instances, variation, library=library,
+            first_instance=first_instance,
+        )
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    calibration = ensemble.lock(conditions)
+    curves = ensemble.transfer_curves(conditions, calibration=calibration)
+    metrics = curves.metrics()
+    error_fractions = curves.max_error_fraction_of_period()
+
+    passes = np.ones(num_instances, dtype=bool)
+    if dnl_limit_lsb is not None:
+        passes &= metrics.max_dnl_lsb <= dnl_limit_lsb
+    if inl_limit_lsb is not None:
+        passes &= metrics.max_inl_lsb <= inl_limit_lsb
+    if error_limit_fraction is not None:
+        passes &= error_fractions <= error_limit_fraction
+    if require_monotonic:
+        passes &= metrics.monotonic
+    if require_lock:
+        passes &= calibration.locked
+    return LinearityYieldResult(
+        scheme=scheme,
+        linearity_yield=float(np.mean(passes)),
+        lock_yield=float(np.mean(calibration.locked)),
+        passes=passes,
+        locked=calibration.locked,
+        max_dnl_lsb=metrics.max_dnl_lsb,
+        max_inl_lsb=metrics.max_inl_lsb,
+        rms_inl_lsb=metrics.rms_inl_lsb,
+        monotonic=metrics.monotonic,
+        max_error_fraction_of_period=error_fractions,
     )

@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     figure41_42,
     figure47_48,
     figure50_51,
+    figure50_51_mc,
     table2,
     table4,
     table5,

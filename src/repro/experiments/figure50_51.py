@@ -10,8 +10,11 @@ frequencies because each cell combines more buffers and their random
 variation partially averages out.
 
 The experiment rebuilds the three frequency configurations with per-buffer
-mismatch, calibrates each at both corners and reports the scaled transfer
-curves plus summary linearity metrics.
+mismatch, calibrates each at both corners through the vectorized ensemble
+engine (closed-form batch lock + batch transfer curves) and reports the
+scaled transfer curves plus summary linearity metrics.  The Monte-Carlo
+companion experiment ``fig50_51_mc`` asks the same question at population
+scale (1000 instances per configuration).
 """
 
 from __future__ import annotations
@@ -20,8 +23,7 @@ import numpy as np
 
 from repro.analysis.reports import format_series, format_table
 from repro.core.design import DesignSpec, design_proposed
-from repro.core.linearity import transfer_curve
-from repro.core.proposed import ProposedController
+from repro.core.ensemble import ProposedEnsemble
 from repro.experiments.base import ExperimentResult, register
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
@@ -40,26 +42,25 @@ def _run_corner(corner: ProcessCorner, library, variation: VariationModel) -> di
     for frequency in FREQUENCIES_MHZ:
         spec = DesignSpec(clock_frequency_mhz=frequency, resolution_bits=6)
         design = design_proposed(spec, library)
-        sample = variation.sample(
-            num_cells=design.num_cells,
-            buffers_per_cell=design.buffers_per_cell,
-            instance=int(frequency),
+        config = design.build_line(library=library).config
+        ensemble = ProposedEnsemble.sample(
+            config, 1, variation, library=library, first_instance=int(frequency)
         )
-        line = design.build_line(library=library, variation=sample)
-        calibration = ProposedController(line).lock(conditions)
-        curve = transfer_curve(
-            line, conditions, tap_sel=calibration.control_state
-        )
-        metrics = curve.metrics()
+        calibration = ensemble.lock(conditions)
+        batch_curves = ensemble.transfer_curves(conditions, calibration=calibration)
+        curve = batch_curves.curve(0)
+        metrics = batch_curves.metrics().instance(0)
         curves[frequency] = {
             "input_words": curve.input_words,
             "scaled_delay_ns": curve.scaled_delays_ns(SCALE_FACTORS[frequency]),
-            "tap_sel": calibration.control_state,
+            "tap_sel": int(calibration.control_state[0]),
             "distinct_levels": metrics.distinct_levels,
             "rms_inl_lsb": metrics.rms_inl_lsb,
             "max_inl_lsb": metrics.max_inl_lsb,
             "monotonic": metrics.monotonic,
-            "max_error_fraction": curve.max_error_fraction_of_period(),
+            "max_error_fraction": float(
+                batch_curves.max_error_fraction_of_period()[0]
+            ),
         }
     return curves
 

@@ -30,10 +30,15 @@ from repro.technology.corners import (
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.netlist import CellInstanceGroup, Netlist
 from repro.technology.synthesis import AreaReport, BlockArea, Synthesizer
-from repro.technology.variation import VariationModel, VariationSample
+from repro.technology.variation import (
+    BatchVariationSample,
+    VariationModel,
+    VariationSample,
+)
 
 __all__ = [
     "AreaReport",
+    "BatchVariationSample",
     "BlockArea",
     "CellInstanceGroup",
     "CellKind",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["VariationModel", "VariationSample"]
+__all__ = ["BatchVariationSample", "VariationModel", "VariationSample"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,52 @@ class VariationSample:
     def cell_delays_ps(self, buffer_delay_ps: float) -> np.ndarray:
         """Per-cell delay (ps) given the nominal per-buffer delay."""
         return self.multipliers.sum(axis=1) * buffer_delay_ps
+
+
+@dataclass(frozen=True)
+class BatchVariationSample:
+    """Per-buffer delay multipliers for a whole ensemble of fabricated lines.
+
+    Attributes:
+        multipliers: array of shape ``(instances, num_cells, buffers_per_cell)``
+            holding the positive delay multiplier of every buffer of every
+            instance.  Slice ``multipliers[i]`` is exactly the array a scalar
+            :meth:`VariationModel.sample` call would have produced for
+            instance ``i``, so ensemble computations and per-instance scalar
+            computations see the *same* fabricated chips.
+    """
+
+    multipliers: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.multipliers.ndim != 3:
+            raise ValueError(
+                "batch multipliers must have shape "
+                f"(instances, num_cells, buffers_per_cell); got {self.multipliers.shape}"
+            )
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.multipliers.shape[0])
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.multipliers.shape[1])
+
+    @property
+    def buffers_per_cell(self) -> int:
+        return int(self.multipliers.shape[2])
+
+    def instance(self, index: int) -> VariationSample:
+        """The scalar variation sample of one instance of the ensemble."""
+        return VariationSample(multipliers=self.multipliers[index])
+
+    @classmethod
+    def from_samples(cls, samples: list[VariationSample]) -> "BatchVariationSample":
+        """Stack scalar samples (all of the same shape) into a batch."""
+        if not samples:
+            raise ValueError("need at least one sample")
+        return cls(multipliers=np.stack([sample.multipliers for sample in samples]))
 
 
 @dataclass
@@ -117,6 +163,31 @@ class VariationModel:
         # 5 sigma for the default settings) to keep the model physical.
         np.clip(multipliers, 0.2, None, out=multipliers)
         return VariationSample(multipliers=multipliers)
+
+    def sample_batch(
+        self,
+        num_instances: int,
+        num_cells: int,
+        buffers_per_cell: int,
+        first_instance: int = 0,
+    ) -> BatchVariationSample:
+        """Sample per-buffer multipliers for a whole ensemble of instances.
+
+        Instance ``i`` of the batch is drawn from the same per-instance
+        stream as ``sample(..., instance=first_instance + i)``, so the batch
+        is bit-identical to stacking scalar samples -- the contract the
+        ensemble engine's batch-versus-scalar equivalence rests on.  (The
+        stacking loop is over RNG streams only; all delay computation on the
+        batch is vectorized.)
+        """
+        if num_instances < 1:
+            raise ValueError("need at least one instance")
+        return BatchVariationSample.from_samples(
+            [
+                self.sample(num_cells, buffers_per_cell, instance=first_instance + i)
+                for i in range(num_instances)
+            ]
+        )
 
     def _placement_gradient(self, num_cells: int) -> np.ndarray:
         """Systematic slow gradient along the placed line."""

@@ -16,6 +16,7 @@ EXPECTED_EXPERIMENTS = {
     "table4",
     "table5",
     "table6",
+    "fig15",
     "fig19",
     "fig21",
     "fig23",
@@ -24,6 +25,7 @@ EXPECTED_EXPERIMENTS = {
     "fig41_42",
     "fig47_48",
     "fig50_51",
+    "fig50_51_mc",
     "design_example",
 }
 
@@ -270,6 +272,44 @@ class TestLinearityFigures:
                 assert record["max_error_fraction"] < 0.06
 
 
+class TestMonteCarloLinearityClaims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig50_51_mc")
+
+    def test_proposed_locks_at_every_corner_and_frequency(self, result):
+        for corner in ("slow", "fast"):
+            for record in result.data["proposed"][corner].values():
+                assert record["lock_yield"] == 1.0
+
+    def test_conventional_fails_to_lock_at_slow_corner(self, result):
+        # Paper fig37: the conventional DLL saturates at the slow corner, so
+        # its population lock yield (and hence linearity yield) collapses.
+        for frequency, record in result.data["conventional"]["slow"].items():
+            assert record["lock_yield"] < 0.1, frequency
+            assert record["linearity_yield"] < 0.1, frequency
+
+    def test_proposed_yield_improves_at_lower_frequency(self, result):
+        # Paper section 4.3: more buffers per cell average out mismatch.
+        yields = [
+            result.data["proposed"]["slow"][frequency]["linearity_yield"]
+            for frequency in (50.0, 100.0, 200.0)
+        ]
+        assert yields[0] >= yields[1] >= yields[2]
+        assert yields[0] > yields[2]
+
+    def test_fast_corner_yields_are_high_for_both_schemes(self, result):
+        for scheme in ("proposed", "conventional"):
+            for record in result.data[scheme]["fast"].values():
+                assert record["linearity_yield"] > 0.95
+
+    def test_curves_stay_monotonic(self, result):
+        for scheme in ("proposed", "conventional"):
+            for corner in ("slow", "fast"):
+                for record in result.data[scheme][corner].values():
+                    assert record["monotonic_fraction"] == 1.0
+
+
 class TestDesignExampleClaims:
     def test_matches_paper_section_4_2(self):
         result = run_experiment("design_example")
@@ -291,6 +331,7 @@ class TestRunnerCLI:
         assert runner_main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "table5" in out
+        assert "fig50_51_mc" in out
 
     def test_run_single_experiment(self, capsys):
         assert runner_main(["design_example"]) == 0
@@ -302,3 +343,37 @@ class TestRunnerCLI:
 
     def test_no_arguments_prints_help(self, capsys):
         assert runner_main([]) == 1
+
+    def test_all_with_explicit_ids_is_an_error(self, capsys):
+        assert runner_main(["--all", "table4"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot be combined" in err
+
+    def test_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        assert runner_main(["fig41_42", "--json", str(path)]) == 0
+        import json
+
+        dumped = json.loads(path.read_text())
+        assert set(dumped) == {"fig41_42"}
+        scenarios = dumped["fig41_42"]["data"]["scenarios"]
+        assert set(scenarios) == {"sequential", "round_robin", "distributed"}
+        # Everything in the dump must be plain JSON types (no numpy left).
+        assert isinstance(scenarios["sequential"]["max_inl_lsb"], float)
+        assert isinstance(scenarios["sequential"]["levels"], list)
+
+    def test_failing_experiment_reports_nonzero_without_traceback(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import registry as live_registry
+
+        def boom():
+            raise RuntimeError("exploded mid-run")
+
+        monkeypatch.setitem(live_registry, "boom", boom)
+        assert runner_main(["boom", "design_example"]) == 1
+        captured = capsys.readouterr()
+        assert "exploded mid-run" in captured.err
+        assert "failed experiments: boom" in captured.err
+        # The healthy experiment still ran and reported.
+        assert "design_example" in captured.out
