@@ -22,3 +22,10 @@ def test_bench_fig15(benchmark):
     monte_carlo = result.data["monte_carlo"]
     assert monte_carlo["regulation_yield"] > 0.99
     assert monte_carlo["worst_error_v"] < 0.02
+    # Fused silicon Monte-Carlo: fabricated proposed-scheme delay lines at
+    # the typical corner all lock, stay linear and regulate their own
+    # component-varied bucks.
+    silicon = result.data["silicon_monte_carlo"]
+    assert silicon["lock_yield"] == 1.0
+    assert silicon["closed_loop_yield"] > 0.95
+    assert silicon["worst_error_v"] < 0.02

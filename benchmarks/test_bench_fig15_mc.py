@@ -1,0 +1,22 @@
+"""Benchmark: the Monte-Carlo silicon-to-regulation sweep (Figure 15 at scale)."""
+
+from repro.experiments.figure15_mc import run as run_fig15_mc
+
+
+def test_bench_fig15_mc(benchmark):
+    # One round is enough: the experiment itself sweeps 16 cells x 128
+    # fabricated instances through the fused pipeline.
+    result = benchmark.pedantic(run_fig15_mc, rounds=1, iterations=1)
+    # The proposed scheme's population locks and meets the composed spec at
+    # every corner, frequency and load scenario.
+    for corner in ("slow", "fast"):
+        for per_load in result.data["proposed"][corner].values():
+            for record in per_load.values():
+                assert record["lock_yield"] == 1.0
+                assert record["closed_loop_yield"] > 0.9
+    # The conventional DLL's slow-corner lock collapse is invisible to a
+    # regulation-only screen and fatal to the composed one.
+    for per_load in result.data["conventional"]["slow"].values():
+        for record in per_load.values():
+            assert record["regulation_yield"] > 0.9
+            assert record["closed_loop_yield"] < 0.1

@@ -19,6 +19,9 @@ Package map
   architectures, plus the calibrated delay-line DPWM built on the core.
 * :mod:`repro.converter` -- digitally controlled buck converter and the
   background regulator topologies.
+* :mod:`repro.pipeline` -- the fused silicon-to-regulation Monte-Carlo
+  pipeline: variation -> calibration -> DPWM duty tables -> batch
+  closed-loop regulation, with no per-instance Python loops.
 * :mod:`repro.analysis` -- linearity/power/efficiency metrics and report
   rendering.
 * :mod:`repro.experiments` -- one harness per paper table/figure plus a CLI
@@ -43,6 +46,7 @@ __all__ = [
     "core",
     "dpwm",
     "experiments",
+    "pipeline",
     "simulation",
     "technology",
 ]

@@ -113,6 +113,13 @@ class IdealDPWM:
             raise ValueError("duty word out of range")
         return duty_word / float(1 << self.bits)
 
+    def duty_table(self) -> np.ndarray:
+        """The whole word -> duty staircase as one array (the batch engine's
+        :meth:`~repro.simulation.batch.BatchQuantizer.from_quantizers` fast
+        path consumes this instead of calling :meth:`duty_fraction` per
+        word)."""
+        return np.arange(1 << self.bits, dtype=float) / float(1 << self.bits)
+
 
 @dataclass
 class RegulationTrace:

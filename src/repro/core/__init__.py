@@ -67,10 +67,14 @@ from repro.core.proposed import (
 from repro.core.structural import StructuralLockResult, StructuralProposedDelayLine
 from repro.core.comparison import SchemeComparison, compare_schemes
 from repro.core.yield_analysis import (
+    ClosedLoopYieldResult,
+    LinearitySpec,
     LinearityYieldResult,
+    RegulationSpec,
     YieldModel,
     YieldPoint,
     cells_for_yield,
+    closed_loop_yield,
     coverage_yield,
     linearity_yield,
     yield_curve,
@@ -78,6 +82,7 @@ from repro.core.yield_analysis import (
 
 __all__ = [
     "CalibrationResult",
+    "ClosedLoopYieldResult",
     "ContinuousCalibrationTrace",
     "ConventionalDelayLine",
     "ConventionalDelayLineConfig",
@@ -89,6 +94,7 @@ __all__ = [
     "EnsembleCalibration",
     "EnsembleTransferCurves",
     "FixedDelayCell",
+    "LinearitySpec",
     "LinearityYieldResult",
     "LockingStep",
     "LockingTrace",
@@ -98,6 +104,7 @@ __all__ = [
     "ProposedDelayLineConfig",
     "ProposedDesign",
     "ProposedEnsemble",
+    "RegulationSpec",
     "SchemeComparison",
     "ShiftRegisterController",
     "StructuralLockResult",
@@ -108,6 +115,7 @@ __all__ = [
     "YieldModel",
     "YieldPoint",
     "cells_for_yield",
+    "closed_loop_yield",
     "compare_schemes",
     "coverage_yield",
     "design_conventional",

@@ -27,36 +27,56 @@ DPWM ultimately serves:
   the vectorized batch engine and reports the fraction that regulate within
   a voltage tolerance -- the regulation-side analogue of the locking yield.
 
-Finally, :func:`linearity_yield` is the delay-line analogue of
+:func:`linearity_yield` is the delay-line analogue of
 :func:`regulation_yield`: it fabricates an ensemble of post-APR instances of
 either scheme, calibrates and extracts every transfer curve with the
 vectorized :mod:`repro.core.ensemble` engine, and reports the fraction of
 instances that meet a DNL/INL/monotonicity specification -- the
 population-level question behind the paper's Figures 41-42 and 50-51.
+
+Both yields are scored against declarative specification objects
+(:class:`LinearitySpec` / :class:`RegulationSpec`), and
+:func:`closed_loop_yield` composes them: it drives the fused
+silicon-to-regulation pipeline (:mod:`repro.pipeline`) -- every fabricated
+delay line calibrated, turned into a DPWM duty table and closed around its
+own buck converter -- and reports the fraction of chips that meet *both*
+specs.  That is the paper's end-to-end claim as a single Monte-Carlo number:
+a chip only ships when its delay line is linear enough *and* the loop it
+serves regulates cleanly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.converter.buck import BuckParameters
-from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.core.design import DesignSpec
 from repro.technology.cells import CellKind
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import VariationModel
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.core.ensemble import EnsembleCalibration, EnsembleTransferCurves
+    from repro.pipeline import PipelineResult
+    from repro.simulation.batch import BatchRegulationResult
+
 __all__ = [
     "YieldModel",
     "YieldPoint",
     "ComponentVariation",
+    "LinearitySpec",
+    "RegulationSpec",
+    "ClosedLoopYieldResult",
     "LinearityYieldResult",
     "RegulationYieldResult",
     "coverage_yield",
     "yield_curve",
     "cells_for_yield",
+    "closed_loop_yield",
     "linearity_yield",
     "regulation_yield",
 ]
@@ -310,6 +330,119 @@ class ComponentVariation:
 
 
 @dataclass(frozen=True)
+class LinearitySpec:
+    """Declarative pass/fail specification for a calibrated delay line.
+
+    An instance passes when its controller locks (when ``require_lock``),
+    its transfer curve is monotonic (when ``require_monotonic``) and its
+    worst-case |DNL| / |INL| / ideal-line deviation stay within whichever of
+    the three limits are given.  ``dnl_limit_lsb`` / ``inl_limit_lsb`` are in
+    LSB units of the scheme's own step size; ``error_limit_fraction`` is
+    referred to the switching period, the quantity that translates into
+    output-voltage error (paper eq. 12) and therefore the right scale for
+    cross-scheme comparisons.  ``None`` limits are not checked.
+    """
+
+    dnl_limit_lsb: float | None = None
+    inl_limit_lsb: float | None = None
+    error_limit_fraction: float | None = None
+    require_monotonic: bool = True
+    require_lock: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("dnl_limit_lsb", "inl_limit_lsb", "error_limit_fraction"):
+            limit = getattr(self, name)
+            if limit is not None and limit <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def passes(
+        self,
+        metrics,
+        locked: np.ndarray,
+        error_fractions: np.ndarray,
+    ) -> np.ndarray:
+        """Per-instance pass flags from batch linearity metrics.
+
+        Args:
+            metrics: a :class:`~repro.analysis.metrics.BatchLinearityMetrics`.
+            locked: per-instance lock flags from the calibration.
+            error_fractions: per-instance worst-case ideal-line deviation as
+                a fraction of the switching period.
+        """
+        passes = np.ones(np.asarray(locked).shape, dtype=bool)
+        if self.dnl_limit_lsb is not None:
+            passes &= metrics.max_dnl_lsb <= self.dnl_limit_lsb
+        if self.inl_limit_lsb is not None:
+            passes &= metrics.max_inl_lsb <= self.inl_limit_lsb
+        if self.error_limit_fraction is not None:
+            passes &= np.asarray(error_fractions) <= self.error_limit_fraction
+        if self.require_monotonic:
+            passes &= metrics.monotonic
+        if self.require_lock:
+            passes &= np.asarray(locked)
+        return passes
+
+    def evaluate(
+        self,
+        calibration: "EnsembleCalibration",
+        curves: "EnsembleTransferCurves",
+    ) -> np.ndarray:
+        """Per-instance pass flags straight from an ensemble's outputs."""
+        return self.passes(
+            curves.metrics(),
+            calibration.locked,
+            curves.max_error_fraction_of_period(),
+        )
+
+
+@dataclass(frozen=True)
+class RegulationSpec:
+    """Declarative pass/fail specification for the closed regulation loop.
+
+    A variant passes when its steady-state output voltage stays within
+    ``tolerance_v`` of the reference and (when ``ripple_limit_v`` is given)
+    its steady-state limit-cycle amplitude -- the peak-to-peak tail ripple --
+    stays within the limit.  Steady state is the last ``tail_fraction`` of
+    the run.
+    """
+
+    tolerance_v: float = 0.02
+    ripple_limit_v: float | None = None
+    tail_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.tolerance_v <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.ripple_limit_v is not None and self.ripple_limit_v <= 0:
+            raise ValueError("ripple_limit_v must be positive")
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+
+    def passes(
+        self,
+        steady_state_v: np.ndarray,
+        ripples_v: np.ndarray,
+        reference_v,
+    ) -> np.ndarray:
+        """Per-variant pass flags from steady-state statistics."""
+        errors = np.abs(np.asarray(steady_state_v) - np.asarray(reference_v))
+        passes = errors <= self.tolerance_v
+        if self.ripple_limit_v is not None:
+            passes &= np.asarray(ripples_v) <= self.ripple_limit_v
+        return passes
+
+    def evaluate(
+        self, regulation: "BatchRegulationResult", reference_v
+    ) -> np.ndarray:
+        """Per-variant pass flags straight from a batch regulation run."""
+        return self.passes(
+            regulation.steady_state_voltage_v(self.tail_fraction),
+            regulation.steady_state_ripple_v(self.tail_fraction),
+            reference_v,
+        )
+
+
+@dataclass(frozen=True)
 class RegulationYieldResult:
     """Outcome of a Monte-Carlo regulation sweep.
 
@@ -340,30 +473,29 @@ def regulation_yield(
 ) -> RegulationYieldResult:
     """Monte-Carlo estimate of the closed loop's regulation yield.
 
-    A variant "yields" when its steady-state output voltage stays within
-    ``tolerance_v`` of the reference despite its component draws.  The whole
-    fleet is advanced in one vectorized batch run, so 256 variants cost a
-    couple of matrix-vector products per switching period rather than
-    millions of Python iterations.
+    A variant "yields" when it meets the :class:`RegulationSpec` built from
+    ``tolerance_v`` (steady-state output within the tolerance of the
+    reference) despite its component draws.  The whole fleet is advanced in
+    one vectorized batch run, so 256 variants cost a couple of matrix-vector
+    products per switching period rather than millions of Python iterations.
     """
     from repro.simulation.batch import BatchClosedLoop, BatchQuantizer
 
-    if tolerance_v <= 0:
-        raise ValueError("tolerance must be positive")
+    spec = RegulationSpec(tolerance_v=tolerance_v)
     variation = variation or ComponentVariation()
     parameters = variation.sample_batch(nominal, num_variants)
     if quantizer is None:
         quantizer = BatchQuantizer.ideal(dpwm_bits, num_variants)
     loop = BatchClosedLoop(parameters, quantizer, reference_v=reference_v, load=load)
     result = loop.run(periods)
-    steady_state = result.steady_state_voltage_v()
-    ripple = result.steady_state_ripple_v()
-    errors = np.abs(steady_state - reference_v)
+    steady_state = result.steady_state_voltage_v(spec.tail_fraction)
+    ripple = result.steady_state_ripple_v(spec.tail_fraction)
+    passes = spec.passes(steady_state, ripple, reference_v)
     return RegulationYieldResult(
-        regulation_yield=float(np.mean(errors <= tolerance_v)),
+        regulation_yield=float(np.mean(passes)),
         steady_state_voltages_v=steady_state,
         steady_state_ripples_v=ripple,
-        worst_error_v=float(errors.max()),
+        worst_error_v=float(np.abs(steady_state - reference_v).max()),
     )
 
 
@@ -423,59 +555,38 @@ def linearity_yield(
     the :mod:`repro.core.ensemble` engine -- the delay-line analogue of
     :func:`regulation_yield`.
 
-    An instance "yields" when its controller locks (when ``require_lock``),
-    its transfer curve is monotonic (when ``require_monotonic``) and its
-    worst-case |DNL| / |INL| / ideal-line deviation stay within whichever of
-    the three limits are given.  ``dnl_limit_lsb`` and ``inl_limit_lsb`` are
-    in LSB units of the scheme's own step size; ``error_limit_fraction`` is
-    referred to the switching period, the quantity that translates into
-    output-voltage error (paper eq. 12) and therefore the right scale for
-    cross-scheme comparisons.
+    An instance "yields" when it meets the :class:`LinearitySpec` built from
+    the limit arguments (lock if required, DNL/INL/deviation limits,
+    monotonicity if required); see that class for the unit conventions.
     """
-    from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
-
     if num_instances < 1:
         raise ValueError("need at least one instance")
-    for name, limit in (
-        ("dnl_limit_lsb", dnl_limit_lsb),
-        ("inl_limit_lsb", inl_limit_lsb),
-        ("error_limit_fraction", error_limit_fraction),
-    ):
-        if limit is not None and limit <= 0:
-            raise ValueError(f"{name} must be positive")
+    from repro.pipeline import fabricate_ensemble
+
+    linearity_spec = LinearitySpec(
+        dnl_limit_lsb=dnl_limit_lsb,
+        inl_limit_lsb=inl_limit_lsb,
+        error_limit_fraction=error_limit_fraction,
+        require_monotonic=require_monotonic,
+        require_lock=require_lock,
+    )
     library = library or intel32_like_library()
     variation = variation or VariationModel()
-    if scheme == "proposed":
-        config = design_proposed(spec, library).build_line(library=library).config
-        ensemble = ProposedEnsemble.sample(
-            config, num_instances, variation, library=library,
-            first_instance=first_instance,
-        )
-    elif scheme == "conventional":
-        config = design_conventional(spec, library).build_line(library=library).config
-        ensemble = ConventionalEnsemble.sample(
-            config, num_instances, variation, library=library,
-            first_instance=first_instance,
-        )
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
+    ensemble = fabricate_ensemble(
+        scheme,
+        spec,
+        variation=variation,
+        num_instances=num_instances,
+        library=library,
+        first_instance=first_instance,
+    )
 
     calibration = ensemble.lock(conditions)
     curves = ensemble.transfer_curves(conditions, calibration=calibration)
     metrics = curves.metrics()
     error_fractions = curves.max_error_fraction_of_period()
 
-    passes = np.ones(num_instances, dtype=bool)
-    if dnl_limit_lsb is not None:
-        passes &= metrics.max_dnl_lsb <= dnl_limit_lsb
-    if inl_limit_lsb is not None:
-        passes &= metrics.max_inl_lsb <= inl_limit_lsb
-    if error_limit_fraction is not None:
-        passes &= error_fractions <= error_limit_fraction
-    if require_monotonic:
-        passes &= metrics.monotonic
-    if require_lock:
-        passes &= calibration.locked
+    passes = linearity_spec.passes(metrics, calibration.locked, error_fractions)
     return LinearityYieldResult(
         scheme=scheme,
         linearity_yield=float(np.mean(passes)),
@@ -487,4 +598,110 @@ def linearity_yield(
         rms_inl_lsb=metrics.rms_inl_lsb,
         monotonic=metrics.monotonic,
         max_error_fraction_of_period=error_fractions,
+    )
+
+
+@dataclass(frozen=True)
+class ClosedLoopYieldResult:
+    """Outcome of a fused silicon-to-regulation Monte-Carlo sweep.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        closed_loop_yield: fraction of fabricated instances meeting *both*
+            the linearity and the regulation specification.
+        linearity_yield / regulation_yield / lock_yield: the per-spec
+            fractions (of the same instances).
+        passes / linearity_passes / regulation_passes: per-instance flags.
+        steady_state_voltages_v: per-instance steady-state outputs.
+        limit_cycle_amplitudes_v: per-instance steady-state peak-to-peak
+            output ripple (the limit-cycle amplitude the DPWM's finite,
+            nonlinear resolution leaves behind).
+        worst_error_v: largest steady-state deviation from the reference.
+        pipeline_result: the full :class:`repro.pipeline.PipelineResult`
+            (calibration, transfer curves, per-period regulation history).
+    """
+
+    scheme: str
+    closed_loop_yield: float
+    linearity_yield: float
+    regulation_yield: float
+    lock_yield: float
+    passes: np.ndarray
+    linearity_passes: np.ndarray
+    regulation_passes: np.ndarray
+    steady_state_voltages_v: np.ndarray
+    limit_cycle_amplitudes_v: np.ndarray
+    worst_error_v: float
+    pipeline_result: "PipelineResult"
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.passes.shape[0])
+
+
+def closed_loop_yield(
+    scheme: str,
+    spec: DesignSpec,
+    conditions: OperatingConditions,
+    nominal: BuckParameters | None = None,
+    reference_v: float = 0.9,
+    variation: VariationModel | None = None,
+    component_variation: ComponentVariation | None = None,
+    num_instances: int = 256,
+    periods: int = 300,
+    linearity_spec: LinearitySpec | None = None,
+    regulation_spec: RegulationSpec | None = None,
+    load=None,
+    library: TechnologyLibrary | None = None,
+    first_instance: int = 0,
+) -> ClosedLoopYieldResult:
+    """Monte-Carlo estimate of the fused silicon-to-regulation yield.
+
+    Every fabricated delay-line instance is calibrated, converted into a
+    DPWM duty table and closed around its own buck converter in one
+    vectorized :class:`repro.pipeline.SiliconToRegulationPipeline` run -- no
+    per-instance Python loop anywhere in the hot path.  An instance "yields"
+    when it meets both the :class:`LinearitySpec` (its silicon) and the
+    :class:`RegulationSpec` (the loop it serves); the composition is the
+    point: a chip with linear silicon that limit-cycles out of tolerance
+    fails, as does a chip that regulates today on silicon that never locked.
+    """
+    from repro.pipeline import SiliconToRegulationPipeline
+
+    linearity_spec = linearity_spec or LinearitySpec()
+    regulation_spec = regulation_spec or RegulationSpec()
+    pipeline = SiliconToRegulationPipeline(
+        scheme,
+        spec,
+        conditions,
+        variation=variation,
+        num_instances=num_instances,
+        nominal=nominal,
+        reference_v=reference_v,
+        component_variation=component_variation,
+        load=load,
+        library=library,
+        first_instance=first_instance,
+    )
+    result = pipeline.run(periods)
+    linearity_passes = linearity_spec.evaluate(result.calibration, result.curves)
+    steady_state = result.regulation.steady_state_voltage_v(
+        regulation_spec.tail_fraction
+    )
+    ripple = result.regulation.steady_state_ripple_v(regulation_spec.tail_fraction)
+    regulation_passes = regulation_spec.passes(steady_state, ripple, reference_v)
+    passes = linearity_passes & regulation_passes
+    return ClosedLoopYieldResult(
+        scheme=result.scheme,
+        closed_loop_yield=float(np.mean(passes)),
+        linearity_yield=float(np.mean(linearity_passes)),
+        regulation_yield=float(np.mean(regulation_passes)),
+        lock_yield=float(np.mean(result.calibration.locked)),
+        passes=passes,
+        linearity_passes=linearity_passes,
+        regulation_passes=regulation_passes,
+        steady_state_voltages_v=steady_state,
+        limit_cycle_amplitudes_v=ripple,
+        worst_error_v=float(np.abs(steady_state - reference_v).max()),
+        pipeline_result=result,
     )

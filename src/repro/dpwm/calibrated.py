@@ -7,6 +7,15 @@ module wraps either calibrated delay line behind the DPWM interface the
 converter substrate consumes: request a duty word, get back the achieved duty
 fraction (and optionally a waveform), with the calibration kept up to date as
 operating conditions change.
+
+The word -> achieved-duty mapping is computed *in array form* at calibration
+time: the line is lifted into a single-instance
+:mod:`repro.core.ensemble` run and the resulting transfer curve converted
+with :meth:`~repro.simulation.batch.BatchQuantizer.from_ensemble` -- the
+same code path the batch silicon-to-regulation pipeline uses for whole
+Monte-Carlo populations.  Scalar ``duty_fraction`` calls are then table
+lookups, and :meth:`duty_table` hands the whole mapping to the batch engine
+without any per-word Python loop.
 """
 
 from __future__ import annotations
@@ -14,8 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.conventional import ConventionalDelayLine, ShiftRegisterController
+from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
 from repro.core.proposed import ProposedController, ProposedDelayLine
 from repro.dpwm.base import DPWMWaveform, DutyCycleRequest
+from repro.simulation.batch import BatchQuantizer
 from repro.simulation.signals import Signal
 from repro.simulation.simulator import Simulator
 from repro.technology.corners import OperatingConditions
@@ -54,6 +65,7 @@ class CalibratedDelayLineDPWM:
             raise TypeError(f"unsupported delay-line type: {type(line)!r}")
         self._tap_sel: int | None = None
         self._levels: np.ndarray | None = None
+        self._duty_table: np.ndarray
         self.calibration = self.recalibrate(self.conditions)
 
     @property
@@ -78,7 +90,32 @@ class CalibratedDelayLineDPWM:
             result = ShiftRegisterController(self.line).lock(conditions)
             self._levels = self.line.levels_for_steps(result.control_state)
         self.calibration = result
+        self._duty_table = self._build_duty_table()
         return result
+
+    def _build_duty_table(self) -> np.ndarray:
+        """Word -> achieved-duty table via the vectorized ensemble path."""
+        if self._scheme == "proposed":
+            assert self._tap_sel is not None
+            curves = ProposedEnsemble.from_line(self.line).transfer_curves(
+                self.conditions, tap_sel=np.array([self._tap_sel])
+            )
+        else:
+            assert self._levels is not None
+            curves = ConventionalEnsemble.from_line(self.line).transfer_curves(
+                self.conditions, levels=np.asarray(self._levels)
+            )
+        quantizer = BatchQuantizer.from_ensemble(curves, num_words=self.max_word + 1)
+        return quantizer.levels[0]
+
+    def duty_table(self) -> np.ndarray:
+        """Achieved duty of every word ``0..max_word`` as one array.
+
+        The batch engine consumes this directly
+        (:meth:`~repro.simulation.batch.BatchQuantizer.from_quantizers`
+        fast path); treat the returned array as read-only.
+        """
+        return self._duty_table
 
     def reset_delay_ps(self, duty_word: int) -> float:
         """Delay of the reset edge for a duty word at the current calibration."""
@@ -93,9 +130,17 @@ class CalibratedDelayLineDPWM:
         return self.line.output_delay_ps(duty_word, self._levels, self.conditions)
 
     def duty_fraction(self, duty_word: int) -> float:
-        """Achieved duty-cycle fraction (0..1) for a duty word."""
-        delay = self.reset_delay_ps(duty_word)
-        return min(delay / self.switching_period_ps, 1.0)
+        """Achieved duty-cycle fraction (0..1) for a duty word.
+
+        A lookup into the calibration-time :meth:`duty_table` -- the scalar
+        view of the same arithmetic the batch pipeline applies to whole
+        ensembles.
+        """
+        if not 0 <= duty_word <= self.max_word:
+            raise ValueError(
+                f"duty word {duty_word} out of range [0, {self.max_word}]"
+            )
+        return float(self._duty_table[duty_word])
 
     def duty_word_for(self, duty_fraction: float) -> int:
         """Quantize a requested duty fraction to the nearest duty word."""

@@ -15,6 +15,7 @@ from repro.experiments.base import ExperimentResult, registry, run_experiment
 from repro.experiments import (  # noqa: F401  (imported for registration)
     design_example,
     figure15,
+    figure15_mc,
     figure19,
     figure21,
     figure23,

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["ExperimentResult", "registry", "register", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "accepts_seed",
+    "registry",
+    "register",
+    "run_experiment",
+]
 
 
 @dataclass
@@ -49,8 +56,24 @@ def register(experiment_id: str):
     return decorator
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def accepts_seed(experiment_id: str) -> bool:
+    """Whether an experiment's run function takes an RNG ``seed`` argument.
+
+    The Monte-Carlo experiments (``fig15``, ``fig15_mc``, ``fig50_51_mc``)
+    declare ``seed`` so one CLI flag can rethread their random draws; the
+    deterministic table/figure regenerations do not.
+    """
+    return "seed" in inspect.signature(registry[experiment_id]).parameters
+
+
+def run_experiment(experiment_id: str, seed: int | None = None) -> ExperimentResult:
     """Run a registered experiment by id.
+
+    Args:
+        experiment_id: the registered id.
+        seed: optional RNG seed threaded into experiments that accept one
+            (see :func:`accepts_seed`); experiments without randomness
+            ignore it.
 
     Raises:
         KeyError: if the id is unknown.
@@ -62,4 +85,6 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known experiments: {known}"
         ) from exc
+    if seed is not None and accepts_seed(experiment_id):
+        return runner(seed=seed)
     return runner()

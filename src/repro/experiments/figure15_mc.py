@@ -1,0 +1,167 @@
+"""Figure 15, Monte-Carlo edition -- silicon-to-regulation yield at scale.
+
+The ``fig15`` experiment shows *one* converter per DPWM architecture and a
+component-only Monte-Carlo sweep; the ``fig50_51_mc`` experiment scores the
+delay-line silicon but never closes a loop.  This experiment fuses the two
+halves with the silicon-to-regulation pipeline (:mod:`repro.pipeline` via
+:func:`~repro.core.yield_analysis.closed_loop_yield`): for every
+(scheme x corner x frequency x load scenario) cell, a population of
+fabricated delay-line instances is drawn, calibrated closed-form, converted
+into per-instance DPWM duty tables and closed around its own
+component-varied buck -- one vectorized run per cell, no per-instance Python
+loop anywhere.  Each cell reports the per-chip steady-state limit-cycle
+amplitude and the composed closed-loop yield (linearity AND regulation).
+
+The composition is the payoff: at the slow corner the conventional DLL's
+lock yield collapses (paper Figure 37 as a population statement), yet the
+unlocked chips still *regulate* -- the loop servos the duty word around the
+mis-scaled table -- so a regulation-only screen would ship silicon whose
+DPWM never calibrated.  The composed specification catches it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import format_table
+from repro.converter.load import SteppedLoad
+from repro.core.design import DesignSpec
+from repro.core.yield_analysis import (
+    ComponentVariation,
+    LinearitySpec,
+    RegulationSpec,
+    closed_loop_yield,
+)
+from repro.experiments.base import ExperimentResult, register
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
+
+__all__ = [
+    "run",
+    "FREQUENCIES_MHZ",
+    "LOAD_SCENARIOS",
+    "NUM_INSTANCES",
+    "PERIODS",
+]
+
+FREQUENCIES_MHZ = (100.0, 200.0)
+NUM_INSTANCES = 128
+PERIODS = 400
+DEFAULT_SEED = 2012
+REFERENCE_V = 0.9
+#: The composed specification: the silicon side mirrors ``fig50_51_mc``'s
+#: period-referred deviation limit, the loop side is the 20 mV regulation
+#: window of ``fig15``.
+LINEARITY_SPEC = LinearitySpec(error_limit_fraction=0.045)
+REGULATION_SPEC = RegulationSpec(tolerance_v=0.02)
+#: Load scenarios; the step lands early so the steady-state tail scores the
+#: recovered loop at every frequency (slower-switching fleets need more
+#: periods per time constant to settle).
+LOAD_SCENARIOS = {
+    "constant": None,
+    "load_step": SteppedLoad(
+        light_ohm=2.0, heavy_ohm=0.9, step_up_period=60, step_down_period=120
+    ),
+}
+
+
+@register("fig15_mc")
+def run(seed: int | None = None) -> ExperimentResult:
+    """Monte-Carlo closed-loop yield per scheme x corner x frequency x load.
+
+    Args:
+        seed: RNG seed for the silicon and component draws (the CLI's
+            ``--seed`` flag); defaults to the experiment's stock seed.
+    """
+    seed = DEFAULT_SEED if seed is None else seed
+    library = intel32_like_library()
+    variation = VariationModel(seed=seed)
+    component_variation = ComponentVariation(seed=seed)
+
+    data = {}
+    rows = []
+    for scheme in ("proposed", "conventional"):
+        data[scheme] = {}
+        for corner in (ProcessCorner.SLOW, ProcessCorner.FAST):
+            conditions = OperatingConditions(corner=corner)
+            data[scheme][corner.name.lower()] = {}
+            for frequency in FREQUENCIES_MHZ:
+                per_load = {}
+                for scenario, load in LOAD_SCENARIOS.items():
+                    result = closed_loop_yield(
+                        scheme,
+                        DesignSpec(
+                            clock_frequency_mhz=frequency, resolution_bits=6
+                        ),
+                        conditions,
+                        reference_v=REFERENCE_V,
+                        variation=variation,
+                        component_variation=component_variation,
+                        num_instances=NUM_INSTANCES,
+                        periods=PERIODS,
+                        linearity_spec=LINEARITY_SPEC,
+                        regulation_spec=REGULATION_SPEC,
+                        load=load,
+                        library=library,
+                    )
+                    amplitudes = result.limit_cycle_amplitudes_v
+                    entry = {
+                        "closed_loop_yield": result.closed_loop_yield,
+                        "linearity_yield": result.linearity_yield,
+                        "regulation_yield": result.regulation_yield,
+                        "lock_yield": result.lock_yield,
+                        "worst_error_v": result.worst_error_v,
+                        "mean_limit_cycle_amplitude_v": float(amplitudes.mean()),
+                        "worst_limit_cycle_amplitude_v": float(amplitudes.max()),
+                    }
+                    per_load[scenario] = entry
+                    rows.append(
+                        [
+                            scheme,
+                            corner.name.lower(),
+                            f"{frequency:.0f}",
+                            scenario,
+                            f"{entry['closed_loop_yield']:.3f}",
+                            f"{entry['regulation_yield']:.3f}",
+                            f"{entry['lock_yield']:.3f}",
+                            f"{entry['mean_limit_cycle_amplitude_v'] * 1e3:.1f}",
+                            f"{entry['worst_error_v'] * 1e3:.1f}",
+                        ]
+                    )
+                data[scheme][corner.name.lower()][frequency] = per_load
+
+    report = format_table(
+        headers=[
+            "Scheme",
+            "Corner",
+            "Freq (MHz)",
+            "Load",
+            "Closed-loop yield",
+            "Regulation yield",
+            "Lock yield",
+            "Mean limit cycle (mV)",
+            "Worst |Vss-Vref| (mV)",
+        ],
+        rows=rows,
+        title=(
+            f"Figure 15 Monte-Carlo -- silicon-to-regulation yield over "
+            f"{NUM_INSTANCES} fabricated instances per cell (spec: deviation "
+            f"<= {100 * LINEARITY_SPEC.error_limit_fraction:.1f} % of period, "
+            f"monotonic, locked, AND |Vss - Vref| <= "
+            f"{REGULATION_SPEC.tolerance_v * 1e3:.0f} mV)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig15_mc",
+        title="Monte-Carlo silicon-to-regulation yield across corners, "
+        "frequencies and load scenarios (population-scale Figure 15)",
+        data=data,
+        report=report,
+        paper_reference={
+            "claims": [
+                "process variation in the delay line decides closed-loop quality",
+                "the proposed scheme's population locks and regulates at every corner",
+                "the conventional DLL's slow-corner lock collapse survives the loop: "
+                "regulation alone cannot screen it",
+            ]
+        },
+    )

@@ -19,6 +19,7 @@ from dataclasses import asdict, is_dataclass
 import numpy as np
 
 from repro.experiments import registry, run_experiment
+from repro.experiments.base import accepts_seed
 
 __all__ = ["main"]
 
@@ -44,6 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump the structured results (ExperimentResult.data and "
         "paper references) of the selected experiments as JSON",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="INT",
+        help="RNG seed threaded into the Monte-Carlo experiments (fig15, "
+        "fig15_mc, fig50_51_mc) in place of their built-in default; "
+        "experiments without randomness ignore it",
     )
     return parser
 
@@ -95,11 +104,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"known experiments: {', '.join(sorted(registry))}", file=sys.stderr)
         return 2
 
+    if args.seed is not None:
+        ignoring = [name for name in selected if not accepts_seed(name)]
+        if ignoring:
+            print(
+                f"--seed only reaches the Monte-Carlo experiments; ignored by: "
+                f"{', '.join(ignoring)}",
+                file=sys.stderr,
+            )
+
     collected: dict[str, dict] = {}
     failures: list[str] = []
     for experiment_id in selected:
         try:
-            result = run_experiment(experiment_id)
+            result = run_experiment(experiment_id, seed=args.seed)
         except Exception as error:  # noqa: BLE001 - report and keep going
             failures.append(experiment_id)
             print(

@@ -1,0 +1,266 @@
+"""The fused silicon-to-regulation Monte-Carlo pipeline.
+
+The paper's end-to-end claim is that delay-line DPWM nonlinearity under
+process variation decides whether the closed-loop buck regulates cleanly or
+limit-cycles.  Before this module the repo evaluated the two halves in
+separate engines: :mod:`repro.core.ensemble` produced per-instance DPWM
+transfer curves and :mod:`repro.simulation.batch` ran fleets of closed
+loops, but connecting them meant constructing scalar
+:class:`~repro.dpwm.calibrated.CalibratedDelayLineDPWM` objects one instance
+at a time in Python.  :class:`SiliconToRegulationPipeline` fuses the stack:
+
+1. **Fabricate** -- draw ``N`` post-APR instances of the designed delay line
+   from a :class:`~repro.technology.variation.VariationModel`
+   (:func:`fabricate_ensemble`).
+2. **Calibrate** -- lock every instance closed-form and extract the full
+   ``(instances, words)`` transfer-curve matrix in one vectorized ensemble
+   pass.
+3. **Convert** -- turn that matrix directly into per-instance DPWM duty
+   tables with :meth:`~repro.simulation.batch.BatchQuantizer.from_ensemble`
+   (no per-instance scalar DPWM construction, no Python loops).
+4. **Regulate** -- close a :class:`~repro.simulation.batch.BatchClosedLoop`
+   fleet around the fabricated DPWMs, optionally with per-chip electrical
+   spreads from :class:`~repro.core.yield_analysis.ComponentVariation`, and
+   advance all loops together period by period.
+
+Each fleet variant's DPWM nonlinearity is its *own* fabricated instance's
+calibrated curve, so steady-state limit-cycle amplitude and regulation yield
+become per-chip Monte-Carlo statistics.  The fused run is bit-identical to
+composing the two engines by hand (scalar ``CalibratedDelayLineDPWM`` plus
+scalar ``DigitallyControlledBuck`` per instance) -- the property
+``tests/test_pipeline.py`` asserts and ``benchmarks/test_bench_pipeline.py``
+perf-gates (>= 10x at bit-exact steady-state agreement).
+
+Scoring lives next door: :func:`repro.core.yield_analysis.closed_loop_yield`
+runs this pipeline and composes the :class:`LinearitySpec` and
+:class:`RegulationSpec` pass/fail frameworks into one fused yield number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.converter.buck import BuckParameters
+from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.core.ensemble import (
+    ConventionalEnsemble,
+    DelayLineEnsemble,
+    EnsembleCalibration,
+    EnsembleTransferCurves,
+    ProposedEnsemble,
+)
+from repro.core.yield_analysis import ComponentVariation
+from repro.simulation.batch import (
+    BatchBuckParameters,
+    BatchClosedLoop,
+    BatchQuantizer,
+    BatchRegulationResult,
+)
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.variation import VariationModel
+
+__all__ = [
+    "PipelineResult",
+    "SiliconToRegulationPipeline",
+    "fabricate_ensemble",
+]
+
+
+def fabricate_ensemble(
+    scheme: str,
+    spec: DesignSpec,
+    variation: VariationModel | None,
+    num_instances: int,
+    library: TechnologyLibrary | None = None,
+    first_instance: int = 0,
+) -> DelayLineEnsemble:
+    """Design a scheme for a specification and draw fabricated instances.
+
+    Runs the paper's design procedure (:mod:`repro.core.design`) for the
+    requested scheme, then samples ``num_instances`` post-APR instances from
+    the variation model as one batch.  ``variation=None`` fabricates ideal
+    (mismatch-free) silicon: every instance is the nominal line.
+    """
+    if num_instances < 1:
+        raise ValueError("need at least one instance")
+    library = library or intel32_like_library()
+    if scheme == "proposed":
+        config = design_proposed(spec, library).build_line(library=library).config
+        cls = ProposedEnsemble
+    elif scheme == "conventional":
+        config = design_conventional(spec, library).build_line(library=library).config
+        cls = ConventionalEnsemble
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if variation is None:
+        return cls(config, library=library, num_instances=num_instances)
+    return cls.sample(
+        config, num_instances, variation, library=library,
+        first_instance=first_instance,
+    )
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything one fused pipeline run produced, stage by stage.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        reference_v: the regulation target the fleet was closed on.
+        calibration: per-instance lock outcomes (stage 2).
+        curves: per-instance post-calibration transfer curves (stage 2).
+        regulation: the fleet's per-period regulation history (stage 4).
+    """
+
+    scheme: str
+    reference_v: float
+    calibration: EnsembleCalibration
+    curves: EnsembleTransferCurves
+    regulation: BatchRegulationResult
+
+    @property
+    def num_instances(self) -> int:
+        return self.regulation.num_variants
+
+    def steady_state_voltages_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+        """Per-instance steady-state output voltage."""
+        return self.regulation.steady_state_voltage_v(tail_fraction)
+
+    def limit_cycle_amplitudes_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+        """Per-instance steady-state peak-to-peak output ripple.
+
+        This is the limit-cycle amplitude the DPWM's finite (and, after
+        fabrication, nonlinear) resolution leaves behind once the loop has
+        settled -- the regulation-side signature of the silicon.
+        """
+        return self.regulation.steady_state_ripple_v(tail_fraction)
+
+    def regulation_errors_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+        """Per-instance |steady-state output - reference|."""
+        return np.abs(self.steady_state_voltages_v(tail_fraction) - self.reference_v)
+
+
+class SiliconToRegulationPipeline:
+    """Variation -> calibration -> DPWM -> regulation, one vectorized stack.
+
+    Construction runs the silicon stages (fabricate, calibrate, convert);
+    :meth:`run` closes the fleet and advances it.  All per-instance state
+    lives in stacked arrays end to end: the variation batch, the closed-form
+    ensemble lock, the ``(instances, words)`` duty-table matrix and the
+    batch closed loop -- there is no per-instance Python loop anywhere.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        spec: DesignSpec,
+        conditions: OperatingConditions | None = None,
+        *,
+        variation: VariationModel | None = None,
+        num_instances: int = 256,
+        nominal: BuckParameters | None = None,
+        reference_v: float = 0.9,
+        component_variation: ComponentVariation | None = None,
+        load=None,
+        loads=None,
+        adc=None,
+        compensator=None,
+        reference_profile=None,
+        source_profile=None,
+        library: TechnologyLibrary | None = None,
+        first_instance: int = 0,
+    ) -> None:
+        """Fabricate, calibrate and convert the silicon for a fleet.
+
+        Args:
+            scheme: ``"proposed"`` or ``"conventional"``.
+            spec: the delay-line design specification; its clock frequency is
+                the fleet's switching frequency.
+            conditions: PVT operating point of the silicon (typical corner by
+                default).
+            variation: post-APR mismatch model; ``None`` fabricates ideal
+                silicon.
+            num_instances: fabricated instances = fleet variants.
+            nominal: nominal electrical parameters; defaults to the stock
+                :class:`BuckParameters` switched at the spec's frequency.
+            reference_v: regulation target.
+            component_variation: optional per-chip spread of the electrical
+                components (L, C, parasitics, input rail).
+            load / loads / adc / compensator / reference_profile /
+                source_profile: forwarded to :class:`BatchClosedLoop`.
+            library: technology library shared by design and calibration.
+            first_instance: index of the first fabricated instance (for
+                sharding one Monte-Carlo population across runs).
+        """
+        self.library = library or intel32_like_library()
+        self.conditions = conditions or OperatingConditions.typical()
+        self.spec = spec
+        if nominal is None:
+            nominal = BuckParameters(
+                switching_frequency_hz=spec.clock_frequency_mhz * 1e6
+            )
+        if not np.isclose(
+            nominal.switching_frequency_hz, spec.clock_frequency_mhz * 1e6
+        ):
+            raise ValueError(
+                "the DPWM and the power stage share one switching clock: "
+                f"spec says {spec.clock_frequency_mhz} MHz, nominal "
+                f"parameters say {nominal.switching_frequency_hz / 1e6} MHz"
+            )
+        self.nominal = nominal
+        self.ensemble = fabricate_ensemble(
+            scheme,
+            spec,
+            variation=variation,
+            num_instances=num_instances,
+            library=self.library,
+            first_instance=first_instance,
+        )
+        self.scheme = self.ensemble.scheme
+        self.calibration = self.ensemble.lock(self.conditions)
+        self.curves = self.ensemble.transfer_curves(
+            self.conditions, calibration=self.calibration
+        )
+        self.quantizer = BatchQuantizer.from_ensemble(self.curves)
+        if component_variation is None:
+            self.parameters = BatchBuckParameters.uniform(nominal, num_instances)
+        else:
+            self.parameters = component_variation.sample_batch(
+                nominal, num_instances
+            )
+        self.reference_v = reference_v
+        self._loop_kwargs = dict(
+            adc=adc,
+            compensator=compensator,
+            load=load,
+            loads=loads,
+            reference_profile=reference_profile,
+            source_profile=source_profile,
+        )
+
+    @property
+    def num_instances(self) -> int:
+        return self.ensemble.num_instances
+
+    def build_loop(self) -> BatchClosedLoop:
+        """A fresh fleet closed around the fabricated DPWMs."""
+        return BatchClosedLoop(
+            self.parameters,
+            self.quantizer,
+            reference_v=self.reference_v,
+            **self._loop_kwargs,
+        )
+
+    def run(self, periods: int = 300) -> PipelineResult:
+        """Advance a fresh fleet and bundle all stages into one result."""
+        regulation = self.build_loop().run(periods)
+        return PipelineResult(
+            scheme=self.scheme,
+            reference_v=self.reference_v,
+            calibration=self.calibration,
+            curves=self.curves,
+            regulation=regulation,
+        )

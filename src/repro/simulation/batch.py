@@ -226,17 +226,75 @@ class BatchQuantizer:
 
         Every quantizer must expose ``max_word`` / ``duty_fraction`` (the
         :class:`~repro.converter.closed_loop.DutyQuantizer` protocol); word
-        widths may differ between quantizers.
+        widths may differ between quantizers.  Quantizers that expose their
+        whole table in array form (a ``duty_table()`` method, as the ideal
+        and calibrated delay-line DPWMs do) are copied in one vectorized
+        assignment instead of one ``duty_fraction`` call per word.
         """
         if not quantizers:
             raise ValueError("need at least one quantizer")
         num_words = np.array([q.max_word + 1 for q in quantizers], dtype=np.int64)
         levels = np.zeros((len(quantizers), int(num_words.max())))
         for row, quantizer in enumerate(quantizers):
-            levels[row, : num_words[row]] = [
-                quantizer.duty_fraction(word) for word in range(num_words[row])
-            ]
+            count = int(num_words[row])
+            table = getattr(quantizer, "duty_table", None)
+            if table is not None:
+                values = np.asarray(table(), dtype=float)
+                if values.shape != (count,):
+                    raise ValueError(
+                        f"quantizer {row} reports max_word {count - 1} but "
+                        f"its duty_table has shape {values.shape}"
+                    )
+                levels[row, :count] = values
+            else:
+                levels[row, :count] = [
+                    quantizer.duty_fraction(word) for word in range(count)
+                ]
         return cls(levels, num_words=num_words)
+
+    @classmethod
+    def from_ensemble(cls, curves, num_words: int | None = None) -> "BatchQuantizer":
+        """Per-instance duty tables straight from an ensemble's curve matrix.
+
+        ``curves`` is any object exposing ``input_words`` (the contiguous
+        duty words ``1..W`` the matrix covers), ``delays_ps`` (the
+        ``(instances, W)`` reset-edge delay matrix) and ``clock_period_ps``
+        -- :class:`~repro.core.ensemble.EnsembleTransferCurves` in practice.
+        Word 0 is the no-pulse word (zero delay, zero duty) and each further
+        word's achieved duty is its reset delay as a fraction of the period,
+        clamped to 100 % -- exactly the scalar
+        :meth:`~repro.dpwm.calibrated.CalibratedDelayLineDPWM.duty_fraction`
+        arithmetic, evaluated for the whole ensemble in one vectorized pass.
+
+        ``num_words`` defaults to the largest power of two that the curves
+        cover (including word 0), which is the word range of the scheme's
+        own duty register; pass it explicitly to model a narrower register.
+        """
+        delays = np.atleast_2d(np.asarray(curves.delays_ps, dtype=float))
+        words = np.asarray(curves.input_words)
+        if words.size == 0 or not np.array_equal(
+            words, np.arange(1, words.size + 1)
+        ):
+            raise ValueError(
+                "transfer curves must cover the contiguous duty words 1..W"
+            )
+        if delays.shape[1] != words.size:
+            raise ValueError(
+                f"curve matrix covers {delays.shape[1]} words, "
+                f"input_words lists {words.size}"
+            )
+        available = words.size + 1  # word 0 is the zero-delay no-pulse word
+        if num_words is None:
+            num_words = 1 << (available.bit_length() - 1)
+        if not 2 <= num_words <= available:
+            raise ValueError(
+                f"num_words must lie in [2, {available}], got {num_words}"
+            )
+        period = float(curves.clock_period_ps)
+        levels = np.empty((delays.shape[0], num_words))
+        levels[:, 0] = 0.0
+        np.minimum(delays[:, : num_words - 1] / period, 1.0, out=levels[:, 1:])
+        return cls(levels)
 
     def quantize(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Duty commands -> (duty words, achieved duty fractions).
@@ -305,6 +363,87 @@ class BatchCompensator:
         return np.clip(duty, self.min_duty, self.max_duty)
 
 
+class _LoadCoefficientTable:
+    """Per-(variant, duty word) transition coefficients for one load level.
+
+    A Monte-Carlo fleet dithers its duty words independently, so whole
+    duty-word *vectors* almost never repeat period to period -- but each
+    variant only ever visits a handful of distinct words.  This table
+    memoizes the exact-stepper coefficients per duty word: the first period
+    a word value appears, its on/off coefficients are evaluated for every
+    variant at once (one vectorized :func:`exact_interval_coefficients`
+    pair); afterwards a period costs one fancy-indexing gather no matter
+    how the fleet dithers.  Gathered values are bit-identical to computing
+    the coefficients fresh because the evaluation is elementwise per
+    variant.
+    """
+
+    #: At most this many brand-new words are cached per period.  A settled
+    #: fleet's whole word vocabulary fills within a few periods and gathers
+    #: take over, while the premium a transient period pays over the plain
+    #: mixed evaluation stays bounded.
+    FILL_BUDGET_PER_PERIOD = 8
+
+    def __init__(self, plant: tuple, max_words: int) -> None:
+        self.plant = plant  # (a, b, c, d) system-matrix entries, per variant
+        self.slot_of_word = np.full(max_words, -1, dtype=np.int64)
+        self.table: np.ndarray | None = None  # (slots, variants, 12)
+        self.used = 0
+        self.periods_seen = 0
+
+    def _evaluate(self, on_time: np.ndarray, period_s: np.ndarray) -> np.ndarray:
+        """``(variants, 12)`` on+off coefficients for per-variant on-times."""
+        a, b, c, d = self.plant
+        on = exact_interval_coefficients(a, b, c, d, on_time)
+        off = exact_interval_coefficients(a, b, c, d, period_s - on_time)
+        return np.stack(np.broadcast_arrays(*on, *off), axis=-1)
+
+    def coefficients(
+        self,
+        words: np.ndarray,
+        duties: np.ndarray,
+        levels: np.ndarray,
+        period_s: np.ndarray,
+        variant_rows: np.ndarray,
+    ) -> np.ndarray:
+        """``(variants, 12)`` on+off coefficients for this period's words.
+
+        Values are bit-identical whether gathered from the table or
+        evaluated directly: :func:`exact_interval_coefficients` is
+        elementwise per variant, so computing a word column for the whole
+        fleet and gathering each variant's slot later reproduces the mixed
+        evaluation float for float.
+        """
+        self.periods_seen += 1
+        slots = self.slot_of_word[words]
+        missing = slots < 0
+        if np.any(missing):
+            # A table's very first period is always evaluated directly: a
+            # load level that never repeats (a ramp retires its table every
+            # period) then costs exactly the plain mixed evaluation, and
+            # caching starts only once the load level has proven it recurs.
+            budget = self.FILL_BUDGET_PER_PERIOD if self.periods_seen > 1 else 0
+            new_words = np.unique(words[missing])
+            for word in new_words[:budget]:
+                entry = self._evaluate(levels[:, word] * period_s, period_s)
+                if self.table is None:
+                    self.table = np.empty((8, *entry.shape))
+                elif self.used == self.table.shape[0]:
+                    grown = np.empty((2 * self.used, *entry.shape))
+                    grown[: self.used] = self.table
+                    self.table = grown
+                self.table[self.used] = entry
+                self.slot_of_word[word] = self.used
+                self.used += 1
+            if new_words.size > budget:
+                # Some of this period's words are still uncached: evaluate
+                # the mixed duty vector directly (one coefficient pair, the
+                # pre-table cost) and let later periods fill the rest.
+                return self._evaluate(duties * period_s, period_s)
+            slots = self.slot_of_word[words]
+        return self.table[slots, variant_rows, :]
+
+
 @dataclass
 class BatchRegulationResult:
     """Per-period history of a batch closed-loop run.
@@ -362,10 +501,10 @@ class BatchClosedLoop:
     stepper; only the bookkeeping is vectorized.
     """
 
-    #: Bound on memoized per-period transition coefficients (each entry is
-    #: ~10 x N floats); regulation runs use a handful, continuously varying
-    #: scenarios (ramps) would otherwise grow the memo per period.
-    MAX_CACHED_PERIODS = 512
+    #: Bound on memoized per-load coefficient tables; regulation runs use a
+    #: handful of load levels, continuously varying scenarios (ramps, random
+    #: bursts) would otherwise grow one table per period.
+    MAX_CACHED_LOADS = 64
 
     def __init__(
         self,
@@ -487,13 +626,15 @@ class BatchClosedLoop:
 
         current = self.inductor_current_a
         voltage = self.output_voltage_v
-        # Once the loop settles, the duty words dither among a handful of
-        # values and the load takes few distinct levels, so whole periods
-        # share their transition coefficients; memoize them per
-        # (duty words, load) fingerprint.  The source voltage is deliberately
+        # Transition coefficients are memoized per (load fingerprint, duty
+        # word) in one table per load level (see _LoadCoefficientTable):
+        # whole-fleet dithering costs one gather per period instead of two
+        # vectorized matrix exponentials.  The source voltage is deliberately
         # absent from the key: the cached Ad / M coefficients do not depend
         # on it, and the drive term is applied outside the cache.
-        coefficient_cache: dict[bytes, tuple] = {}
+        load_tables: dict[bytes, _LoadCoefficientTable] = {}
+        max_words = int(self.quantizer.num_words.max())
+        variant_rows = np.arange(num_variants)
         for index in range(periods):
             if self.reference_profile is not None:
                 reference = self.reference_profile.reference_at(index)
@@ -507,36 +648,34 @@ class BatchClosedLoop:
                 source_voltage = self.source_profile.voltage_at(index)
             else:
                 source_voltage = params.input_voltage_v
-            key = words.tobytes() + np.asarray(rload).tobytes()
-            coefficients = coefficient_cache.get(key)
-            if coefficients is None:
-                a, b, c, d = plant_matrix_entries(
-                    inductance_h=params.inductance_h,
-                    capacitance_f=params.capacitance_f,
-                    series_resistance_ohm=series_resistance,
-                    load_resistance_ohm=rload,
+            rload_key = rload.tobytes()
+            table = load_tables.get(rload_key)
+            if table is None:
+                if len(load_tables) >= self.MAX_CACHED_LOADS:
+                    load_tables.clear()
+                table = _LoadCoefficientTable(
+                    plant_matrix_entries(
+                        inductance_h=params.inductance_h,
+                        capacitance_f=params.capacitance_f,
+                        series_resistance_ohm=series_resistance,
+                        load_resistance_ohm=rload,
+                    ),
+                    max_words,
                 )
-                on_time = duties * period_s
-                coefficients = (
-                    exact_interval_coefficients(a, b, c, d, on_time),
-                    exact_interval_coefficients(a, b, c, d, period_s - on_time),
-                )
-                if len(coefficient_cache) >= self.MAX_CACHED_PERIODS:
-                    coefficient_cache.clear()
-                coefficient_cache[key] = coefficients
-            on_step, off_step = coefficients
+                load_tables[rload_key] = table
+            step = table.coefficients(
+                words, duties, self.quantizer.levels, period_s, variant_rows
+            )
             # On interval: switch node at the source voltage.
-            ad11, ad12, ad21, ad22, m11, m21 = on_step
             drive = source_voltage / params.inductance_h
             current, voltage = (
-                ad11 * current + ad12 * voltage + m11 * drive,
-                ad21 * current + ad22 * voltage + m21 * drive,
+                step[:, 0] * current + step[:, 1] * voltage + step[:, 4] * drive,
+                step[:, 2] * current + step[:, 3] * voltage + step[:, 5] * drive,
             )
             # Off interval: switch node grounded (no drive term).
-            ad11, ad12, ad21, ad22, _, _ = off_step
             current, voltage = (
-                ad11 * current + ad12 * voltage,
-                ad21 * current + ad22 * voltage,
+                step[:, 6] * current + step[:, 7] * voltage,
+                step[:, 8] * current + step[:, 9] * voltage,
             )
             voltages[index] = voltage
             currents[index] = current

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.converter.closed_loop import IdealDPWM
 from repro.dpwm.base import DutyCycleRequest
 from repro.dpwm.counter_dpwm import CounterDPWM, CounterDPWMConfig
 from repro.dpwm.delay_line_dpwm import DelayLineDPWM, DelayLineDPWMConfig
@@ -164,3 +165,61 @@ class TestHybridDPWM:
         )
         counter = CounterDPWM(CounterDPWMConfig(bits=8, switching_frequency_mhz=1.0))
         assert hybrid.dynamic_power_w() < counter.dynamic_power_w()
+
+
+class TestArchitectureCrossChecks:
+    """All three simulated architectures against the ideal quantizer.
+
+    At matching resolution and zero variation (ideal cell delays), the
+    counter, delay-line and hybrid DPWMs must realize the *same* staircase
+    word for word.  The chapter-2 architectures use the paper's
+    ``duty = (word + 1) / 2**n`` set-edge convention while
+    :class:`IdealDPWM` uses the chapter-3 ``word / 2**n`` convention, so
+    each simulated word ``w`` must land on the ideal quantizer's word
+    ``w + 1`` (with the all-ones word reading 100 % duty).
+    """
+
+    BITS = 4
+
+    @pytest.fixture(scope="class")
+    def measured_duties(self):
+        frequency = 1.0
+        architectures = {
+            "counter": CounterDPWM(
+                CounterDPWMConfig(bits=self.BITS, switching_frequency_mhz=frequency)
+            ),
+            "delay_line": DelayLineDPWM(
+                DelayLineDPWMConfig(bits=self.BITS, switching_frequency_mhz=frequency)
+            ),
+            "hybrid": HybridDPWM(
+                HybridDPWMConfig(
+                    msb_bits=2, lsb_bits=2, switching_frequency_mhz=frequency
+                )
+            ),
+        }
+        return {
+            name: [dpwm.generate(word).measured_duty for word in range(1 << self.BITS)]
+            for name, dpwm in architectures.items()
+        }
+
+    def test_all_architectures_match_the_ideal_staircase(self, measured_duties):
+        ideal = IdealDPWM(bits=self.BITS)
+        # Ideal staircase shifted by the one-word set-edge convention; the
+        # top word's reset edge lands on the next period start = 100 % duty.
+        expected = [
+            ideal.duty_fraction(word + 1) for word in range(ideal.max_word)
+        ] + [1.0]
+        for name, duties in measured_duties.items():
+            for word, duty in enumerate(duties):
+                assert duty == pytest.approx(expected[word], abs=0.005), (name, word)
+
+    def test_architectures_agree_word_for_word(self, measured_duties):
+        counter = measured_duties["counter"]
+        for name in ("delay_line", "hybrid"):
+            for word, duty in enumerate(measured_duties[name]):
+                assert duty == pytest.approx(counter[word], abs=0.005), (name, word)
+
+    def test_every_staircase_is_strictly_monotonic(self, measured_duties):
+        for name, duties in measured_duties.items():
+            assert duties == sorted(duties), name
+            assert len(set(duties)) == len(duties), name

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
@@ -60,6 +61,32 @@ class TestCalibratedProposedDPWM:
     def test_out_of_range_word_rejected(self, dpwm):
         with pytest.raises(ValueError):
             dpwm.reset_delay_ps(256)
+        with pytest.raises(ValueError):
+            dpwm.duty_fraction(256)
+        with pytest.raises(ValueError):
+            dpwm.duty_fraction(-1)
+
+    def test_duty_table_matches_reset_delays(self, dpwm):
+        # The array form is the same arithmetic as the per-word path: the
+        # reset delay as a fraction of the period, clamped at 100 %.
+        table = dpwm.duty_table()
+        assert table.shape == (dpwm.max_word + 1,)
+        assert table[0] == 0.0
+        for word in (1, 16, 100, 255):
+            expected = min(
+                dpwm.reset_delay_ps(word) / dpwm.switching_period_ps, 1.0
+            )
+            assert table[word] == expected
+            assert dpwm.duty_fraction(word) == expected
+
+    def test_duty_table_refreshes_on_recalibration(self, proposed_line):
+        dpwm = CalibratedDelayLineDPWM(proposed_line, OperatingConditions.fast())
+        fast_table = dpwm.duty_table().copy()
+        dpwm.recalibrate(OperatingConditions.slow())
+        slow_table = dpwm.duty_table()
+        assert not np.array_equal(fast_table, slow_table)
+        # Both calibrations keep the mid-scale word near 50 % duty.
+        assert slow_table[128] == pytest.approx(0.5, abs=0.02)
 
 
 class TestCalibratedConventionalDPWM:
@@ -79,6 +106,15 @@ class TestCalibratedConventionalDPWM:
     def test_recalibrate_at_fast_corner(self, conventional_line):
         dpwm = CalibratedDelayLineDPWM(conventional_line, OperatingConditions.fast())
         assert dpwm.duty_fraction(32) == pytest.approx(0.5, abs=0.05)
+
+    def test_duty_table_matches_reset_delays(self, dpwm):
+        table = dpwm.duty_table()
+        assert table.shape == (dpwm.max_word + 1,)
+        for word in range(dpwm.max_word + 1):
+            expected = min(
+                dpwm.reset_delay_ps(word) / dpwm.switching_period_ps, 1.0
+            )
+            assert table[word] == expected
 
     def test_unsupported_line_type_rejected(self):
         with pytest.raises(TypeError):

@@ -17,6 +17,7 @@ EXPECTED_EXPERIMENTS = {
     "table5",
     "table6",
     "fig15",
+    "fig15_mc",
     "fig19",
     "fig21",
     "fig23",
@@ -310,6 +311,54 @@ class TestMonteCarloLinearityClaims:
                     assert record["monotonic_fraction"] == 1.0
 
 
+class TestSiliconToRegulationClaims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig15_mc")
+
+    def test_proposed_population_locks_and_regulates_everywhere(self, result):
+        for corner in ("slow", "fast"):
+            for per_load in result.data["proposed"][corner].values():
+                for record in per_load.values():
+                    assert record["lock_yield"] == 1.0
+                    assert record["regulation_yield"] > 0.95
+
+    def test_conventional_slow_corner_lock_collapse_survives_the_loop(self, result):
+        # The unlocked chips still regulate (the loop servos the duty word
+        # around the mis-scaled table), so a regulation-only screen would
+        # pass silicon whose DPWM never calibrated -- the composed
+        # closed-loop yield catches it.
+        for per_load in result.data["conventional"]["slow"].values():
+            for record in per_load.values():
+                assert record["lock_yield"] < 0.1
+                assert record["closed_loop_yield"] < 0.1
+                assert record["regulation_yield"] > 0.9
+
+    def test_fast_corner_yields_are_high_for_both_schemes(self, result):
+        for scheme in ("proposed", "conventional"):
+            for per_load in result.data[scheme]["fast"].values():
+                for record in per_load.values():
+                    assert record["closed_loop_yield"] > 0.95
+
+    def test_limit_cycle_amplitude_is_millivolt_scale_at_constant_load(
+        self, result
+    ):
+        for scheme in ("proposed", "conventional"):
+            for corner in ("slow", "fast"):
+                for per_load in result.data[scheme][corner].values():
+                    record = per_load["constant"]
+                    assert record["mean_limit_cycle_amplitude_v"] < 0.025
+
+    def test_closed_loop_yield_never_exceeds_its_factors(self, result):
+        for scheme in ("proposed", "conventional"):
+            for corner in ("slow", "fast"):
+                for per_load in result.data[scheme][corner].values():
+                    for record in per_load.values():
+                        assert record["closed_loop_yield"] <= min(
+                            record["linearity_yield"], record["regulation_yield"]
+                        ) + 1e-12
+
+
 class TestDesignExampleClaims:
     def test_matches_paper_section_4_2(self):
         result = run_experiment("design_example")
@@ -361,6 +410,37 @@ class TestRunnerCLI:
         # Everything in the dump must be plain JSON types (no numpy left).
         assert isinstance(scenarios["sequential"]["max_inl_lsb"], float)
         assert isinstance(scenarios["sequential"]["levels"], list)
+
+    def test_seed_threads_into_monte_carlo_experiments(self, capsys, monkeypatch):
+        from repro.experiments import registry as live_registry
+        from repro.experiments.base import ExperimentResult as Result
+
+        received = {}
+
+        def fake_mc(seed=None):
+            received["seed"] = seed
+            return Result("fake_mc", "t", {"seed": seed}, "report " + "x" * 40)
+
+        monkeypatch.setitem(live_registry, "fake_mc", fake_mc)
+        assert runner_main(["fake_mc", "--seed", "123"]) == 0
+        assert received["seed"] == 123
+        # Without the flag the experiment keeps its built-in default.
+        assert runner_main(["fake_mc"]) == 0
+        assert received["seed"] is None
+
+    def test_seed_ignored_by_deterministic_experiments_with_a_note(self, capsys):
+        assert runner_main(["design_example", "--seed", "9"]) == 0
+        captured = capsys.readouterr()
+        assert "ignored by: design_example" in captured.err
+        assert "design_example" in captured.out
+
+    def test_monte_carlo_experiments_declare_a_seed(self):
+        from repro.experiments.base import accepts_seed
+
+        for experiment_id in ("fig15", "fig15_mc", "fig50_51_mc"):
+            assert accepts_seed(experiment_id), experiment_id
+        for experiment_id in ("table5", "design_example", "fig19"):
+            assert not accepts_seed(experiment_id), experiment_id
 
     def test_failing_experiment_reports_nonzero_without_traceback(
         self, capsys, monkeypatch

@@ -1,0 +1,374 @@
+"""Tests for the fused silicon-to-regulation pipeline.
+
+The load-bearing property: the fused pipeline must match composing the two
+engines by hand, instance by instance -- a scalar
+:class:`CalibratedDelayLineDPWM` (cycle-accurate lock, per-word table) closed
+inside a scalar :class:`DigitallyControlledBuck`, run period by period.
+Bit-exact: identical duty-word decisions and identical output-voltage
+histories, not merely close ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.converter.buck import BuckParameters
+from repro.converter.closed_loop import DigitallyControlledBuck, IdealDPWM
+from repro.converter.load import SteppedLoad
+from repro.core.design import DesignSpec, design_conventional, design_proposed
+from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
+from repro.core.yield_analysis import (
+    ComponentVariation,
+    LinearitySpec,
+    RegulationSpec,
+    closed_loop_yield,
+)
+from repro.dpwm.calibrated import CalibratedDelayLineDPWM
+from repro.pipeline import SiliconToRegulationPipeline, fabricate_ensemble
+from repro.simulation.batch import BatchQuantizer
+from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
+
+LIBRARY = intel32_like_library()
+SPEC = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=5)
+
+schemes = st.sampled_from(["proposed", "conventional"])
+corners = st.sampled_from(list(ProcessCorner))
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _hand_composed(pipeline, design, conditions, periods):
+    """The two engines composed by hand: one scalar DPWM + loop per instance."""
+    num = pipeline.num_instances
+    words = np.empty((periods, num), dtype=np.int64)
+    voltages = np.empty((periods, num))
+    duty_tables = []
+    for index in range(num):
+        line = design.build_line(
+            library=LIBRARY, variation=pipeline.ensemble.batch.instance(index)
+        )
+        dpwm = CalibratedDelayLineDPWM(line, conditions)
+        duty_tables.append(dpwm.duty_table())
+        loop = DigitallyControlledBuck(
+            pipeline.parameters.variant(index),
+            dpwm,
+            reference_v=pipeline.reference_v,
+        )
+        trace = loop.run(periods)
+        words[:, index] = trace.duty_words
+        voltages[:, index] = trace.output_voltages_v
+    return words, voltages, duty_tables
+
+
+class TestFusedVersusHandComposed:
+    @settings(max_examples=12, deadline=None)
+    @given(scheme=schemes, corner=corners, seed=seeds)
+    def test_pipeline_matches_scalar_composition_bit_exactly(
+        self, scheme, corner, seed
+    ):
+        conditions = OperatingConditions(corner=corner)
+        design_fn = design_proposed if scheme == "proposed" else design_conventional
+        design = design_fn(SPEC, LIBRARY)
+        pipeline = SiliconToRegulationPipeline(
+            scheme,
+            SPEC,
+            conditions,
+            variation=VariationModel(random_sigma=0.05, gradient_peak=0.01, seed=seed),
+            num_instances=3,
+            component_variation=ComponentVariation(seed=seed),
+            library=LIBRARY,
+        )
+        periods = 40
+        result = pipeline.run(periods)
+        words, voltages, duty_tables = _hand_composed(
+            pipeline, design, conditions, periods
+        )
+        np.testing.assert_array_equal(result.regulation.duty_words, words)
+        np.testing.assert_array_equal(result.regulation.output_voltages_v, voltages)
+        for index, table in enumerate(duty_tables):
+            np.testing.assert_array_equal(
+                pipeline.quantizer.levels[index, : table.size], table
+            )
+
+    def test_pipeline_matches_composition_under_load_step(self):
+        conditions = OperatingConditions.typical()
+        load = SteppedLoad(light_ohm=2.0, heavy_ohm=0.9, step_up_period=15)
+        pipeline = SiliconToRegulationPipeline(
+            "proposed",
+            SPEC,
+            conditions,
+            variation=VariationModel(seed=3),
+            num_instances=2,
+            load=load,
+            library=LIBRARY,
+        )
+        result = pipeline.run(50)
+        design = design_proposed(SPEC, LIBRARY)
+        for index in range(2):
+            line = design.build_line(
+                library=LIBRARY, variation=pipeline.ensemble.batch.instance(index)
+            )
+            loop = DigitallyControlledBuck(
+                pipeline.parameters.variant(index),
+                CalibratedDelayLineDPWM(line, conditions),
+                reference_v=0.9,
+                load=load,
+            )
+            trace = loop.run(50)
+            np.testing.assert_array_equal(
+                np.asarray(trace.duty_words), result.regulation.duty_words[:, index]
+            )
+            np.testing.assert_array_equal(
+                np.asarray(trace.output_voltages_v),
+                result.regulation.output_voltages_v[:, index],
+            )
+
+
+class TestFabricateEnsemble:
+    def test_designs_both_schemes(self):
+        proposed = fabricate_ensemble(
+            "proposed", SPEC, VariationModel(seed=1), 4, LIBRARY
+        )
+        conventional = fabricate_ensemble(
+            "conventional", SPEC, VariationModel(seed=1), 4, LIBRARY
+        )
+        assert isinstance(proposed, ProposedEnsemble)
+        assert isinstance(conventional, ConventionalEnsemble)
+        assert proposed.num_instances == conventional.num_instances == 4
+
+    def test_none_variation_fabricates_nominal_silicon(self):
+        ensemble = fabricate_ensemble("proposed", SPEC, None, 3, LIBRARY)
+        assert ensemble.batch is None
+        assert ensemble.num_instances == 3
+        conditions = OperatingConditions.typical()
+        delays = ensemble.cell_delays_ps(conditions)
+        np.testing.assert_array_equal(delays[0], delays[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            fabricate_ensemble("ideal", SPEC, None, 2, LIBRARY)
+        with pytest.raises(ValueError, match="at least one instance"):
+            fabricate_ensemble("proposed", SPEC, None, 0, LIBRARY)
+
+
+class TestPipelineConstruction:
+    def test_mismatched_switching_frequency_rejected(self):
+        nominal = BuckParameters(switching_frequency_hz=50e6)
+        with pytest.raises(ValueError, match="one switching clock"):
+            SiliconToRegulationPipeline(
+                "proposed", SPEC, nominal=nominal, num_instances=2, library=LIBRARY
+            )
+
+    def test_defaults_follow_the_spec_frequency(self):
+        pipeline = SiliconToRegulationPipeline(
+            "proposed", SPEC, num_instances=2, library=LIBRARY
+        )
+        assert pipeline.nominal.switching_frequency_hz == pytest.approx(100e6)
+        assert pipeline.parameters.num_variants == 2
+        assert pipeline.quantizer.num_variants == 2
+
+    def test_result_statistics_shapes(self):
+        pipeline = SiliconToRegulationPipeline(
+            "proposed",
+            SPEC,
+            variation=VariationModel(seed=5),
+            num_instances=4,
+            library=LIBRARY,
+        )
+        result = pipeline.run(60)
+        assert result.num_instances == 4
+        assert result.steady_state_voltages_v().shape == (4,)
+        assert result.limit_cycle_amplitudes_v().shape == (4,)
+        assert np.all(result.regulation_errors_v() >= 0.0)
+        assert result.regulation.num_periods == 60
+
+
+class TestBatchQuantizerFromEnsemble:
+    def test_matches_scalar_calibrated_tables(self):
+        conditions = OperatingConditions.typical()
+        design = design_proposed(SPEC, LIBRARY)
+        config = design.build_line(library=LIBRARY).config
+        model = VariationModel(seed=9)
+        ensemble = ProposedEnsemble.sample(config, 3, model, library=LIBRARY)
+        curves = ensemble.transfer_curves(conditions)
+        quantizer = BatchQuantizer.from_ensemble(curves)
+        for index in range(3):
+            line = design.build_line(
+                library=LIBRARY, variation=ensemble.batch.instance(index)
+            )
+            dpwm = CalibratedDelayLineDPWM(line, conditions)
+            reference = np.array(
+                [dpwm.duty_fraction(word) for word in range(dpwm.max_word + 1)]
+            )
+            np.testing.assert_array_equal(quantizer.levels[index], reference)
+
+    def test_word_zero_is_the_no_pulse_word(self):
+        ensemble = fabricate_ensemble(
+            "proposed", SPEC, VariationModel(seed=2), 2, LIBRARY
+        )
+        quantizer = BatchQuantizer.from_ensemble(
+            ensemble.transfer_curves(OperatingConditions.typical())
+        )
+        np.testing.assert_array_equal(quantizer.levels[:, 0], [0.0, 0.0])
+        assert np.all(np.diff(quantizer.levels, axis=1) >= 0.0)
+
+    def test_narrower_word_register(self):
+        ensemble = fabricate_ensemble("proposed", SPEC, None, 1, LIBRARY)
+        curves = ensemble.transfer_curves(OperatingConditions.typical())
+        quantizer = BatchQuantizer.from_ensemble(curves, num_words=8)
+        assert quantizer.levels.shape == (1, 8)
+
+    def test_validation(self):
+        class FakeCurves:
+            input_words = np.array([2, 3, 4])
+            delays_ps = np.ones((1, 3))
+            clock_period_ps = 100.0
+
+        with pytest.raises(ValueError, match="contiguous"):
+            BatchQuantizer.from_ensemble(FakeCurves())
+
+        class ShapeMismatch:
+            input_words = np.array([1, 2, 3])
+            delays_ps = np.ones((1, 4))
+            clock_period_ps = 100.0
+
+        with pytest.raises(ValueError, match="covers"):
+            BatchQuantizer.from_ensemble(ShapeMismatch())
+
+        ensemble = fabricate_ensemble("proposed", SPEC, None, 1, LIBRARY)
+        curves = ensemble.transfer_curves(OperatingConditions.typical())
+        with pytest.raises(ValueError, match="num_words"):
+            BatchQuantizer.from_ensemble(curves, num_words=1)
+        with pytest.raises(ValueError, match="num_words"):
+            BatchQuantizer.from_ensemble(curves, num_words=10_000)
+
+
+class TestSpecFramework:
+    def test_linearity_spec_validation(self):
+        with pytest.raises(ValueError):
+            LinearitySpec(dnl_limit_lsb=0.0)
+        with pytest.raises(ValueError):
+            LinearitySpec(error_limit_fraction=-1.0)
+
+    def test_regulation_spec_validation(self):
+        with pytest.raises(ValueError):
+            RegulationSpec(tolerance_v=0.0)
+        with pytest.raises(ValueError):
+            RegulationSpec(ripple_limit_v=-0.1)
+        with pytest.raises(ValueError):
+            RegulationSpec(tail_fraction=0.0)
+
+    def test_linearity_spec_evaluates_ensembles(self):
+        conditions = OperatingConditions.typical()
+        ensemble = fabricate_ensemble(
+            "proposed", SPEC, VariationModel(seed=4), 5, LIBRARY
+        )
+        calibration = ensemble.lock(conditions)
+        curves = ensemble.transfer_curves(conditions, calibration=calibration)
+        passes = LinearitySpec().evaluate(calibration, curves)
+        assert passes.shape == (5,)
+        # A spec no instance can meet fails everyone; the permissive default
+        # passes the locked, monotonic typical-corner population.
+        assert bool(passes.all())
+        impossible = LinearitySpec(error_limit_fraction=1e-9)
+        assert not impossible.evaluate(calibration, curves).any()
+
+    def test_regulation_spec_ripple_limit(self):
+        steady = np.array([0.9, 0.9, 0.95])
+        ripple = np.array([0.001, 0.5, 0.001])
+        spec = RegulationSpec(tolerance_v=0.02, ripple_limit_v=0.05)
+        np.testing.assert_array_equal(
+            spec.passes(steady, ripple, 0.9), [True, False, False]
+        )
+
+
+class TestClosedLoopYield:
+    def test_composes_linearity_and_regulation(self):
+        result = closed_loop_yield(
+            "proposed",
+            SPEC,
+            OperatingConditions.typical(),
+            variation=VariationModel(seed=11),
+            num_instances=8,
+            periods=120,
+            linearity_spec=LinearitySpec(error_limit_fraction=0.06),
+            regulation_spec=RegulationSpec(tolerance_v=0.02),
+            library=LIBRARY,
+        )
+        np.testing.assert_array_equal(
+            result.passes, result.linearity_passes & result.regulation_passes
+        )
+        assert result.num_instances == 8
+        assert 0.0 <= result.closed_loop_yield <= 1.0
+        assert result.closed_loop_yield <= min(
+            result.linearity_yield, result.regulation_yield
+        )
+        assert result.pipeline_result.regulation.num_periods == 120
+
+    def test_unlocked_silicon_fails_the_composed_spec(self):
+        # At the slow corner the conventional DLL saturates (fig37): the
+        # loops still regulate, but require_lock fails the composed spec.
+        result = closed_loop_yield(
+            "conventional",
+            DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6),
+            OperatingConditions.slow(),
+            variation=VariationModel(seed=11),
+            num_instances=16,
+            periods=120,
+            library=LIBRARY,
+        )
+        assert result.lock_yield < 0.5
+        assert result.closed_loop_yield <= result.lock_yield
+        assert result.regulation_yield > result.closed_loop_yield
+
+
+class TestQuantizerFastPath:
+    def test_duty_table_fast_path_matches_per_word_extraction(self):
+        conditions = OperatingConditions.typical()
+        design = design_proposed(SPEC, LIBRARY)
+        config = design.build_line(library=LIBRARY).config
+        sample = VariationModel(seed=6).sample(
+            config.num_cells, config.buffers_per_cell
+        )
+        line = design.build_line(library=LIBRARY, variation=sample)
+        dpwm = CalibratedDelayLineDPWM(line, conditions)
+        ideal = IdealDPWM(bits=6)
+
+        class NoTable:
+            """The slow path: duty_fraction only."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.max_word = inner.max_word
+
+            def duty_fraction(self, word):
+                return self._inner.duty_fraction(word)
+
+        fast = BatchQuantizer.from_quantizers([dpwm, ideal])
+        slow = BatchQuantizer.from_quantizers([NoTable(dpwm), NoTable(ideal)])
+        np.testing.assert_array_equal(fast.levels, slow.levels)
+        np.testing.assert_array_equal(fast.num_words, slow.num_words)
+
+    def test_lying_duty_table_rejected(self):
+        class Liar:
+            max_word = 7
+
+            def duty_table(self):
+                return np.zeros(4)
+
+            def duty_fraction(self, word):
+                return 0.0
+
+        with pytest.raises(ValueError, match="duty_table"):
+            BatchQuantizer.from_quantizers([Liar()])
+
+    def test_ideal_dpwm_duty_table_matches_duty_fraction(self):
+        dpwm = IdealDPWM(bits=5)
+        table = dpwm.duty_table()
+        assert table.shape == (32,)
+        for word in range(32):
+            assert table[word] == dpwm.duty_fraction(word)
