@@ -43,6 +43,25 @@ own buck converter -- and reports the fraction of chips that meet *both*
 specs.  That is the paper's end-to-end claim as a single Monte-Carlo number:
 a chip only ships when its delay line is linear enough *and* the loop it
 serves regulates cleanly.
+
+Example -- the declarative specs score plain arrays, and the Monte-Carlo
+estimators run whole seeded fleets in one vectorized pass:
+
+    >>> import numpy as np
+    >>> from repro.converter.buck import BuckParameters
+    >>> from repro.core.yield_analysis import (
+    ...     ComponentVariation, RegulationSpec, YieldModel,
+    ...     coverage_yield, regulation_yield)
+    >>> spec = RegulationSpec(tolerance_v=0.02)
+    >>> spec.passes(np.array([0.905, 0.95]), np.array([0.0, 0.0]), 0.9)
+    array([ True, False])
+    >>> coverage_yield(num_cells=16, buffers_per_cell=2,
+    ...     clock_period_ps=1000.0, model=YieldModel(seed=1), num_chips=500)
+    0.884
+    >>> fleet = regulation_yield(BuckParameters(), reference_v=0.9,
+    ...     variation=ComponentVariation(seed=3), num_variants=8, periods=200)
+    >>> fleet.regulation_yield
+    1.0
 """
 
 from __future__ import annotations

@@ -7,8 +7,14 @@ the same shape as the paper's artifact.  The registry in
 :mod:`repro.experiments.base` maps experiment ids (``table5``, ``fig50`` ...)
 to these functions; the CLI in :mod:`repro.experiments.runner` runs them.
 
-See DESIGN.md for the per-experiment index (paper artifact, workload,
-implementing modules) and EXPERIMENTS.md for paper-vs-measured values.
+The Monte-Carlo experiments additionally expose their sweeps as
+:class:`~repro.sweep.ParameterGrid` cells (module-level ``run_cell``
+functions), which the CLI's ``--workers`` / ``--cache-dir`` flags fan out
+and memoize through :mod:`repro.sweep`.
+
+See ``docs/experiments.md`` for the full catalog (paper artifact,
+parameters, seed behavior, sample ``--json`` output per experiment) and
+``docs/architecture.md`` for where the experiments sit in the stack.
 """
 
 from repro.experiments.base import ExperimentResult, registry, run_experiment

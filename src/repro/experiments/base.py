@@ -9,6 +9,7 @@ from typing import Callable
 __all__ = [
     "ExperimentResult",
     "accepts_seed",
+    "accepts_sweep",
     "registry",
     "register",
     "run_experiment",
@@ -66,7 +67,20 @@ def accepts_seed(experiment_id: str) -> bool:
     return "seed" in inspect.signature(registry[experiment_id]).parameters
 
 
-def run_experiment(experiment_id: str, seed: int | None = None) -> ExperimentResult:
+def accepts_sweep(experiment_id: str) -> bool:
+    """Whether an experiment's run function takes a ``sweep`` orchestrator.
+
+    The grid experiments (``fig15``, ``fig15_mc``, ``fig50_51_mc``) declare
+    ``sweep`` so the CLI's ``--workers`` / ``--cache-dir`` flags can fan
+    their cells out across a worker pool and memoize them; the scalar
+    regenerations do not.
+    """
+    return "sweep" in inspect.signature(registry[experiment_id]).parameters
+
+
+def run_experiment(
+    experiment_id: str, seed: int | None = None, sweep=None
+) -> ExperimentResult:
     """Run a registered experiment by id.
 
     Args:
@@ -74,6 +88,9 @@ def run_experiment(experiment_id: str, seed: int | None = None) -> ExperimentRes
         seed: optional RNG seed threaded into experiments that accept one
             (see :func:`accepts_seed`); experiments without randomness
             ignore it.
+        sweep: optional :class:`~repro.sweep.SweepOrchestrator` threaded
+            into experiments that accept one (see :func:`accepts_sweep`);
+            experiments without a parameter grid ignore it.
 
     Raises:
         KeyError: if the id is unknown.
@@ -85,6 +102,9 @@ def run_experiment(experiment_id: str, seed: int | None = None) -> ExperimentRes
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known experiments: {known}"
         ) from exc
+    kwargs = {}
     if seed is not None and accepts_seed(experiment_id):
-        return runner(seed=seed)
-    return runner()
+        kwargs["seed"] = seed
+    if sweep is not None and accepts_sweep(experiment_id):
+        kwargs["sweep"] = sweep
+    return runner(**kwargs)

@@ -23,6 +23,8 @@ engine (:mod:`repro.simulation.batch`):
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analysis.reports import format_table
 from repro.converter.buck import BuckParameters
 from repro.converter.closed_loop import IdealDPWM
@@ -32,43 +34,103 @@ from repro.core.yield_analysis import (
     ComponentVariation,
     LinearitySpec,
     RegulationSpec,
-    closed_loop_yield,
     regulation_yield,
 )
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
 from repro.experiments.base import ExperimentResult, register
+from repro.pipeline import closed_loop_cell
 from repro.simulation.batch import (
     BatchBuckParameters,
     BatchClosedLoop,
     BatchQuantizer,
 )
+from repro.sweep import sweep_map
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import intel32_like_library
-from repro.technology.variation import VariationModel
 
-__all__ = ["run", "REFERENCE_V", "NUM_MONTE_CARLO_VARIANTS"]
+__all__ = ["run", "run_cell", "REFERENCE_V", "NUM_MONTE_CARLO_VARIANTS"]
 
 REFERENCE_V = 0.9
 NUM_MONTE_CARLO_VARIANTS = 256
 DEFAULT_SEED = 2012
+_FREQUENCY_MHZ = 100.0
+_MC_PERIODS = 300
 _PERIODS = 900
 _STEP_UP = 300
 _STEP_DOWN = 600
 
 
+def run_cell(params: dict) -> dict:
+    """Payload of one Monte-Carlo section of the experiment.
+
+    Two cell kinds share this entry point (``params["section"]`` selects):
+    ``component_mc`` is the 256-variant component-variation regulation
+    sweep, ``silicon_mc`` the fused silicon-to-regulation pipeline run.
+    Both are pure functions of their scalar parameters, so the sweep
+    orchestrator can fan them out and cache them independently.
+    """
+    nominal = BuckParameters(
+        input_voltage_v=1.8,
+        switching_frequency_hz=params["frequency_mhz"] * 1e6,
+    )
+    if params["section"] == "component_mc":
+        result = regulation_yield(
+            nominal,
+            reference_v=REFERENCE_V,
+            variation=ComponentVariation(seed=params["seed"]),
+            num_variants=params["num_instances"],
+            periods=_MC_PERIODS,
+            tolerance_v=0.02,
+        )
+        return {
+            "regulation_yield": result.regulation_yield,
+            "steady_state_voltages_v": result.steady_state_voltages_v,
+            "steady_state_ripples_v": result.steady_state_ripples_v,
+            "worst_error_v": result.worst_error_v,
+        }
+    if params["section"] == "silicon_mc":
+        silicon = closed_loop_cell(
+            "proposed",
+            frequency_mhz=params["frequency_mhz"],
+            corner="typical",
+            seed=params["seed"],
+            reference_v=REFERENCE_V,
+            num_instances=params["num_instances"],
+            periods=_MC_PERIODS,
+            linearity_spec=LinearitySpec(error_limit_fraction=0.045),
+            regulation_spec=RegulationSpec(tolerance_v=0.02),
+            nominal=nominal,
+            library=intel32_like_library(),
+        )
+        return {
+            "closed_loop_yield": silicon.closed_loop_yield,
+            "linearity_yield": silicon.linearity_yield,
+            "regulation_yield": silicon.regulation_yield,
+            "lock_yield": silicon.lock_yield,
+            "worst_error_v": silicon.worst_error_v,
+            "limit_cycle_amplitudes_v": silicon.limit_cycle_amplitudes_v,
+        }
+    raise ValueError(f"unknown fig15 cell section {params['section']!r}")
+
+
 @register("fig15")
-def run(seed: int | None = None) -> ExperimentResult:
+def run(seed: int | None = None, sweep=None) -> ExperimentResult:
     """Regenerate Figure 15 (closed-loop regulation) as batch simulations.
 
     Args:
         seed: RNG seed for the Monte-Carlo draws (the CLI's ``--seed``
             flag); defaults to the experiment's stock seed.
+        sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
+            ``--workers`` / ``--cache-dir`` flags); the two Monte-Carlo
+            sections then run as cacheable sweep cells.
     """
     seed = DEFAULT_SEED if seed is None else seed
     library = intel32_like_library()
-    spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+    spec = DesignSpec(clock_frequency_mhz=_FREQUENCY_MHZ, resolution_bits=6)
     conditions = OperatingConditions.typical()
-    parameters = BuckParameters(input_voltage_v=1.8, switching_frequency_hz=100e6)
+    parameters = BuckParameters(
+        input_voltage_v=1.8, switching_frequency_hz=_FREQUENCY_MHZ * 1e6
+    )
 
     architectures = {
         "ideal 6-bit": IdealDPWM(bits=6),
@@ -131,61 +193,54 @@ def run(seed: int | None = None) -> ExperimentResult:
         ),
     )
 
-    # Monte-Carlo component sweep: the whole fleet in one vectorized run.
-    variation = ComponentVariation(seed=seed)
-    yield_result = regulation_yield(
-        parameters,
-        reference_v=REFERENCE_V,
-        variation=variation,
-        num_variants=NUM_MONTE_CARLO_VARIANTS,
-        periods=300,
-        tolerance_v=0.02,
+    # The two Monte-Carlo sections run as sweep cells: the 256-variant
+    # component sweep and the fused silicon pipeline fan out (and cache)
+    # independently when an orchestrator is threaded in.
+    cell_common = {
+        "frequency_mhz": _FREQUENCY_MHZ,
+        "num_instances": NUM_MONTE_CARLO_VARIANTS,
+        "seed": seed,
+    }
+    monte_carlo, silicon = sweep_map(
+        run_cell,
+        [
+            {"section": "component_mc", **cell_common},
+            {"section": "silicon_mc", **cell_common},
+        ],
+        experiment_id="fig15",
+        sweep=sweep,
     )
-    spread = yield_result.steady_state_voltages_v
+    spread = np.asarray(monte_carlo["steady_state_voltages_v"])
+    ripples = np.asarray(monte_carlo["steady_state_ripples_v"])
     yield_table = format_table(
         headers=["Metric", "Value"],
         rows=[
             ["Variants", str(NUM_MONTE_CARLO_VARIANTS)],
-            ["Regulation yield (|Vss - Vref| <= 20 mV)", f"{yield_result.regulation_yield:.3f}"],
+            ["Regulation yield (|Vss - Vref| <= 20 mV)", f"{monte_carlo['regulation_yield']:.3f}"],
             ["Mean steady-state Vout (V)", f"{spread.mean():.4f}"],
             ["Std of steady-state Vout (mV)", f"{spread.std() * 1e3:.2f}"],
-            ["Worst |Vss - Vref| (mV)", f"{yield_result.worst_error_v * 1e3:.2f}"],
+            ["Worst |Vss - Vref| (mV)", f"{monte_carlo['worst_error_v'] * 1e3:.2f}"],
             [
                 "Worst tail ripple (mV)",
-                f"{yield_result.steady_state_ripples_v.max() * 1e3:.2f}",
+                f"{ripples.max() * 1e3:.2f}",
             ],
         ],
         title="Monte-Carlo regulation yield under component variation",
     )
 
-    # Silicon Monte-Carlo: the fused pipeline closes every fabricated
-    # proposed-scheme instance around its own component-varied buck.
-    silicon = closed_loop_yield(
-        "proposed",
-        spec,
-        conditions,
-        nominal=parameters,
-        reference_v=REFERENCE_V,
-        variation=VariationModel(seed=seed),
-        component_variation=variation,
-        num_instances=NUM_MONTE_CARLO_VARIANTS,
-        periods=300,
-        linearity_spec=LinearitySpec(error_limit_fraction=0.045),
-        regulation_spec=RegulationSpec(tolerance_v=0.02),
-        library=library,
-    )
+    amplitudes = np.asarray(silicon["limit_cycle_amplitudes_v"])
     silicon_table = format_table(
         headers=["Metric", "Value"],
         rows=[
-            ["Fabricated instances", str(silicon.num_instances)],
-            ["Closed-loop yield (linearity AND regulation)", f"{silicon.closed_loop_yield:.3f}"],
-            ["Linearity yield", f"{silicon.linearity_yield:.3f}"],
-            ["Regulation yield", f"{silicon.regulation_yield:.3f}"],
-            ["Lock yield", f"{silicon.lock_yield:.3f}"],
-            ["Worst |Vss - Vref| (mV)", f"{silicon.worst_error_v * 1e3:.2f}"],
+            ["Fabricated instances", str(NUM_MONTE_CARLO_VARIANTS)],
+            ["Closed-loop yield (linearity AND regulation)", f"{silicon['closed_loop_yield']:.3f}"],
+            ["Linearity yield", f"{silicon['linearity_yield']:.3f}"],
+            ["Regulation yield", f"{silicon['regulation_yield']:.3f}"],
+            ["Lock yield", f"{silicon['lock_yield']:.3f}"],
+            ["Worst |Vss - Vref| (mV)", f"{silicon['worst_error_v'] * 1e3:.2f}"],
             [
                 "Worst limit-cycle amplitude (mV)",
-                f"{silicon.limit_cycle_amplitudes_v.max() * 1e3:.2f}",
+                f"{amplitudes.max() * 1e3:.2f}",
             ],
         ],
         title=(
@@ -200,18 +255,18 @@ def run(seed: int | None = None) -> ExperimentResult:
         data={
             "architectures": comparison,
             "monte_carlo": {
-                "regulation_yield": yield_result.regulation_yield,
+                "regulation_yield": monte_carlo["regulation_yield"],
                 "steady_state_voltages_v": spread,
-                "steady_state_ripples_v": yield_result.steady_state_ripples_v,
-                "worst_error_v": yield_result.worst_error_v,
+                "steady_state_ripples_v": ripples,
+                "worst_error_v": monte_carlo["worst_error_v"],
             },
             "silicon_monte_carlo": {
-                "closed_loop_yield": silicon.closed_loop_yield,
-                "linearity_yield": silicon.linearity_yield,
-                "regulation_yield": silicon.regulation_yield,
-                "lock_yield": silicon.lock_yield,
-                "worst_error_v": silicon.worst_error_v,
-                "limit_cycle_amplitudes_v": silicon.limit_cycle_amplitudes_v,
+                "closed_loop_yield": silicon["closed_loop_yield"],
+                "linearity_yield": silicon["linearity_yield"],
+                "regulation_yield": silicon["regulation_yield"],
+                "lock_yield": silicon["lock_yield"],
+                "worst_error_v": silicon["worst_error_v"],
+                "limit_cycle_amplitudes_v": amplitudes,
             },
         },
         report=architecture_table + "\n\n" + yield_table + "\n\n" + silicon_table,

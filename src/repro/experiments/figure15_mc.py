@@ -17,26 +17,29 @@ lock yield collapses (paper Figure 37 as a population statement), yet the
 unlocked chips still *regulate* -- the loop servos the duty word around the
 mis-scaled table -- so a regulation-only screen would ship silicon whose
 DPWM never calibrated.  The composed specification catches it.
+
+The sweep itself is declarative: :data:`GRID` names the cell axes and
+:func:`run_cell` computes one cell from its scalar coordinates through
+:func:`repro.pipeline.closed_loop_cell`, so the orchestrator
+(:mod:`repro.sweep`) can fan cells out across worker processes and memoize
+each one in the result cache.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reports import format_table
 from repro.converter.load import SteppedLoad
-from repro.core.design import DesignSpec
-from repro.core.yield_analysis import (
-    ComponentVariation,
-    LinearitySpec,
-    RegulationSpec,
-    closed_loop_yield,
-)
+from repro.core.yield_analysis import LinearitySpec, RegulationSpec
 from repro.experiments.base import ExperimentResult, register
-from repro.technology.corners import OperatingConditions, ProcessCorner
+from repro.pipeline import closed_loop_cell
+from repro.sweep import ParameterGrid, sweep_map
+from repro.technology.corners import ProcessCorner
 from repro.technology.library import intel32_like_library
-from repro.technology.variation import VariationModel
 
 __all__ = [
     "run",
+    "run_cell",
+    "GRID",
     "FREQUENCIES_MHZ",
     "LOAD_SCENARIOS",
     "NUM_INSTANCES",
@@ -63,71 +66,86 @@ LOAD_SCENARIOS = {
     ),
 }
 
+#: The sweep axes; one cell per (scheme, corner, frequency, load scenario),
+#: visited in the same order as the original nested loops so the report
+#: rows are stable.
+GRID = ParameterGrid(
+    scheme=("proposed", "conventional"),
+    corner=tuple(c.name.lower() for c in (ProcessCorner.SLOW, ProcessCorner.FAST)),
+    frequency_mhz=FREQUENCIES_MHZ,
+    load=tuple(LOAD_SCENARIOS),
+)
+
+
+def run_cell(params: dict) -> dict:
+    """Closed-loop-yield payload of one (scheme, corner, frequency, load) cell.
+
+    Module-level and driven entirely by the scalar ``params`` dict (the
+    grid coordinates plus the RNG seed), so the sweep orchestrator can
+    pickle it into worker processes and content-address the result.  The
+    load *scenario name* is the cell coordinate; the scenario object is
+    looked up here, inside the worker.
+    """
+    result = closed_loop_cell(
+        params["scheme"],
+        frequency_mhz=params["frequency_mhz"],
+        corner=params["corner"],
+        seed=params["seed"],
+        reference_v=REFERENCE_V,
+        num_instances=NUM_INSTANCES,
+        periods=PERIODS,
+        linearity_spec=LINEARITY_SPEC,
+        regulation_spec=REGULATION_SPEC,
+        load=LOAD_SCENARIOS[params["load"]],
+        library=intel32_like_library(),
+    )
+    amplitudes = result.limit_cycle_amplitudes_v
+    return {
+        "closed_loop_yield": result.closed_loop_yield,
+        "linearity_yield": result.linearity_yield,
+        "regulation_yield": result.regulation_yield,
+        "lock_yield": result.lock_yield,
+        "worst_error_v": result.worst_error_v,
+        "mean_limit_cycle_amplitude_v": float(amplitudes.mean()),
+        "worst_limit_cycle_amplitude_v": float(amplitudes.max()),
+    }
+
 
 @register("fig15_mc")
-def run(seed: int | None = None) -> ExperimentResult:
+def run(seed: int | None = None, sweep=None) -> ExperimentResult:
     """Monte-Carlo closed-loop yield per scheme x corner x frequency x load.
 
     Args:
         seed: RNG seed for the silicon and component draws (the CLI's
             ``--seed`` flag); defaults to the experiment's stock seed.
+        sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
+            ``--workers`` / ``--cache-dir`` flags); cells run serially
+            without one, with bit-identical results.
     """
     seed = DEFAULT_SEED if seed is None else seed
-    library = intel32_like_library()
-    variation = VariationModel(seed=seed)
-    component_variation = ComponentVariation(seed=seed)
+    cells = GRID.cells(seed=seed)
+    payloads = sweep_map(run_cell, cells, experiment_id="fig15_mc", sweep=sweep)
 
     data = {}
     rows = []
-    for scheme in ("proposed", "conventional"):
-        data[scheme] = {}
-        for corner in (ProcessCorner.SLOW, ProcessCorner.FAST):
-            conditions = OperatingConditions(corner=corner)
-            data[scheme][corner.name.lower()] = {}
-            for frequency in FREQUENCIES_MHZ:
-                per_load = {}
-                for scenario, load in LOAD_SCENARIOS.items():
-                    result = closed_loop_yield(
-                        scheme,
-                        DesignSpec(
-                            clock_frequency_mhz=frequency, resolution_bits=6
-                        ),
-                        conditions,
-                        reference_v=REFERENCE_V,
-                        variation=variation,
-                        component_variation=component_variation,
-                        num_instances=NUM_INSTANCES,
-                        periods=PERIODS,
-                        linearity_spec=LINEARITY_SPEC,
-                        regulation_spec=REGULATION_SPEC,
-                        load=load,
-                        library=library,
-                    )
-                    amplitudes = result.limit_cycle_amplitudes_v
-                    entry = {
-                        "closed_loop_yield": result.closed_loop_yield,
-                        "linearity_yield": result.linearity_yield,
-                        "regulation_yield": result.regulation_yield,
-                        "lock_yield": result.lock_yield,
-                        "worst_error_v": result.worst_error_v,
-                        "mean_limit_cycle_amplitude_v": float(amplitudes.mean()),
-                        "worst_limit_cycle_amplitude_v": float(amplitudes.max()),
-                    }
-                    per_load[scenario] = entry
-                    rows.append(
-                        [
-                            scheme,
-                            corner.name.lower(),
-                            f"{frequency:.0f}",
-                            scenario,
-                            f"{entry['closed_loop_yield']:.3f}",
-                            f"{entry['regulation_yield']:.3f}",
-                            f"{entry['lock_yield']:.3f}",
-                            f"{entry['mean_limit_cycle_amplitude_v'] * 1e3:.1f}",
-                            f"{entry['worst_error_v'] * 1e3:.1f}",
-                        ]
-                    )
-                data[scheme][corner.name.lower()][frequency] = per_load
+    for cell, entry in zip(cells, payloads):
+        scheme, corner = cell["scheme"], cell["corner"]
+        frequency, scenario = cell["frequency_mhz"], cell["load"]
+        per_frequency = data.setdefault(scheme, {}).setdefault(corner, {})
+        per_frequency.setdefault(frequency, {})[scenario] = entry
+        rows.append(
+            [
+                scheme,
+                corner,
+                f"{frequency:.0f}",
+                scenario,
+                f"{entry['closed_loop_yield']:.3f}",
+                f"{entry['regulation_yield']:.3f}",
+                f"{entry['lock_yield']:.3f}",
+                f"{entry['mean_limit_cycle_amplitude_v'] * 1e3:.1f}",
+                f"{entry['worst_error_v'] * 1e3:.1f}",
+            ]
+        )
 
     report = format_table(
         headers=[

@@ -10,6 +10,11 @@ closed-form batch lock and swept into a full transfer-curve matrix in one
 numpy pass, then scored against the specification -- the delay-line analogue
 of the ``fig15`` experiment's regulation yield, in the spirit of the paper's
 Section 5.2 statistical-sizing proposal.
+
+The sweep itself is declarative: :data:`GRID` names the cell axes and
+:func:`run_cell` computes one (scheme, corner, frequency) cell from its
+scalar coordinates, so the orchestrator (:mod:`repro.sweep`) can fan cells
+out across worker processes and memoize each one in the result cache.
 """
 
 from __future__ import annotations
@@ -18,11 +23,20 @@ from repro.analysis.reports import format_table
 from repro.core.design import DesignSpec
 from repro.core.yield_analysis import linearity_yield
 from repro.experiments.base import ExperimentResult, register
+from repro.sweep import ParameterGrid, sweep_map
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
 from repro.technology.variation import VariationModel
 
-__all__ = ["run", "FREQUENCIES_MHZ", "NUM_INSTANCES", "DNL_LIMIT_LSB", "INL_LIMIT_LSB"]
+__all__ = [
+    "run",
+    "run_cell",
+    "GRID",
+    "FREQUENCIES_MHZ",
+    "NUM_INSTANCES",
+    "DNL_LIMIT_LSB",
+    "INL_LIMIT_LSB",
+]
 
 FREQUENCIES_MHZ = (50.0, 100.0, 200.0)
 NUM_INSTANCES = 1000
@@ -36,68 +50,84 @@ DNL_LIMIT_LSB = 4.0
 INL_LIMIT_LSB = 4.0
 ERROR_LIMIT_FRACTION = 0.045
 
+#: The sweep axes; one cell per (scheme, corner, frequency), visited in the
+#: same order as the original nested loops so the report rows are stable.
+GRID = ParameterGrid(
+    scheme=("proposed", "conventional"),
+    corner=tuple(c.name.lower() for c in (ProcessCorner.SLOW, ProcessCorner.FAST)),
+    frequency_mhz=FREQUENCIES_MHZ,
+)
+
+
+def run_cell(params: dict) -> dict:
+    """Linearity-yield payload of one (scheme, corner, frequency) cell.
+
+    Module-level and driven entirely by the scalar ``params`` dict (the
+    grid coordinates plus the RNG seed), so the sweep orchestrator can
+    pickle it into worker processes and content-address the result.
+    """
+    result = linearity_yield(
+        scheme=params["scheme"],
+        spec=DesignSpec(
+            clock_frequency_mhz=params["frequency_mhz"], resolution_bits=6
+        ),
+        conditions=OperatingConditions(
+            corner=ProcessCorner[params["corner"].upper()]
+        ),
+        variation=VariationModel(
+            random_sigma=0.04, gradient_peak=0.015, seed=params["seed"]
+        ),
+        num_instances=NUM_INSTANCES,
+        dnl_limit_lsb=DNL_LIMIT_LSB,
+        inl_limit_lsb=INL_LIMIT_LSB,
+        error_limit_fraction=ERROR_LIMIT_FRACTION,
+        library=intel32_like_library(),
+    )
+    return {
+        "linearity_yield": result.linearity_yield,
+        "lock_yield": result.lock_yield,
+        "monotonic_fraction": float(result.monotonic.mean()),
+        "mean_max_dnl_lsb": float(result.max_dnl_lsb.mean()),
+        "mean_max_inl_lsb": float(result.max_inl_lsb.mean()),
+        "worst_max_inl_lsb": float(result.max_inl_lsb.max()),
+        "mean_rms_inl_lsb": float(result.rms_inl_lsb.mean()),
+        "worst_error_fraction": float(result.max_error_fraction_of_period.max()),
+    }
+
 
 @register("fig50_51_mc")
-def run(seed: int | None = None) -> ExperimentResult:
+def run(seed: int | None = None, sweep=None) -> ExperimentResult:
     """Monte-Carlo linearity yield per corner x frequency for both schemes.
 
     Args:
         seed: RNG seed for the variation draws (the CLI's ``--seed`` flag);
             defaults to the experiment's stock seed.
+        sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
+            ``--workers`` / ``--cache-dir`` flags); cells run serially
+            without one, with bit-identical results.
     """
-    library = intel32_like_library()
-    variation = VariationModel(
-        random_sigma=0.04,
-        gradient_peak=0.015,
-        seed=DEFAULT_SEED if seed is None else seed,
-    )
+    seed = DEFAULT_SEED if seed is None else seed
+    cells = GRID.cells(seed=seed)
+    payloads = sweep_map(run_cell, cells, experiment_id="fig50_51_mc", sweep=sweep)
 
     data = {}
     rows = []
-    for scheme in ("proposed", "conventional"):
-        data[scheme] = {}
-        for corner in (ProcessCorner.SLOW, ProcessCorner.FAST):
-            conditions = OperatingConditions(corner=corner)
-            data[scheme][corner.name.lower()] = {}
-            for frequency in FREQUENCIES_MHZ:
-                result = linearity_yield(
-                    scheme=scheme,
-                    spec=DesignSpec(
-                        clock_frequency_mhz=frequency, resolution_bits=6
-                    ),
-                    conditions=conditions,
-                    variation=variation,
-                    num_instances=NUM_INSTANCES,
-                    dnl_limit_lsb=DNL_LIMIT_LSB,
-                    inl_limit_lsb=INL_LIMIT_LSB,
-                    error_limit_fraction=ERROR_LIMIT_FRACTION,
-                    library=library,
-                )
-                entry = {
-                    "linearity_yield": result.linearity_yield,
-                    "lock_yield": result.lock_yield,
-                    "monotonic_fraction": float(result.monotonic.mean()),
-                    "mean_max_dnl_lsb": float(result.max_dnl_lsb.mean()),
-                    "mean_max_inl_lsb": float(result.max_inl_lsb.mean()),
-                    "worst_max_inl_lsb": float(result.max_inl_lsb.max()),
-                    "mean_rms_inl_lsb": float(result.rms_inl_lsb.mean()),
-                    "worst_error_fraction": float(
-                        result.max_error_fraction_of_period.max()
-                    ),
-                }
-                data[scheme][corner.name.lower()][frequency] = entry
-                rows.append(
-                    [
-                        scheme,
-                        corner.name.lower(),
-                        f"{frequency:.0f}",
-                        f"{entry['linearity_yield']:.3f}",
-                        f"{entry['lock_yield']:.3f}",
-                        f"{entry['monotonic_fraction']:.3f}",
-                        f"{entry['mean_max_inl_lsb']:.2f}",
-                        f"{100 * entry['worst_error_fraction']:.2f} %",
-                    ]
-                )
+    for cell, entry in zip(cells, payloads):
+        scheme, corner = cell["scheme"], cell["corner"]
+        frequency = cell["frequency_mhz"]
+        data.setdefault(scheme, {}).setdefault(corner, {})[frequency] = entry
+        rows.append(
+            [
+                scheme,
+                corner,
+                f"{frequency:.0f}",
+                f"{entry['linearity_yield']:.3f}",
+                f"{entry['lock_yield']:.3f}",
+                f"{entry['monotonic_fraction']:.3f}",
+                f"{entry['mean_max_inl_lsb']:.2f}",
+                f"{100 * entry['worst_error_fraction']:.2f} %",
+            ]
+        )
 
     report = format_table(
         headers=[

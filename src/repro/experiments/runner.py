@@ -4,22 +4,27 @@ Usage::
 
     repro-experiments --list
     repro-experiments table5 fig50_51
-    repro-experiments --all
+    repro-experiments --all --workers 8 --cache-dir .sweep-cache
     repro-experiments fig50_51_mc --json results.json
+
+``--workers`` fans the grid experiments' sweep cells out across a
+``multiprocessing`` pool and ``--cache-dir`` memoizes each cell's payload
+in an on-disk content-addressed cache (see :mod:`repro.sweep`), so
+``--all`` saturates the machine on a cold run and warm re-runs are
+near-instant -- with bit-identical ``--json`` output either way.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
-from dataclasses import asdict, is_dataclass
-
-import numpy as np
 
 from repro.experiments import registry, run_experiment
-from repro.experiments.base import accepts_seed
+from repro.experiments.base import accepts_seed, accepts_sweep
+from repro.sweep import SweepConfig, SweepOrchestrator, jsonable
 
 __all__ = ["main"]
 
@@ -44,7 +49,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="dump the structured results (ExperimentResult.data and "
-        "paper references) of the selected experiments as JSON",
+        "paper references) of the selected experiments as JSON; refuses "
+        "to overwrite an existing file unless --force is given",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing --json output file",
     )
     parser.add_argument(
         "--seed",
@@ -54,22 +65,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "fig15_mc, fig50_51_mc) in place of their built-in default; "
         "experiments without randomness ignore it",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the grid experiments' sweep cells "
+        "(fig15, fig15_mc, fig50_51_mc); experiments without a parameter "
+        "grid run unchanged",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="on-disk content-addressed cache for sweep-cell results; "
+        "warm re-runs only recompute cells whose experiment id, "
+        "parameters, seed or package sources changed",
+    )
+    parser.add_argument(
+        "--prune-cache",
+        action="store_true",
+        help="before running, delete cache entries written by other "
+        "versions of the package sources (they can never be hits again); "
+        "requires --cache-dir",
+    )
     return parser
-
-
-def _jsonable(value):
-    """Recursively convert experiment data into JSON-serializable types."""
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, np.generic):
-        return value.item()
-    if is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(asdict(value))
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    return value
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -86,6 +105,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             "--all runs every experiment and cannot be combined with "
             f"explicit ids ({', '.join(args.experiments)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+
+    if args.prune_cache and args.cache_dir is None:
+        print("--prune-cache requires --cache-dir", file=sys.stderr)
+        return 2
+
+    if args.json is not None and not args.force and os.path.exists(args.json):
+        print(
+            f"refusing to overwrite existing {args.json}; pass --force to "
+            "replace it",
             file=sys.stderr,
         )
         return 2
@@ -113,27 +148,58 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
-    collected: dict[str, dict] = {}
-    failures: list[str] = []
-    for experiment_id in selected:
-        try:
-            result = run_experiment(experiment_id, seed=args.seed)
-        except Exception as error:  # noqa: BLE001 - report and keep going
-            failures.append(experiment_id)
+    sweep = None
+    if args.workers > 1 or args.cache_dir is not None:
+        ignoring = [name for name in selected if not accepts_sweep(name)]
+        if ignoring:
             print(
-                f"experiment {experiment_id} failed: "
-                f"{type(error).__name__}: {error}",
+                "--workers/--cache-dir only reach the grid experiments; "
+                f"ignored by: {', '.join(ignoring)}",
                 file=sys.stderr,
             )
-            continue
-        print(f"=== {result.experiment_id}: {result.title} ===")
-        print(result.report)
-        print()
-        collected[experiment_id] = {
-            "title": result.title,
-            "data": _jsonable(result.data),
-            "paper_reference": _jsonable(result.paper_reference),
-        }
+        sweep = SweepOrchestrator(
+            SweepConfig(workers=args.workers, cache_dir=args.cache_dir)
+        )
+        if args.prune_cache:
+            pruned = sweep.cache.prune()
+            print(
+                f"sweep cache: pruned {pruned} stale entr"
+                f"{'y' if pruned == 1 else 'ies'}",
+                file=sys.stderr,
+            )
+
+    collected: dict[str, dict] = {}
+    failures: list[str] = []
+    try:
+        for experiment_id in selected:
+            try:
+                result = run_experiment(experiment_id, seed=args.seed, sweep=sweep)
+            except Exception as error:  # noqa: BLE001 - report and keep going
+                failures.append(experiment_id)
+                print(
+                    f"experiment {experiment_id} failed: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            print(f"=== {result.experiment_id}: {result.title} ===")
+            print(result.report)
+            print()
+            collected[experiment_id] = {
+                "title": result.title,
+                "data": jsonable(result.data),
+                "paper_reference": jsonable(result.paper_reference),
+            }
+    finally:
+        if sweep is not None:
+            sweep.close()
+
+    if sweep is not None and sweep.cache is not None:
+        print(
+            f"sweep cache: {sweep.hits} hit(s), {sweep.misses} miss(es) "
+            f"in {sweep.cache.root}",
+            file=sys.stderr,
+        )
 
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -58,13 +58,14 @@ from repro.simulation.batch import (
     BatchQuantizer,
     BatchRegulationResult,
 )
-from repro.technology.corners import OperatingConditions
+from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import VariationModel
 
 __all__ = [
     "PipelineResult",
     "SiliconToRegulationPipeline",
+    "closed_loop_cell",
     "fabricate_ensemble",
 ]
 
@@ -264,3 +265,56 @@ class SiliconToRegulationPipeline:
             curves=self.curves,
             regulation=regulation,
         )
+
+
+def closed_loop_cell(
+    scheme: str,
+    *,
+    frequency_mhz: float,
+    seed: int,
+    corner: str = "typical",
+    resolution_bits: int = 6,
+    reference_v: float = 0.9,
+    num_instances: int = 256,
+    periods: int = 300,
+    linearity_spec=None,
+    regulation_spec=None,
+    load=None,
+    nominal: BuckParameters | None = None,
+    library: TechnologyLibrary | None = None,
+):
+    """One silicon-to-regulation sweep cell from scalar cell coordinates.
+
+    This is the cell-sized entry point of the pipeline: everything that
+    identifies the cell -- scheme, corner *name*, switching frequency, RNG
+    seed -- is a JSON scalar, so a sweep grid can address, schedule and
+    cache the cell, while the rich objects (operating conditions, seeded
+    variation models, pass/fail specs) are reconstructed here, inside the
+    worker.  Both the silicon mismatch draw and the per-chip component
+    spread derive from ``seed``, making the cell a pure function of its
+    arguments: serial, parallel and cached evaluations agree bit for bit.
+
+    Returns the composed
+    :class:`~repro.core.yield_analysis.ClosedLoopYieldResult`; callers
+    flatten it into their payload schema.
+    """
+    from repro.core.yield_analysis import closed_loop_yield
+
+    conditions = OperatingConditions(corner=ProcessCorner[corner.upper()])
+    return closed_loop_yield(
+        scheme,
+        DesignSpec(
+            clock_frequency_mhz=frequency_mhz, resolution_bits=resolution_bits
+        ),
+        conditions,
+        nominal=nominal,
+        reference_v=reference_v,
+        variation=VariationModel(seed=seed),
+        component_variation=ComponentVariation(seed=seed),
+        num_instances=num_instances,
+        periods=periods,
+        linearity_spec=linearity_spec,
+        regulation_spec=regulation_spec,
+        load=load,
+        library=library,
+    )

@@ -28,6 +28,24 @@ Per-period quantities (reference, input voltage, load resistance) follow the
 same scenario objects as the scalar loop (:mod:`repro.converter.load`), so
 reference steps, line transients, ramps, pulse trains and random bursts all
 work unchanged on whole fleets.
+
+Example -- a three-variant fleet regulating 1.8 V down to 0.9 V behind an
+ideal 6-bit DPWM, advanced 200 switching periods in one vectorized run:
+
+    >>> import numpy as np
+    >>> from repro.converter.buck import BuckParameters
+    >>> from repro.simulation.batch import (
+    ...     BatchBuckParameters, BatchClosedLoop, BatchQuantizer)
+    >>> parameters = BatchBuckParameters.uniform(
+    ...     BuckParameters(input_voltage_v=1.8), num_variants=3)
+    >>> loop = BatchClosedLoop(
+    ...     parameters, BatchQuantizer.ideal(bits=6, num_variants=3),
+    ...     reference_v=0.9)
+    >>> result = loop.run(200)
+    >>> result.output_voltages_v.shape
+    (200, 3)
+    >>> bool(np.all(np.abs(result.steady_state_voltage_v() - 0.9) < 0.02))
+    True
 """
 
 from __future__ import annotations

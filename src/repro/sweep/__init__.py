@@ -1,0 +1,47 @@
+"""Declarative parameter sweeps: grids, orchestration and result caching.
+
+The paper's headline numbers are statistics over parameter grids -- yield
+per (scheme x corner x frequency x load) -- and the engines underneath
+(:mod:`repro.core.ensemble`, :mod:`repro.simulation.batch`,
+:mod:`repro.pipeline`) already vectorize *within* a cell.  This package
+scales *across* cells:
+
+* :class:`~repro.sweep.grid.ParameterGrid` -- named axes crossed into
+  JSON-scalar cell dicts, in deterministic (nested-loop) order.
+* :class:`~repro.sweep.cache.ResultCache` -- content-addressed on-disk
+  memoization of cell payloads; keys cover the experiment id, the full
+  parameter cell (seed included) and a fingerprint of the package sources,
+  so code edits invalidate and warm re-runs are near-instant.
+* :class:`~repro.sweep.orchestrator.SweepOrchestrator` -- fans cache
+  misses out across a ``multiprocessing`` pool; serial, parallel, cold and
+  warm runs produce bit-identical payloads.
+
+Experiments opt in by exposing a module-level cell function plus a grid and
+routing through :func:`~repro.sweep.orchestrator.sweep_map`; the CLI flags
+``--workers`` and ``--cache-dir`` (see :mod:`repro.experiments.runner`)
+thread an orchestrator into every sweep-enabled experiment of a run.
+"""
+
+from repro.sweep.cache import (
+    MISS,
+    ResultCache,
+    canonical_json,
+    cell_key,
+    code_fingerprint,
+    jsonable,
+)
+from repro.sweep.grid import ParameterGrid
+from repro.sweep.orchestrator import SweepConfig, SweepOrchestrator, sweep_map
+
+__all__ = [
+    "MISS",
+    "ParameterGrid",
+    "ResultCache",
+    "SweepConfig",
+    "SweepOrchestrator",
+    "canonical_json",
+    "cell_key",
+    "code_fingerprint",
+    "jsonable",
+    "sweep_map",
+]

@@ -1,0 +1,82 @@
+"""Declarative parameter grids: named axes crossed into sweep cells.
+
+The Monte-Carlo experiments sweep small cross-products -- scheme x corner x
+frequency x load scenario -- that used to live as nested ``for`` loops
+inside each experiment.  :class:`ParameterGrid` lifts the cross-product into
+a declarative object so the cells become first-class, independently
+schedulable units: the orchestrator can fan them out across worker
+processes and address each one in the result cache.
+
+Axis values are restricted to JSON scalars (strings, numbers, booleans,
+``None``) because every cell must serialize canonically into its cache key;
+richer objects (load scenarios, variation models) are reconstructed *inside*
+the cell function from these scalar coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import prod
+
+__all__ = ["ParameterGrid"]
+
+#: Axis values must be JSON scalars so cells content-address canonically.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+class ParameterGrid:
+    """The cross-product of named parameter axes, iterated as cell dicts.
+
+    Iteration order is row-major over the axes in declaration order (the
+    last axis varies fastest) -- exactly the order the equivalent nested
+    ``for`` loops would visit, so a grid port preserves an experiment's
+    row ordering.
+
+    Example::
+
+        >>> grid = ParameterGrid(scheme=("proposed", "conventional"),
+        ...                      frequency_mhz=(100.0, 200.0))
+        >>> len(grid)
+        4
+        >>> list(grid)[1]
+        {'scheme': 'proposed', 'frequency_mhz': 200.0}
+    """
+
+    def __init__(self, **axes) -> None:
+        if not axes:
+            raise ValueError("a parameter grid needs at least one axis")
+        validated: dict[str, tuple] = {}
+        for name, values in axes.items():
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            for value in values:
+                if value is not None and not isinstance(value, _SCALAR_TYPES):
+                    raise TypeError(
+                        f"axis {name!r} value {value!r} is not a JSON scalar; "
+                        "reconstruct rich objects inside the cell function"
+                    )
+            if len(set(values)) != len(values):
+                raise ValueError(f"axis {name!r} has duplicate values")
+            validated[name] = values
+        self.axes = validated
+
+    def __len__(self) -> int:
+        return prod(len(values) for values in self.axes.values())
+
+    def __iter__(self):
+        names = list(self.axes)
+        for combination in itertools.product(*self.axes.values()):
+            yield dict(zip(names, combination))
+
+    def cells(self, **extra) -> list[dict]:
+        """All cells as dicts, each extended with the ``extra`` parameters.
+
+        The extras (typically the resolved RNG seed) become part of every
+        cell's parameter dict and therefore of its cache key.
+        """
+        return [{**cell, **extra} for cell in self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        axes = ", ".join(f"{name}={values!r}" for name, values in self.axes.items())
+        return f"ParameterGrid({axes})"

@@ -1,0 +1,172 @@
+"""Worker-pool orchestration of sweep cells with cache memoization.
+
+The orchestrator turns a list of sweep cells -- JSON-scalar parameter dicts
+plus a module-level cell function -- into payloads, with two accelerations
+layered transparently on top of the plain serial loop:
+
+* **Memoization** -- when a :class:`~repro.sweep.cache.ResultCache` is
+  configured, each cell is looked up by its content address first and only
+  misses are computed (then stored for the next run).
+* **Fan-out** -- cache misses are dispatched to a ``multiprocessing`` pool
+  when more than one worker is configured.  Cells are pure functions of
+  their parameters (every RNG is seeded from the cell dict), so the fan-out
+  is bit-deterministic: serial, parallel, cold and warm runs all produce
+  identical payloads.
+
+Payload determinism is enforced structurally: every computed payload is
+normalized through one canonical JSON round trip before it is returned or
+stored, so a payload that came out of a worker, out of the serial loop or
+out of the cache is byte-for-byte the same object tree.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.sweep.cache import MISS, ResultCache, canonical_json, cell_key
+
+__all__ = ["SweepConfig", "SweepOrchestrator", "sweep_map"]
+
+
+def _call_cell(item):
+    """Top-level pool target: unpack (function, params) and invoke.
+
+    Lives at module level so it pickles by reference into worker processes.
+    """
+    func, params = item
+    return func(params)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How a sweep should execute.
+
+    Attributes:
+        workers: worker processes for cache misses; 1 computes in-process.
+        cache_dir: root of the on-disk result cache; ``None`` disables
+            memoization.
+    """
+
+    workers: int = 1
+    cache_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class SweepOrchestrator:
+    """Executes sweep cells through one shared pool and one shared cache.
+
+    The pool is created lazily on the first parallel dispatch and reused
+    across :meth:`map_cells` calls (and therefore across experiments within
+    one CLI invocation), so per-experiment grids do not pay repeated pool
+    start-up costs.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, config: SweepConfig | None = None) -> None:
+        self.config = config or SweepConfig()
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache_dir else None
+        )
+        self.hits = 0
+        self.misses = 0
+        self._pool = None
+
+    def map_cells(
+        self,
+        func: Callable[[dict], dict],
+        cells: Iterable[dict],
+        *,
+        experiment_id: str,
+    ) -> list[dict]:
+        """Payloads for all cells, in cell order.
+
+        Args:
+            func: module-level (picklable) cell function mapping one
+                parameter dict to a JSON-serializable payload.
+            cells: parameter dicts; each must canonicalize to JSON (see
+                :func:`~repro.sweep.cache.cell_key`).
+            experiment_id: namespace for the cache keys.
+        """
+        cells = [dict(cell) for cell in cells]
+        keys = [cell_key(experiment_id, cell) for cell in cells]
+        payloads: list = [None] * len(cells)
+        missing: list[int] = []
+        for index, key in enumerate(keys):
+            cached = (
+                self.cache.load(experiment_id, key) if self.cache is not None else MISS
+            )
+            if cached is not MISS:
+                payloads[index] = cached
+                self.hits += 1
+            else:
+                missing.append(index)
+                self.misses += 1
+        if missing:
+            work = [(func, cells[index]) for index in missing]
+            if self.config.workers > 1 and len(missing) > 1:
+                computed = self._pool_instance().map(_call_cell, work, chunksize=1)
+            else:
+                computed = [_call_cell(item) for item in work]
+            for index, raw in zip(missing, computed):
+                # One canonical round trip makes fresh payloads
+                # indistinguishable from cached ones (bit-identical floats,
+                # string keys, no numpy types).
+                payload = json.loads(canonical_json(raw))
+                if self.cache is not None:
+                    self.cache.store(
+                        experiment_id, keys[index], payload, params=cells[index]
+                    )
+                payloads[index] = payload
+        return payloads
+
+    def _pool_instance(self):
+        if self._pool is None:
+            # Prefer fork where available (instant start-up, inherits the
+            # already-imported numpy/repro stack); fall back to the
+            # platform default elsewhere -- cell functions are module-level
+            # and cells are plain dicts, so both pickle fine.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = context.Pool(processes=self.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepOrchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def sweep_map(
+    func: Callable[[dict], dict],
+    cells: Iterable[dict],
+    *,
+    experiment_id: str,
+    sweep: SweepOrchestrator | None = None,
+) -> list[dict]:
+    """Run cells through an orchestrator, or serially when none is given.
+
+    This is the entry point the experiments call: with ``sweep=None`` (the
+    plain ``run()`` path) the cells execute serially in-process with no
+    cache, but still through the same normalization, so the payloads are
+    bit-identical to an orchestrated run.
+    """
+    if sweep is not None:
+        return sweep.map_cells(func, cells, experiment_id=experiment_id)
+    with SweepOrchestrator() as transient:
+        return transient.map_cells(func, cells, experiment_id=experiment_id)

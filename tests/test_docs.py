@@ -1,0 +1,78 @@
+"""Docs stay in lockstep with the code.
+
+Two enforcement points: the module docstrings of the three hot engines
+carry *runnable* doctest examples (exercised here and by the CI docs job
+via ``pytest --doctest-modules``), and ``docs/experiments.md`` must list
+every id in the experiment registry -- adding an experiment without
+documenting it fails the suite.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.core.ensemble
+import repro.core.yield_analysis
+import repro.simulation.batch
+from repro.experiments import registry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+#: The three hot modules whose docstrings must carry runnable examples.
+DOCTEST_MODULES = [
+    repro.simulation.batch,
+    repro.core.ensemble,
+    repro.core.yield_analysis,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_module_docstring_examples_run(module):
+    results = doctest.testmod(module, verbose=False, report=True)
+    assert results.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert results.failed == 0
+
+
+def _catalog_ids() -> set[str]:
+    """Experiment ids named in ``###`` headings of the catalog."""
+    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    ids: set[str] = set()
+    for heading in re.findall(r"^###\s+(.*)$", text, flags=re.MULTILINE):
+        ids.update(re.findall(r"`([a-z0-9_]+)`", heading))
+    return ids
+
+
+def test_experiment_catalog_lists_every_registered_id():
+    documented = _catalog_ids()
+    registered = set(registry)
+    missing = registered - documented
+    stale = documented - registered
+    assert not missing, f"experiments missing from docs/experiments.md: {missing}"
+    assert not stale, f"docs/experiments.md documents unknown ids: {stale}"
+
+
+def test_architecture_doc_names_every_layer():
+    text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+    for package in (
+        "repro.technology",
+        "repro.core",
+        "repro.dpwm",
+        "repro.converter",
+        "repro.simulation",
+        "repro.pipeline",
+        "repro.sweep",
+        "repro.experiments",
+        "repro.analysis",
+    ):
+        assert package in text, f"architecture.md does not mention {package}"
+
+
+def test_readme_links_to_the_docs():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in text
+    assert "docs/experiments.md" in text

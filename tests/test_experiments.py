@@ -457,3 +457,67 @@ class TestRunnerCLI:
         assert "failed experiments: boom" in captured.err
         # The healthy experiment still ran and reported.
         assert "design_example" in captured.out
+
+    def test_json_refuses_to_overwrite_without_force(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text('{"precious": true}')
+        assert runner_main(["design_example", "--json", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "refusing to overwrite" in captured.err
+        assert "--force" in captured.err
+        # Nothing ran and the existing file is untouched.
+        assert "design_example" not in captured.out
+        assert path.read_text() == '{"precious": true}'
+
+    def test_json_force_overwrites(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text('{"stale": true}')
+        assert runner_main(["design_example", "--json", str(path), "--force"]) == 0
+        import json
+
+        assert set(json.loads(path.read_text())) == {"design_example"}
+
+    def test_workers_below_one_rejected(self, capsys):
+        assert runner_main(["design_example", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_workers_ignored_by_non_grid_experiments_with_a_note(self, capsys):
+        assert runner_main(["design_example", "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "ignored by: design_example" in captured.err
+        assert "design_example" in captured.out
+
+    def test_cache_dir_threads_an_orchestrator_and_reports_stats(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.experiments import registry as live_registry
+        from repro.experiments.base import ExperimentResult as Result
+        from repro.sweep import sweep_map
+
+        def fake_grid(seed=None, sweep=None):
+            assert sweep is not None
+            assert sweep.config.workers == 1
+            [payload] = sweep_map(
+                lambda params: {"value": params["x"]},
+                [{"x": 3, "seed": seed}],
+                experiment_id="fake_grid",
+                sweep=sweep,
+            )
+            return Result("fake_grid", "t", payload, "report " + "x" * 40)
+
+        monkeypatch.setitem(live_registry, "fake_grid", fake_grid)
+        cache_dir = tmp_path / "cache"
+        argv = ["fake_grid", "--cache-dir", str(cache_dir)]
+        assert runner_main(argv) == 0
+        assert "sweep cache: 0 hit(s), 1 miss(es)" in capsys.readouterr().err
+        assert list((cache_dir / "fake_grid").glob("*.json"))
+        # The second invocation resolves every cell from the cache.
+        assert runner_main(argv) == 0
+        assert "sweep cache: 1 hit(s), 0 miss(es)" in capsys.readouterr().err
+        # --prune-cache reports (nothing is stale here) and still runs.
+        assert runner_main(argv + ["--prune-cache"]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().err
+
+    def test_prune_cache_requires_cache_dir(self, capsys):
+        assert runner_main(["design_example", "--prune-cache"]) == 2
+        assert "--prune-cache requires --cache-dir" in capsys.readouterr().err
