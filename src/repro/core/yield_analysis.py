@@ -34,6 +34,17 @@ vectorized :mod:`repro.core.ensemble` engine, and reports the fraction of
 instances that meet a DNL/INL/monotonicity specification -- the
 population-level question behind the paper's Figures 41-42 and 50-51.
 
+Every estimator also has an *adaptive* sibling
+(:func:`adaptive_linearity_yield` / :func:`adaptive_closed_loop_yield` /
+:func:`adaptive_regulation_yield`) built on the streaming engine of
+:mod:`repro.mc`: instead of a fixed instance count, the caller names a
+precision (the target half-width of the confidence interval on the yield)
+and a sample cap, and the estimator draws variation chunks until the
+interval is tight enough, returning an :class:`AdaptiveYieldResult`
+(estimate, CI, samples drawn, stop reason).  A pinned 100 %-yield cell then
+costs a couple of hundred samples instead of a thousand, while a cell
+teetering at a corner keeps drawing until the cap.
+
 Both yields are scored against declarative specification objects
 (:class:`LinearitySpec` / :class:`RegulationSpec`), and
 :func:`closed_loop_yield` composes them: it drives the fused
@@ -86,12 +97,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
 __all__ = [
     "YieldModel",
     "YieldPoint",
+    "AdaptiveYieldResult",
     "ComponentVariation",
     "LinearitySpec",
     "RegulationSpec",
     "ClosedLoopYieldResult",
     "LinearityYieldResult",
     "RegulationYieldResult",
+    "adaptive_closed_loop_yield",
+    "adaptive_linearity_yield",
+    "adaptive_regulation_yield",
     "coverage_yield",
     "yield_curve",
     "cells_for_yield",
@@ -275,6 +290,12 @@ def cells_for_yield(
     )
 
 
+#: RNG stream tag separating :meth:`ComponentVariation.sample_instances`'s
+#: per-instance streams from :class:`VariationModel`'s ``(seed, instance)``
+#: streams, which frequently share the same seed.
+_COMPONENT_STREAM_TAG = 0x636F6D70  # "comp"
+
+
 @dataclass(frozen=True)
 class ComponentVariation:
     """Statistical spread of the buck converter's components.
@@ -345,6 +366,56 @@ class ComponentVariation:
             * clipped_normal(self.resistance_sigma),
             inductor_resistance_ohm=nominal.inductor_resistance_ohm
             * clipped_normal(self.resistance_sigma),
+        )
+
+    def sample_instances(
+        self,
+        nominal: BuckParameters,
+        num_variants: int,
+        first_instance: int = 0,
+    ):
+        """Chunk-stable fleet draw: instance ``i`` owns its RNG stream.
+
+        :meth:`sample_batch` draws the whole fleet from one generator, so
+        the values instance ``i`` receives depend on the batch size -- fine
+        for fixed-N runs, useless for streaming ones.  Here instance ``i``
+        draws its spreads from its *own* stream keyed on
+        ``(seed, stream tag, i)``, so sampling ``[first_instance,
+        first_instance + num_variants)`` in any chunking produces the same
+        fleet bit for bit (the contract of :mod:`repro.mc`).  The stream
+        tag keeps the component draws decorrelated from
+        :meth:`~repro.technology.variation.VariationModel.sample`, which
+        keys per-instance silicon streams on ``(seed, i)`` -- often with
+        the very same seed.
+
+        The two methods draw *different* (equally valid) populations from
+        the same seed; fixed-N experiments keep :meth:`sample_batch` so
+        their baselines stay bit-identical.
+        """
+        from repro.simulation.batch import BatchBuckParameters
+
+        if num_variants < 1:
+            raise ValueError("need at least one variant")
+        draws = np.empty((num_variants, 5))
+        for row in range(num_variants):
+            rng = np.random.default_rng(
+                (self.seed, _COMPONENT_STREAM_TAG, first_instance + row)
+            )
+            draws[row, 0] = rng.lognormal(mean=0.0, sigma=self.input_voltage_sigma)
+            draws[row, 1] = rng.lognormal(mean=0.0, sigma=self.inductance_sigma)
+            draws[row, 2] = rng.lognormal(mean=0.0, sigma=self.capacitance_sigma)
+            draws[row, 3] = rng.normal(loc=1.0, scale=self.resistance_sigma)
+            draws[row, 4] = rng.normal(loc=1.0, scale=self.resistance_sigma)
+        np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return BatchBuckParameters(
+            input_voltage_v=nominal.input_voltage_v * draws[:, 0],
+            inductance_h=nominal.inductance_h * draws[:, 1],
+            capacitance_f=nominal.capacitance_f * draws[:, 2],
+            switching_frequency_hz=np.full(
+                num_variants, nominal.switching_frequency_hz
+            ),
+            switch_resistance_ohm=nominal.switch_resistance_ohm * draws[:, 3],
+            inductor_resistance_ohm=nominal.inductor_resistance_ohm * draws[:, 4],
         )
 
 
@@ -724,3 +795,314 @@ def closed_loop_yield(
         worst_error_v=float(np.abs(steady_state - reference_v).max()),
         pipeline_result=result,
     )
+
+
+@dataclass(frozen=True)
+class AdaptiveYieldResult:
+    """Outcome of a confidence-bounded adaptive Monte-Carlo yield run.
+
+    Where the fixed-N results report per-instance arrays, the adaptive
+    result reports *streaming* statistics: the sampler only ever holds one
+    chunk of instances in memory, so everything here is a scalar summary --
+    which also makes the whole object JSON-able and therefore directly
+    cacheable by the sweep layer.
+
+    Attributes:
+        scheme: ``"proposed"`` / ``"conventional"`` (``None`` for the
+            component-only regulation sweep).
+        yield_estimate: maximum-likelihood estimate of the primary yield
+            (passes / samples).
+        lower / upper: confidence-interval bounds on the primary yield.
+        confidence: two-sided confidence level of all intervals.
+        precision: the requested half-width target.
+        samples: instances actually drawn -- the spent sample budget.
+        max_samples: the hard cap the run was allowed.
+        chunk_size: instances per drawn chunk.
+        stop_reason: ``"precision"`` if the interval tightened to the
+            target, ``"max_samples"`` if the cap ran out first.
+        method: interval method used (``"wilson"`` / ``"clopper_pearson"``).
+        spec_yields: per-statistic yield estimates (e.g. ``"linearity"``,
+            ``"regulation"``, ``"lock"``); the primary statistic is
+            included.
+        spec_intervals: per-statistic ``(lower, upper)`` interval bounds.
+        value_stats: per-metric streaming summaries (``mean`` / ``std`` /
+            ``min`` / ``max`` / ``count``), e.g. the limit-cycle amplitude.
+    """
+
+    scheme: str | None
+    yield_estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    precision: float
+    samples: int
+    max_samples: int
+    chunk_size: int
+    stop_reason: str
+    method: str
+    spec_yields: dict[str, float]
+    spec_intervals: dict[str, tuple[float, float]]
+    value_stats: dict[str, dict[str, float]]
+
+    @property
+    def half_width(self) -> float:
+        """Realized half-width of the primary confidence interval."""
+        return 0.5 * (self.upper - self.lower)
+
+
+def _adaptive_result(scheme, sample_result, primary: str) -> AdaptiveYieldResult:
+    """Fold an :class:`repro.mc.AdaptiveSampleResult` into the domain shape."""
+    interval = sample_result.intervals[primary]
+    return AdaptiveYieldResult(
+        scheme=scheme,
+        yield_estimate=sample_result.estimates[primary],
+        lower=interval.lower,
+        upper=interval.upper,
+        confidence=sample_result.confidence,
+        precision=sample_result.precision,
+        samples=sample_result.trials,
+        max_samples=sample_result.max_samples,
+        chunk_size=sample_result.chunk_size,
+        stop_reason=sample_result.stop_reason,
+        method=sample_result.method,
+        spec_yields=dict(sample_result.estimates),
+        spec_intervals={
+            name: (ci.lower, ci.upper)
+            for name, ci in sample_result.intervals.items()
+        },
+        value_stats={
+            name: moments.summary()
+            for name, moments in sample_result.moments.items()
+        },
+    )
+
+
+def adaptive_linearity_yield(
+    scheme: str,
+    spec: DesignSpec,
+    conditions: OperatingConditions,
+    variation: VariationModel | None = None,
+    precision: float = 0.02,
+    confidence: float = 0.95,
+    max_instances: int = 4096,
+    chunk_size: int = 64,
+    min_instances: int | None = None,
+    method: str = "wilson",
+    dnl_limit_lsb: float | None = None,
+    inl_limit_lsb: float | None = None,
+    error_limit_fraction: float | None = None,
+    require_monotonic: bool = True,
+    require_lock: bool = True,
+    library: TechnologyLibrary | None = None,
+) -> AdaptiveYieldResult:
+    """Adaptive sibling of :func:`linearity_yield`: sample until the CI is tight.
+
+    The scheme is designed once (:class:`repro.pipeline.ChunkedFabricator`),
+    then post-APR chunks are fabricated, calibrated and scored until the
+    confidence interval on the linearity yield has half-width
+    ``<= precision`` or ``max_instances`` samples are spent.  Instance
+    ``i``'s mismatch comes from the variation model's per-instance stream,
+    so the sample stream -- and therefore the estimate -- is independent of
+    the chunk size.
+    """
+    from repro.mc import SampleChunk, adaptive_sample
+    from repro.pipeline import ChunkedFabricator
+
+    linearity_spec = LinearitySpec(
+        dnl_limit_lsb=dnl_limit_lsb,
+        inl_limit_lsb=inl_limit_lsb,
+        error_limit_fraction=error_limit_fraction,
+        require_monotonic=require_monotonic,
+        require_lock=require_lock,
+    )
+    fabricator = ChunkedFabricator(
+        scheme, spec, variation=variation or VariationModel(), library=library
+    )
+
+    def draw(first_instance: int, count: int) -> SampleChunk:
+        ensemble = fabricator.fabricate(count, first_instance=first_instance)
+        calibration = ensemble.lock(conditions)
+        curves = ensemble.transfer_curves(conditions, calibration=calibration)
+        metrics = curves.metrics()
+        error_fractions = curves.max_error_fraction_of_period()
+        return SampleChunk(
+            passes={
+                "linearity": linearity_spec.passes(
+                    metrics, calibration.locked, error_fractions
+                ),
+                "lock": np.asarray(calibration.locked, dtype=bool),
+                "monotonic": np.asarray(metrics.monotonic, dtype=bool),
+            },
+            values={
+                "max_dnl_lsb": metrics.max_dnl_lsb,
+                "max_inl_lsb": metrics.max_inl_lsb,
+                "rms_inl_lsb": metrics.rms_inl_lsb,
+                "error_fraction": error_fractions,
+            },
+        )
+
+    sample_result = adaptive_sample(
+        draw,
+        primary="linearity",
+        precision=precision,
+        confidence=confidence,
+        max_samples=max_instances,
+        chunk_size=chunk_size,
+        min_samples=min_instances,
+        method=method,
+    )
+    return _adaptive_result(scheme, sample_result, "linearity")
+
+
+def adaptive_closed_loop_yield(
+    scheme: str,
+    spec: DesignSpec,
+    conditions: OperatingConditions,
+    nominal: BuckParameters | None = None,
+    reference_v: float = 0.9,
+    variation: VariationModel | None = None,
+    component_variation: ComponentVariation | None = None,
+    precision: float = 0.02,
+    confidence: float = 0.95,
+    max_instances: int = 4096,
+    chunk_size: int = 64,
+    min_instances: int | None = None,
+    method: str = "wilson",
+    periods: int = 300,
+    linearity_spec: LinearitySpec | None = None,
+    regulation_spec: RegulationSpec | None = None,
+    load=None,
+    library: TechnologyLibrary | None = None,
+) -> AdaptiveYieldResult:
+    """Adaptive sibling of :func:`closed_loop_yield`.
+
+    Runs the silicon-to-regulation pipeline per chunk through
+    :class:`repro.pipeline.ChunkedSiliconToRegulation` -- the design
+    procedure runs once, each chunk only fabricates, calibrates, converts
+    and regulates its own instance range -- until the confidence interval
+    on the *composed* yield (linearity AND regulation) is tight enough.
+    The per-spec yields and the streaming limit-cycle-amplitude statistics
+    ride along.  Note the electrical spread uses
+    :meth:`ComponentVariation.sample_instances` (the chunk-stable stream),
+    so the population differs from the fixed-N :func:`closed_loop_yield`
+    draw -- by design; each path is internally reproducible.
+    """
+    from repro.mc import SampleChunk, adaptive_sample
+    from repro.pipeline import ChunkedSiliconToRegulation
+
+    linearity_spec = linearity_spec or LinearitySpec()
+    regulation_spec = regulation_spec or RegulationSpec()
+    runner = ChunkedSiliconToRegulation(
+        scheme,
+        spec,
+        conditions,
+        variation=variation,
+        nominal=nominal,
+        reference_v=reference_v,
+        component_variation=component_variation,
+        load=load,
+        library=library,
+    )
+
+    def draw(first_instance: int, count: int) -> SampleChunk:
+        result = runner.run_chunk(first_instance, count, periods=periods)
+        linearity_passes = linearity_spec.evaluate(
+            result.calibration, result.curves
+        )
+        steady_state = result.regulation.steady_state_voltage_v(
+            regulation_spec.tail_fraction
+        )
+        ripple = result.regulation.steady_state_ripple_v(
+            regulation_spec.tail_fraction
+        )
+        regulation_passes = regulation_spec.passes(
+            steady_state, ripple, reference_v
+        )
+        return SampleChunk(
+            passes={
+                "closed_loop": linearity_passes & regulation_passes,
+                "linearity": linearity_passes,
+                "regulation": regulation_passes,
+                "lock": np.asarray(result.calibration.locked, dtype=bool),
+            },
+            values={
+                "limit_cycle_amplitude_v": ripple,
+                "error_v": np.abs(steady_state - reference_v),
+            },
+        )
+
+    sample_result = adaptive_sample(
+        draw,
+        primary="closed_loop",
+        precision=precision,
+        confidence=confidence,
+        max_samples=max_instances,
+        chunk_size=chunk_size,
+        min_samples=min_instances,
+        method=method,
+    )
+    return _adaptive_result(runner.scheme, sample_result, "closed_loop")
+
+
+def adaptive_regulation_yield(
+    nominal: BuckParameters,
+    reference_v: float,
+    variation: ComponentVariation | None = None,
+    precision: float = 0.02,
+    confidence: float = 0.95,
+    max_instances: int = 4096,
+    chunk_size: int = 64,
+    min_instances: int | None = None,
+    method: str = "wilson",
+    periods: int = 300,
+    tolerance_v: float = 0.02,
+    dpwm_bits: int = 6,
+    load=None,
+) -> AdaptiveYieldResult:
+    """Adaptive sibling of :func:`regulation_yield` (component spread only).
+
+    Each chunk draws its electrical spreads from
+    :meth:`ComponentVariation.sample_instances` (the chunk-stable stream),
+    closes an ideal-DPWM fleet around them and scores the
+    :class:`RegulationSpec`, until the interval on the regulation yield is
+    tight enough or the cap runs out.
+    """
+    from repro.mc import SampleChunk, adaptive_sample
+    from repro.simulation.batch import BatchClosedLoop, BatchQuantizer
+
+    spec = RegulationSpec(tolerance_v=tolerance_v)
+    variation = variation or ComponentVariation()
+
+    def draw(first_instance: int, count: int) -> SampleChunk:
+        parameters = variation.sample_instances(
+            nominal, count, first_instance=first_instance
+        )
+        loop = BatchClosedLoop(
+            parameters,
+            BatchQuantizer.ideal(dpwm_bits, count),
+            reference_v=reference_v,
+            load=load,
+        )
+        result = loop.run(periods)
+        steady_state = result.steady_state_voltage_v(spec.tail_fraction)
+        ripple = result.steady_state_ripple_v(spec.tail_fraction)
+        return SampleChunk(
+            passes={"regulation": spec.passes(steady_state, ripple, reference_v)},
+            values={
+                "steady_state_v": steady_state,
+                "ripple_v": ripple,
+                "error_v": np.abs(steady_state - reference_v),
+            },
+        )
+
+    sample_result = adaptive_sample(
+        draw,
+        primary="regulation",
+        precision=precision,
+        confidence=confidence,
+        max_samples=max_instances,
+        chunk_size=chunk_size,
+        min_samples=min_instances,
+        method=method,
+    )
+    return _adaptive_result(None, sample_result, "regulation")

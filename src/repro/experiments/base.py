@@ -8,6 +8,8 @@ from typing import Callable
 
 __all__ = [
     "ExperimentResult",
+    "accepts_adaptive",
+    "accepts_parameter",
     "accepts_seed",
     "accepts_sweep",
     "registry",
@@ -57,6 +59,11 @@ def register(experiment_id: str):
     return decorator
 
 
+def accepts_parameter(experiment_id: str, name: str) -> bool:
+    """Whether an experiment's run function declares a keyword ``name``."""
+    return name in inspect.signature(registry[experiment_id]).parameters
+
+
 def accepts_seed(experiment_id: str) -> bool:
     """Whether an experiment's run function takes an RNG ``seed`` argument.
 
@@ -64,7 +71,7 @@ def accepts_seed(experiment_id: str) -> bool:
     declare ``seed`` so one CLI flag can rethread their random draws; the
     deterministic table/figure regenerations do not.
     """
-    return "seed" in inspect.signature(registry[experiment_id]).parameters
+    return accepts_parameter(experiment_id, "seed")
 
 
 def accepts_sweep(experiment_id: str) -> bool:
@@ -75,11 +82,26 @@ def accepts_sweep(experiment_id: str) -> bool:
     their cells out across a worker pool and memoize them; the scalar
     regenerations do not.
     """
-    return "sweep" in inspect.signature(registry[experiment_id]).parameters
+    return accepts_parameter(experiment_id, "sweep")
+
+
+def accepts_adaptive(experiment_id: str) -> bool:
+    """Whether an experiment supports adaptive confidence-bounded sampling.
+
+    The Monte-Carlo experiments declare ``precision`` (and
+    ``max_instances``) so the CLI's ``--precision`` / ``--max-instances``
+    flags can replace their fixed per-cell instance counts with the
+    streaming sampler of :mod:`repro.mc`.
+    """
+    return accepts_parameter(experiment_id, "precision")
 
 
 def run_experiment(
-    experiment_id: str, seed: int | None = None, sweep=None
+    experiment_id: str,
+    seed: int | None = None,
+    sweep=None,
+    precision: float | None = None,
+    max_instances: int | None = None,
 ) -> ExperimentResult:
     """Run a registered experiment by id.
 
@@ -91,6 +113,12 @@ def run_experiment(
         sweep: optional :class:`~repro.sweep.SweepOrchestrator` threaded
             into experiments that accept one (see :func:`accepts_sweep`);
             experiments without a parameter grid ignore it.
+        precision: optional target confidence-interval half-width; switches
+            the Monte-Carlo experiments that accept it (see
+            :func:`accepts_adaptive`) from their fixed per-cell instance
+            counts to the adaptive sampler of :mod:`repro.mc`.
+        max_instances: optional hard per-cell sample cap for the adaptive
+            sampler; only meaningful together with ``precision``.
 
     Raises:
         KeyError: if the id is unknown.
@@ -102,9 +130,15 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known experiments: {known}"
         ) from exc
+    if max_instances is not None and precision is None:
+        raise ValueError("max_instances is only meaningful with a precision")
     kwargs = {}
     if seed is not None and accepts_seed(experiment_id):
         kwargs["seed"] = seed
     if sweep is not None and accepts_sweep(experiment_id):
         kwargs["sweep"] = sweep
+    if precision is not None and accepts_adaptive(experiment_id):
+        kwargs["precision"] = precision
+        if max_instances is not None:
+            kwargs["max_instances"] = max_instances
     return runner(**kwargs)

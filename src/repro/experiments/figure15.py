@@ -34,6 +34,8 @@ from repro.core.yield_analysis import (
     ComponentVariation,
     LinearitySpec,
     RegulationSpec,
+    adaptive_closed_loop_yield,
+    adaptive_regulation_yield,
     regulation_yield,
 )
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
@@ -47,11 +49,20 @@ from repro.simulation.batch import (
 from repro.sweep import sweep_map
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
 
-__all__ = ["run", "run_cell", "REFERENCE_V", "NUM_MONTE_CARLO_VARIANTS"]
+__all__ = [
+    "run",
+    "run_cell",
+    "REFERENCE_V",
+    "NUM_MONTE_CARLO_VARIANTS",
+    "DEFAULT_MAX_INSTANCES",
+]
 
 REFERENCE_V = 0.9
 NUM_MONTE_CARLO_VARIANTS = 256
+#: Default per-section sample cap of the adaptive (``--precision``) mode.
+DEFAULT_MAX_INSTANCES = 4 * NUM_MONTE_CARLO_VARIANTS
 DEFAULT_SEED = 2012
 _FREQUENCY_MHZ = 100.0
 _MC_PERIODS = 300
@@ -67,12 +78,19 @@ def run_cell(params: dict) -> dict:
     ``component_mc`` is the 256-variant component-variation regulation
     sweep, ``silicon_mc`` the fused silicon-to-regulation pipeline run.
     Both are pure functions of their scalar parameters, so the sweep
-    orchestrator can fan them out and cache them independently.
+    orchestrator can fan them out and cache them independently.  When the
+    dict carries ``precision`` / ``max_instances`` coordinates, both
+    sections run their adaptive siblings
+    (:func:`~repro.core.yield_analysis.adaptive_regulation_yield` /
+    :func:`~repro.core.yield_analysis.adaptive_closed_loop_yield`) and
+    report streaming summaries instead of per-variant arrays.
     """
     nominal = BuckParameters(
         input_voltage_v=1.8,
         switching_frequency_hz=params["frequency_mhz"] * 1e6,
     )
+    if "precision" in params:
+        return _run_adaptive_cell(params, nominal)
     if params["section"] == "component_mc":
         result = regulation_yield(
             nominal,
@@ -113,8 +131,180 @@ def run_cell(params: dict) -> dict:
     raise ValueError(f"unknown fig15 cell section {params['section']!r}")
 
 
+def _run_adaptive_cell(params: dict, nominal: BuckParameters) -> dict:
+    """Adaptive payload of one Monte-Carlo section (``precision`` given)."""
+    if params["section"] == "component_mc":
+        adaptive = adaptive_regulation_yield(
+            nominal,
+            reference_v=REFERENCE_V,
+            variation=ComponentVariation(seed=params["seed"]),
+            precision=params["precision"],
+            max_instances=params.get("max_instances", DEFAULT_MAX_INSTANCES),
+            periods=_MC_PERIODS,
+            tolerance_v=0.02,
+        )
+        return {
+            "regulation_yield": adaptive.yield_estimate,
+            "mean_steady_state_v": adaptive.value_stats["steady_state_v"]["mean"],
+            "std_steady_state_v": adaptive.value_stats["steady_state_v"]["std"],
+            "worst_error_v": adaptive.value_stats["error_v"]["max"],
+            "worst_ripple_v": adaptive.value_stats["ripple_v"]["max"],
+            "ci_lower": adaptive.lower,
+            "ci_upper": adaptive.upper,
+            "confidence": adaptive.confidence,
+            "samples": adaptive.samples,
+            "stop_reason": adaptive.stop_reason,
+        }
+    if params["section"] == "silicon_mc":
+        adaptive = adaptive_closed_loop_yield(
+            "proposed",
+            DesignSpec(
+                clock_frequency_mhz=params["frequency_mhz"], resolution_bits=6
+            ),
+            OperatingConditions.typical(),
+            nominal=nominal,
+            reference_v=REFERENCE_V,
+            variation=VariationModel(seed=params["seed"]),
+            component_variation=ComponentVariation(seed=params["seed"]),
+            precision=params["precision"],
+            max_instances=params.get("max_instances", DEFAULT_MAX_INSTANCES),
+            periods=_MC_PERIODS,
+            linearity_spec=LinearitySpec(error_limit_fraction=0.045),
+            regulation_spec=RegulationSpec(tolerance_v=0.02),
+            library=intel32_like_library(),
+        )
+        return {
+            "closed_loop_yield": adaptive.yield_estimate,
+            "linearity_yield": adaptive.spec_yields["linearity"],
+            "regulation_yield": adaptive.spec_yields["regulation"],
+            "lock_yield": adaptive.spec_yields["lock"],
+            "worst_error_v": adaptive.value_stats["error_v"]["max"],
+            "worst_limit_cycle_amplitude_v": (
+                adaptive.value_stats["limit_cycle_amplitude_v"]["max"]
+            ),
+            "ci_lower": adaptive.lower,
+            "ci_upper": adaptive.upper,
+            "confidence": adaptive.confidence,
+            "samples": adaptive.samples,
+            "stop_reason": adaptive.stop_reason,
+        }
+    raise ValueError(f"unknown fig15 cell section {params['section']!r}")
+
+
+def _fixed_sections(monte_carlo: dict, silicon: dict):
+    """Tables + data payloads of the two fixed-N Monte-Carlo sections."""
+    spread = np.asarray(monte_carlo["steady_state_voltages_v"])
+    ripples = np.asarray(monte_carlo["steady_state_ripples_v"])
+    yield_table = format_table(
+        headers=["Metric", "Value"],
+        rows=[
+            ["Variants", str(NUM_MONTE_CARLO_VARIANTS)],
+            ["Regulation yield (|Vss - Vref| <= 20 mV)", f"{monte_carlo['regulation_yield']:.3f}"],
+            ["Mean steady-state Vout (V)", f"{spread.mean():.4f}"],
+            ["Std of steady-state Vout (mV)", f"{spread.std() * 1e3:.2f}"],
+            ["Worst |Vss - Vref| (mV)", f"{monte_carlo['worst_error_v'] * 1e3:.2f}"],
+            [
+                "Worst tail ripple (mV)",
+                f"{ripples.max() * 1e3:.2f}",
+            ],
+        ],
+        title="Monte-Carlo regulation yield under component variation",
+    )
+
+    amplitudes = np.asarray(silicon["limit_cycle_amplitudes_v"])
+    silicon_table = format_table(
+        headers=["Metric", "Value"],
+        rows=[
+            ["Fabricated instances", str(NUM_MONTE_CARLO_VARIANTS)],
+            ["Closed-loop yield (linearity AND regulation)", f"{silicon['closed_loop_yield']:.3f}"],
+            ["Linearity yield", f"{silicon['linearity_yield']:.3f}"],
+            ["Regulation yield", f"{silicon['regulation_yield']:.3f}"],
+            ["Lock yield", f"{silicon['lock_yield']:.3f}"],
+            ["Worst |Vss - Vref| (mV)", f"{silicon['worst_error_v'] * 1e3:.2f}"],
+            [
+                "Worst limit-cycle amplitude (mV)",
+                f"{amplitudes.max() * 1e3:.2f}",
+            ],
+        ],
+        title=(
+            "Silicon-to-regulation pipeline -- every fabricated proposed-scheme "
+            "delay line closed around its own component-varied buck"
+        ),
+    )
+    mc_data = {
+        "regulation_yield": monte_carlo["regulation_yield"],
+        "steady_state_voltages_v": spread,
+        "steady_state_ripples_v": ripples,
+        "worst_error_v": monte_carlo["worst_error_v"],
+    }
+    silicon_data = {
+        "closed_loop_yield": silicon["closed_loop_yield"],
+        "linearity_yield": silicon["linearity_yield"],
+        "regulation_yield": silicon["regulation_yield"],
+        "lock_yield": silicon["lock_yield"],
+        "worst_error_v": silicon["worst_error_v"],
+        "limit_cycle_amplitudes_v": amplitudes,
+    }
+    return yield_table, silicon_table, mc_data, silicon_data
+
+
+def _adaptive_sections(monte_carlo: dict, silicon: dict):
+    """Tables + data payloads of the two adaptive Monte-Carlo sections.
+
+    The adaptive sampler streams its statistics, so the payloads carry
+    scalar summaries plus the confidence bookkeeping instead of
+    per-variant arrays.
+    """
+
+    def ci(entry: dict) -> str:
+        return f"[{entry['ci_lower']:.3f}, {entry['ci_upper']:.3f}]"
+
+    yield_table = format_table(
+        headers=["Metric", "Value"],
+        rows=[
+            ["Samples drawn (adaptive)", str(monte_carlo["samples"])],
+            ["Stop reason", monte_carlo["stop_reason"]],
+            ["Regulation yield (|Vss - Vref| <= 20 mV)", f"{monte_carlo['regulation_yield']:.3f}"],
+            ["95 % CI on the yield", ci(monte_carlo)],
+            ["Mean steady-state Vout (V)", f"{monte_carlo['mean_steady_state_v']:.4f}"],
+            ["Std of steady-state Vout (mV)", f"{monte_carlo['std_steady_state_v'] * 1e3:.2f}"],
+            ["Worst |Vss - Vref| (mV)", f"{monte_carlo['worst_error_v'] * 1e3:.2f}"],
+            ["Worst tail ripple (mV)", f"{monte_carlo['worst_ripple_v'] * 1e3:.2f}"],
+        ],
+        title="Monte-Carlo regulation yield under component variation (adaptive)",
+    )
+    silicon_table = format_table(
+        headers=["Metric", "Value"],
+        rows=[
+            ["Samples drawn (adaptive)", str(silicon["samples"])],
+            ["Stop reason", silicon["stop_reason"]],
+            ["Closed-loop yield (linearity AND regulation)", f"{silicon['closed_loop_yield']:.3f}"],
+            ["95 % CI on the yield", ci(silicon)],
+            ["Linearity yield", f"{silicon['linearity_yield']:.3f}"],
+            ["Regulation yield", f"{silicon['regulation_yield']:.3f}"],
+            ["Lock yield", f"{silicon['lock_yield']:.3f}"],
+            ["Worst |Vss - Vref| (mV)", f"{silicon['worst_error_v'] * 1e3:.2f}"],
+            [
+                "Worst limit-cycle amplitude (mV)",
+                f"{silicon['worst_limit_cycle_amplitude_v'] * 1e3:.2f}",
+            ],
+        ],
+        title=(
+            "Silicon-to-regulation pipeline (adaptive) -- every fabricated "
+            "proposed-scheme delay line closed around its own "
+            "component-varied buck"
+        ),
+    )
+    return yield_table, silicon_table, dict(monte_carlo), dict(silicon)
+
+
 @register("fig15")
-def run(seed: int | None = None, sweep=None) -> ExperimentResult:
+def run(
+    seed: int | None = None,
+    sweep=None,
+    precision: float | None = None,
+    max_instances: int | None = None,
+) -> ExperimentResult:
     """Regenerate Figure 15 (closed-loop regulation) as batch simulations.
 
     Args:
@@ -123,7 +313,15 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
             ``--workers`` / ``--cache-dir`` flags); the two Monte-Carlo
             sections then run as cacheable sweep cells.
+        precision: optional CI half-width target (the CLI's ``--precision``
+            flag); switches both Monte-Carlo sections from their fixed
+            256-variant budget to the adaptive sampler (the architecture
+            comparison is deterministic and unaffected).
+        max_instances: per-section sample cap of the adaptive mode (the
+            CLI's ``--max-instances`` flag); requires ``precision``.
     """
+    if max_instances is not None and precision is None:
+        raise ValueError("max_instances is only meaningful with a precision")
     seed = DEFAULT_SEED if seed is None else seed
     library = intel32_like_library()
     spec = DesignSpec(clock_frequency_mhz=_FREQUENCY_MHZ, resolution_bits=6)
@@ -196,11 +394,14 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
     # The two Monte-Carlo sections run as sweep cells: the 256-variant
     # component sweep and the fused silicon pipeline fan out (and cache)
     # independently when an orchestrator is threaded in.
-    cell_common = {
-        "frequency_mhz": _FREQUENCY_MHZ,
-        "num_instances": NUM_MONTE_CARLO_VARIANTS,
-        "seed": seed,
-    }
+    cell_common = {"frequency_mhz": _FREQUENCY_MHZ, "seed": seed}
+    if precision is None:
+        cell_common["num_instances"] = NUM_MONTE_CARLO_VARIANTS
+    else:
+        # The adaptive cell's budget coordinates replace the fixed count
+        # (which the adaptive path never reads) in the cache key.
+        cell_common["precision"] = precision
+        cell_common["max_instances"] = max_instances or DEFAULT_MAX_INSTANCES
     monte_carlo, silicon = sweep_map(
         run_cell,
         [
@@ -210,64 +411,22 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         experiment_id="fig15",
         sweep=sweep,
     )
-    spread = np.asarray(monte_carlo["steady_state_voltages_v"])
-    ripples = np.asarray(monte_carlo["steady_state_ripples_v"])
-    yield_table = format_table(
-        headers=["Metric", "Value"],
-        rows=[
-            ["Variants", str(NUM_MONTE_CARLO_VARIANTS)],
-            ["Regulation yield (|Vss - Vref| <= 20 mV)", f"{monte_carlo['regulation_yield']:.3f}"],
-            ["Mean steady-state Vout (V)", f"{spread.mean():.4f}"],
-            ["Std of steady-state Vout (mV)", f"{spread.std() * 1e3:.2f}"],
-            ["Worst |Vss - Vref| (mV)", f"{monte_carlo['worst_error_v'] * 1e3:.2f}"],
-            [
-                "Worst tail ripple (mV)",
-                f"{ripples.max() * 1e3:.2f}",
-            ],
-        ],
-        title="Monte-Carlo regulation yield under component variation",
-    )
-
-    amplitudes = np.asarray(silicon["limit_cycle_amplitudes_v"])
-    silicon_table = format_table(
-        headers=["Metric", "Value"],
-        rows=[
-            ["Fabricated instances", str(NUM_MONTE_CARLO_VARIANTS)],
-            ["Closed-loop yield (linearity AND regulation)", f"{silicon['closed_loop_yield']:.3f}"],
-            ["Linearity yield", f"{silicon['linearity_yield']:.3f}"],
-            ["Regulation yield", f"{silicon['regulation_yield']:.3f}"],
-            ["Lock yield", f"{silicon['lock_yield']:.3f}"],
-            ["Worst |Vss - Vref| (mV)", f"{silicon['worst_error_v'] * 1e3:.2f}"],
-            [
-                "Worst limit-cycle amplitude (mV)",
-                f"{amplitudes.max() * 1e3:.2f}",
-            ],
-        ],
-        title=(
-            "Silicon-to-regulation pipeline -- every fabricated proposed-scheme "
-            "delay line closed around its own component-varied buck"
-        ),
-    )
+    if precision is not None:
+        yield_table, silicon_table, mc_data, silicon_data = _adaptive_sections(
+            monte_carlo, silicon
+        )
+    else:
+        yield_table, silicon_table, mc_data, silicon_data = _fixed_sections(
+            monte_carlo, silicon
+        )
 
     return ExperimentResult(
         experiment_id="fig15",
         title="Digitally controlled buck regulation at scale (paper Figure 15)",
         data={
             "architectures": comparison,
-            "monte_carlo": {
-                "regulation_yield": monte_carlo["regulation_yield"],
-                "steady_state_voltages_v": spread,
-                "steady_state_ripples_v": ripples,
-                "worst_error_v": monte_carlo["worst_error_v"],
-            },
-            "silicon_monte_carlo": {
-                "closed_loop_yield": silicon["closed_loop_yield"],
-                "linearity_yield": silicon["linearity_yield"],
-                "regulation_yield": silicon["regulation_yield"],
-                "lock_yield": silicon["lock_yield"],
-                "worst_error_v": silicon["worst_error_v"],
-                "limit_cycle_amplitudes_v": amplitudes,
-            },
+            "monte_carlo": mc_data,
+            "silicon_monte_carlo": silicon_data,
         },
         report=architecture_table + "\n\n" + yield_table + "\n\n" + silicon_table,
         paper_reference={

@@ -23,18 +23,34 @@ The sweep itself is declarative: :data:`GRID` names the cell axes and
 :func:`repro.pipeline.closed_loop_cell`, so the orchestrator
 (:mod:`repro.sweep`) can fan cells out across worker processes and memoize
 each one in the result cache.
+
+With a ``precision`` (the CLI's ``--precision``), the fixed 128-instance
+budget per cell is replaced by the adaptive sampler
+(:func:`repro.core.yield_analysis.adaptive_closed_loop_yield`): each cell
+fabricates and regulates chunks until the confidence interval on its
+composed closed-loop yield has the requested half-width or the
+``max_instances`` cap is spent.  The adaptive coordinates join the cell
+dicts -- and therefore the cache keys -- so fixed-N and adaptive results
+never collide in the sweep cache.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reports import format_table
 from repro.converter.load import SteppedLoad
-from repro.core.yield_analysis import LinearitySpec, RegulationSpec
+from repro.core.design import DesignSpec
+from repro.core.yield_analysis import (
+    ComponentVariation,
+    LinearitySpec,
+    RegulationSpec,
+    adaptive_closed_loop_yield,
+)
 from repro.experiments.base import ExperimentResult, register
 from repro.pipeline import closed_loop_cell
 from repro.sweep import ParameterGrid, sweep_map
-from repro.technology.corners import ProcessCorner
+from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
 
 __all__ = [
     "run",
@@ -43,11 +59,14 @@ __all__ = [
     "FREQUENCIES_MHZ",
     "LOAD_SCENARIOS",
     "NUM_INSTANCES",
+    "DEFAULT_MAX_INSTANCES",
     "PERIODS",
 ]
 
 FREQUENCIES_MHZ = (100.0, 200.0)
 NUM_INSTANCES = 128
+#: Default per-cell sample cap of the adaptive (``--precision``) mode.
+DEFAULT_MAX_INSTANCES = 4 * NUM_INSTANCES
 PERIODS = 400
 DEFAULT_SEED = 2012
 REFERENCE_V = 0.9
@@ -84,8 +103,44 @@ def run_cell(params: dict) -> dict:
     grid coordinates plus the RNG seed), so the sweep orchestrator can
     pickle it into worker processes and content-address the result.  The
     load *scenario name* is the cell coordinate; the scenario object is
-    looked up here, inside the worker.
+    looked up here, inside the worker.  When the dict carries
+    ``precision`` / ``max_instances`` coordinates, the cell runs the
+    adaptive sampler instead of the fixed instance count and reports the
+    extra confidence bookkeeping alongside the same metric keys.
     """
+    if "precision" in params:
+        adaptive = adaptive_closed_loop_yield(
+            params["scheme"],
+            DesignSpec(
+                clock_frequency_mhz=params["frequency_mhz"], resolution_bits=6
+            ),
+            OperatingConditions(corner=ProcessCorner[params["corner"].upper()]),
+            reference_v=REFERENCE_V,
+            variation=VariationModel(seed=params["seed"]),
+            component_variation=ComponentVariation(seed=params["seed"]),
+            precision=params["precision"],
+            max_instances=params.get("max_instances", DEFAULT_MAX_INSTANCES),
+            periods=PERIODS,
+            linearity_spec=LINEARITY_SPEC,
+            regulation_spec=REGULATION_SPEC,
+            load=LOAD_SCENARIOS[params["load"]],
+            library=intel32_like_library(),
+        )
+        amplitude = adaptive.value_stats["limit_cycle_amplitude_v"]
+        return {
+            "closed_loop_yield": adaptive.yield_estimate,
+            "linearity_yield": adaptive.spec_yields["linearity"],
+            "regulation_yield": adaptive.spec_yields["regulation"],
+            "lock_yield": adaptive.spec_yields["lock"],
+            "worst_error_v": adaptive.value_stats["error_v"]["max"],
+            "mean_limit_cycle_amplitude_v": amplitude["mean"],
+            "worst_limit_cycle_amplitude_v": amplitude["max"],
+            "ci_lower": adaptive.lower,
+            "ci_upper": adaptive.upper,
+            "confidence": adaptive.confidence,
+            "samples": adaptive.samples,
+            "stop_reason": adaptive.stop_reason,
+        }
     result = closed_loop_cell(
         params["scheme"],
         frequency_mhz=params["frequency_mhz"],
@@ -112,7 +167,12 @@ def run_cell(params: dict) -> dict:
 
 
 @register("fig15_mc")
-def run(seed: int | None = None, sweep=None) -> ExperimentResult:
+def run(
+    seed: int | None = None,
+    sweep=None,
+    precision: float | None = None,
+    max_instances: int | None = None,
+) -> ExperimentResult:
     """Monte-Carlo closed-loop yield per scheme x corner x frequency x load.
 
     Args:
@@ -121,9 +181,23 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
             ``--workers`` / ``--cache-dir`` flags); cells run serially
             without one, with bit-identical results.
+        precision: optional CI half-width target (the CLI's ``--precision``
+            flag); switches every cell from the fixed 128-instance budget
+            to the adaptive sampler.
+        max_instances: per-cell sample cap of the adaptive mode (the CLI's
+            ``--max-instances`` flag); requires ``precision``.
     """
+    if max_instances is not None and precision is None:
+        raise ValueError("max_instances is only meaningful with a precision")
     seed = DEFAULT_SEED if seed is None else seed
-    cells = GRID.cells(seed=seed)
+    if precision is None:
+        cells = GRID.cells(seed=seed)
+    else:
+        cells = GRID.cells(
+            seed=seed,
+            precision=precision,
+            max_instances=max_instances or DEFAULT_MAX_INSTANCES,
+        )
     payloads = sweep_map(run_cell, cells, experiment_id="fig15_mc", sweep=sweep)
 
     data = {}
@@ -133,36 +207,52 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         frequency, scenario = cell["frequency_mhz"], cell["load"]
         per_frequency = data.setdefault(scheme, {}).setdefault(corner, {})
         per_frequency.setdefault(frequency, {})[scenario] = entry
-        rows.append(
-            [
-                scheme,
-                corner,
-                f"{frequency:.0f}",
-                scenario,
-                f"{entry['closed_loop_yield']:.3f}",
-                f"{entry['regulation_yield']:.3f}",
-                f"{entry['lock_yield']:.3f}",
-                f"{entry['mean_limit_cycle_amplitude_v'] * 1e3:.1f}",
-                f"{entry['worst_error_v'] * 1e3:.1f}",
-            ]
-        )
+        row = [
+            scheme,
+            corner,
+            f"{frequency:.0f}",
+            scenario,
+            f"{entry['closed_loop_yield']:.3f}",
+            f"{entry['regulation_yield']:.3f}",
+            f"{entry['lock_yield']:.3f}",
+            f"{entry['mean_limit_cycle_amplitude_v'] * 1e3:.1f}",
+            f"{entry['worst_error_v'] * 1e3:.1f}",
+        ]
+        if precision is not None:
+            row.extend(
+                [
+                    f"[{entry['ci_lower']:.3f}, {entry['ci_upper']:.3f}]",
+                    str(entry["samples"]),
+                    entry["stop_reason"],
+                ]
+            )
+        rows.append(row)
 
+    headers = [
+        "Scheme",
+        "Corner",
+        "Freq (MHz)",
+        "Load",
+        "Closed-loop yield",
+        "Regulation yield",
+        "Lock yield",
+        "Mean limit cycle (mV)",
+        "Worst |Vss-Vref| (mV)",
+    ]
+    if precision is None:
+        budget = f"over {NUM_INSTANCES} fabricated instances per cell"
+    else:
+        headers.extend(["95 % CI", "Samples", "Stop"])
+        budget = (
+            f"adaptive to +/- {precision:g} CI half-width "
+            f"(cap {max_instances or DEFAULT_MAX_INSTANCES} instances/cell)"
+        )
     report = format_table(
-        headers=[
-            "Scheme",
-            "Corner",
-            "Freq (MHz)",
-            "Load",
-            "Closed-loop yield",
-            "Regulation yield",
-            "Lock yield",
-            "Mean limit cycle (mV)",
-            "Worst |Vss-Vref| (mV)",
-        ],
+        headers=headers,
         rows=rows,
         title=(
-            f"Figure 15 Monte-Carlo -- silicon-to-regulation yield over "
-            f"{NUM_INSTANCES} fabricated instances per cell (spec: deviation "
+            f"Figure 15 Monte-Carlo -- silicon-to-regulation yield {budget} "
+            f"(spec: deviation "
             f"<= {100 * LINEARITY_SPEC.error_limit_fraction:.1f} % of period, "
             f"monotonic, locked, AND |Vss - Vref| <= "
             f"{REGULATION_SPEC.tolerance_v * 1e3:.0f} mV)"

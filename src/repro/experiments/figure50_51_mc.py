@@ -15,13 +15,21 @@ The sweep itself is declarative: :data:`GRID` names the cell axes and
 :func:`run_cell` computes one (scheme, corner, frequency) cell from its
 scalar coordinates, so the orchestrator (:mod:`repro.sweep`) can fan cells
 out across worker processes and memoize each one in the result cache.
+
+With a ``precision`` (the CLI's ``--precision``), the fixed 1000-instance
+budget per cell is replaced by the adaptive sampler
+(:func:`repro.core.yield_analysis.adaptive_linearity_yield`): each cell
+draws chunks until the confidence interval on its linearity yield has the
+requested half-width or the ``max_instances`` cap is spent.  The adaptive
+coordinates join the cell dicts -- and therefore the cache keys -- so
+fixed-N and adaptive results never collide in the sweep cache.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reports import format_table
 from repro.core.design import DesignSpec
-from repro.core.yield_analysis import linearity_yield
+from repro.core.yield_analysis import adaptive_linearity_yield, linearity_yield
 from repro.experiments.base import ExperimentResult, register
 from repro.sweep import ParameterGrid, sweep_map
 from repro.technology.corners import OperatingConditions, ProcessCorner
@@ -34,12 +42,17 @@ __all__ = [
     "GRID",
     "FREQUENCIES_MHZ",
     "NUM_INSTANCES",
+    "DEFAULT_MAX_INSTANCES",
     "DNL_LIMIT_LSB",
     "INL_LIMIT_LSB",
 ]
 
 FREQUENCIES_MHZ = (50.0, 100.0, 200.0)
 NUM_INSTANCES = 1000
+#: Default per-cell sample cap of the adaptive (``--precision``) mode: four
+#: times the fixed budget, so hard cells can buy extra confidence with the
+#: samples the pinned cells no longer burn.
+DEFAULT_MAX_INSTANCES = 4 * NUM_INSTANCES
 DEFAULT_SEED = 2012
 #: Linearity specification.  DNL/INL are scheme-referred LSB limits sized to
 #: bind against mismatch rather than the mapper's inherent quantization
@@ -64,19 +77,54 @@ def run_cell(params: dict) -> dict:
 
     Module-level and driven entirely by the scalar ``params`` dict (the
     grid coordinates plus the RNG seed), so the sweep orchestrator can
-    pickle it into worker processes and content-address the result.
+    pickle it into worker processes and content-address the result.  When
+    the dict carries ``precision`` / ``max_instances`` coordinates, the
+    cell runs the adaptive sampler instead of the fixed instance count and
+    reports the extra confidence bookkeeping (CI bounds, samples drawn,
+    stop reason) alongside the same metric keys.
     """
+    spec = DesignSpec(
+        clock_frequency_mhz=params["frequency_mhz"], resolution_bits=6
+    )
+    conditions = OperatingConditions(
+        corner=ProcessCorner[params["corner"].upper()]
+    )
+    variation = VariationModel(
+        random_sigma=0.04, gradient_peak=0.015, seed=params["seed"]
+    )
+    if "precision" in params:
+        adaptive = adaptive_linearity_yield(
+            scheme=params["scheme"],
+            spec=spec,
+            conditions=conditions,
+            variation=variation,
+            precision=params["precision"],
+            max_instances=params.get("max_instances", DEFAULT_MAX_INSTANCES),
+            dnl_limit_lsb=DNL_LIMIT_LSB,
+            inl_limit_lsb=INL_LIMIT_LSB,
+            error_limit_fraction=ERROR_LIMIT_FRACTION,
+            library=intel32_like_library(),
+        )
+        return {
+            "linearity_yield": adaptive.yield_estimate,
+            "lock_yield": adaptive.spec_yields["lock"],
+            "monotonic_fraction": adaptive.spec_yields["monotonic"],
+            "mean_max_dnl_lsb": adaptive.value_stats["max_dnl_lsb"]["mean"],
+            "mean_max_inl_lsb": adaptive.value_stats["max_inl_lsb"]["mean"],
+            "worst_max_inl_lsb": adaptive.value_stats["max_inl_lsb"]["max"],
+            "mean_rms_inl_lsb": adaptive.value_stats["rms_inl_lsb"]["mean"],
+            "worst_error_fraction": adaptive.value_stats["error_fraction"]["max"],
+            "ci_lower": adaptive.lower,
+            "ci_upper": adaptive.upper,
+            "confidence": adaptive.confidence,
+            "samples": adaptive.samples,
+            "stop_reason": adaptive.stop_reason,
+        }
     result = linearity_yield(
         scheme=params["scheme"],
-        spec=DesignSpec(
-            clock_frequency_mhz=params["frequency_mhz"], resolution_bits=6
-        ),
-        conditions=OperatingConditions(
-            corner=ProcessCorner[params["corner"].upper()]
-        ),
-        variation=VariationModel(
-            random_sigma=0.04, gradient_peak=0.015, seed=params["seed"]
-        ),
+        spec=spec,
+        conditions=conditions,
+        variation=variation,
         num_instances=NUM_INSTANCES,
         dnl_limit_lsb=DNL_LIMIT_LSB,
         inl_limit_lsb=INL_LIMIT_LSB,
@@ -96,7 +144,12 @@ def run_cell(params: dict) -> dict:
 
 
 @register("fig50_51_mc")
-def run(seed: int | None = None, sweep=None) -> ExperimentResult:
+def run(
+    seed: int | None = None,
+    sweep=None,
+    precision: float | None = None,
+    max_instances: int | None = None,
+) -> ExperimentResult:
     """Monte-Carlo linearity yield per corner x frequency for both schemes.
 
     Args:
@@ -105,9 +158,23 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         sweep: optional :class:`~repro.sweep.SweepOrchestrator` (the CLI's
             ``--workers`` / ``--cache-dir`` flags); cells run serially
             without one, with bit-identical results.
+        precision: optional CI half-width target (the CLI's ``--precision``
+            flag); switches every cell from the fixed 1000-instance budget
+            to the adaptive sampler.
+        max_instances: per-cell sample cap of the adaptive mode (the CLI's
+            ``--max-instances`` flag); requires ``precision``.
     """
+    if max_instances is not None and precision is None:
+        raise ValueError("max_instances is only meaningful with a precision")
     seed = DEFAULT_SEED if seed is None else seed
-    cells = GRID.cells(seed=seed)
+    if precision is None:
+        cells = GRID.cells(seed=seed)
+    else:
+        cells = GRID.cells(
+            seed=seed,
+            precision=precision,
+            max_instances=max_instances or DEFAULT_MAX_INSTANCES,
+        )
     payloads = sweep_map(run_cell, cells, experiment_id="fig50_51_mc", sweep=sweep)
 
     data = {}
@@ -116,34 +183,50 @@ def run(seed: int | None = None, sweep=None) -> ExperimentResult:
         scheme, corner = cell["scheme"], cell["corner"]
         frequency = cell["frequency_mhz"]
         data.setdefault(scheme, {}).setdefault(corner, {})[frequency] = entry
-        rows.append(
-            [
-                scheme,
-                corner,
-                f"{frequency:.0f}",
-                f"{entry['linearity_yield']:.3f}",
-                f"{entry['lock_yield']:.3f}",
-                f"{entry['monotonic_fraction']:.3f}",
-                f"{entry['mean_max_inl_lsb']:.2f}",
-                f"{100 * entry['worst_error_fraction']:.2f} %",
-            ]
-        )
+        row = [
+            scheme,
+            corner,
+            f"{frequency:.0f}",
+            f"{entry['linearity_yield']:.3f}",
+            f"{entry['lock_yield']:.3f}",
+            f"{entry['monotonic_fraction']:.3f}",
+            f"{entry['mean_max_inl_lsb']:.2f}",
+            f"{100 * entry['worst_error_fraction']:.2f} %",
+        ]
+        if precision is not None:
+            row.extend(
+                [
+                    f"[{entry['ci_lower']:.3f}, {entry['ci_upper']:.3f}]",
+                    str(entry["samples"]),
+                    entry["stop_reason"],
+                ]
+            )
+        rows.append(row)
 
+    headers = [
+        "Scheme",
+        "Corner",
+        "Freq (MHz)",
+        "Linearity yield",
+        "Lock yield",
+        "Monotonic",
+        "Mean max |INL| (LSB)",
+        "Worst error (% period)",
+    ]
+    if precision is None:
+        budget = f"over {NUM_INSTANCES} post-APR instances per cell"
+    else:
+        headers.extend(["95 % CI", "Samples", "Stop"])
+        budget = (
+            f"adaptive to +/- {precision:g} CI half-width "
+            f"(cap {max_instances or DEFAULT_MAX_INSTANCES} instances/cell)"
+        )
     report = format_table(
-        headers=[
-            "Scheme",
-            "Corner",
-            "Freq (MHz)",
-            "Linearity yield",
-            "Lock yield",
-            "Monotonic",
-            "Mean max |INL| (LSB)",
-            "Worst error (% period)",
-        ],
+        headers=headers,
         rows=rows,
         title=(
-            f"Figures 50-51 Monte-Carlo -- linearity yield over {NUM_INSTANCES} "
-            f"post-APR instances per cell (spec: |DNL| <= {DNL_LIMIT_LSB} LSB, "
+            f"Figures 50-51 Monte-Carlo -- linearity yield {budget} "
+            f"(spec: |DNL| <= {DNL_LIMIT_LSB} LSB, "
             f"|INL| <= {INL_LIMIT_LSB} LSB, error <= "
             f"{100 * ERROR_LIMIT_FRACTION:.1f} % of period, monotonic, locked)"
         ),

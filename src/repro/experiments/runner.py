@@ -6,12 +6,18 @@ Usage::
     repro-experiments table5 fig50_51
     repro-experiments --all --workers 8 --cache-dir .sweep-cache
     repro-experiments fig50_51_mc --json results.json
+    repro-experiments fig50_51_mc --precision 0.02 --max-instances 4000
 
 ``--workers`` fans the grid experiments' sweep cells out across a
 ``multiprocessing`` pool and ``--cache-dir`` memoizes each cell's payload
 in an on-disk content-addressed cache (see :mod:`repro.sweep`), so
 ``--all`` saturates the machine on a cold run and warm re-runs are
 near-instant -- with bit-identical ``--json`` output either way.
+``--precision`` switches the Monte-Carlo experiments from their fixed
+per-cell instance counts to confidence-bounded adaptive sampling
+(:mod:`repro.mc`): each cell stops as soon as the 95 % confidence
+interval on its yield has the requested half-width, or when the
+``--max-instances`` cap is spent.  See ``docs/monte_carlo.md``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments import registry, run_experiment
-from repro.experiments.base import accepts_seed, accepts_sweep
+from repro.experiments.base import accepts_adaptive, accepts_seed, accepts_sweep
 from repro.sweep import SweepConfig, SweepOrchestrator, jsonable
 
 __all__ = ["main"]
@@ -64,6 +70,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="RNG seed threaded into the Monte-Carlo experiments (fig15, "
         "fig15_mc, fig50_51_mc) in place of their built-in default; "
         "experiments without randomness ignore it",
+    )
+    parser.add_argument(
+        "--precision",
+        type=float,
+        metavar="FLOAT",
+        help="adaptive Monte-Carlo: replace the fixed per-cell instance "
+        "counts of fig15/fig15_mc/fig50_51_mc with confidence-bounded "
+        "sampling that stops once the 95 %% CI on each cell's yield has "
+        "this half-width (e.g. 0.02); other experiments ignore it",
+    )
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        metavar="N",
+        help="hard per-cell sample cap for --precision (default: 4x the "
+        "experiment's fixed instance count); requires --precision",
     )
     parser.add_argument(
         "--workers",
@@ -117,6 +139,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("--prune-cache requires --cache-dir", file=sys.stderr)
         return 2
 
+    if args.precision is not None and not 0.0 < args.precision < 0.5:
+        print(
+            f"--precision must be in (0, 0.5), got {args.precision}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.max_instances is not None:
+        if args.precision is None:
+            print("--max-instances requires --precision", file=sys.stderr)
+            return 2
+        if args.max_instances < 1:
+            print(
+                f"--max-instances must be >= 1, got {args.max_instances}",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.json is not None and not args.force and os.path.exists(args.json):
         print(
             f"refusing to overwrite existing {args.json}; pass --force to "
@@ -148,6 +188,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+    if args.precision is not None:
+        ignoring = [name for name in selected if not accepts_adaptive(name)]
+        if ignoring:
+            print(
+                f"--precision only reaches the Monte-Carlo experiments; "
+                f"ignored by: {', '.join(ignoring)}",
+                file=sys.stderr,
+            )
+
     sweep = None
     if args.workers > 1 or args.cache_dir is not None:
         ignoring = [name for name in selected if not accepts_sweep(name)]
@@ -173,7 +222,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         for experiment_id in selected:
             try:
-                result = run_experiment(experiment_id, seed=args.seed, sweep=sweep)
+                result = run_experiment(
+                    experiment_id,
+                    seed=args.seed,
+                    sweep=sweep,
+                    precision=args.precision,
+                    max_instances=args.max_instances,
+                )
             except Exception as error:  # noqa: BLE001 - report and keep going
                 failures.append(experiment_id)
                 print(

@@ -1,0 +1,573 @@
+"""Streaming Monte-Carlo engine with confidence-bounded adaptive stopping.
+
+Every Monte-Carlo study in the repo used to burn a fixed instance count per
+cell -- 128 or 1000 samples whether the yield was pinned at 100 % or
+teetering at a corner.  This module turns those fixed budgets into
+precision targets: draw variation batches in *chunks*, fold each chunk
+through the vectorized engines, maintain running pass/fail statistics, and
+stop as soon as the confidence interval on the primary yield is tight
+enough (or a hard sample cap is hit).
+
+The pieces are deliberately generic -- nothing here knows about delay
+lines or buck converters:
+
+* :func:`wilson_interval` / :func:`clopper_pearson_interval` -- binomial
+  confidence intervals on a yield.  Wilson is the default (tight, well
+  behaved at the 0 %/100 % edges); Clopper-Pearson is the conservative
+  exact alternative.  Both are implemented on the standard library alone
+  (no scipy at runtime) and cross-checked against scipy in the test suite.
+* :class:`RunningMoments` -- streaming mean/variance via Welford's
+  algorithm with Chan's parallel merge for whole-chunk updates, plus
+  running min/max.  Continuous statistics (limit-cycle amplitude, INL)
+  stream through these so no per-instance history is retained.
+* :func:`adaptive_sample` -- the engine: repeatedly calls a chunk-drawing
+  function with ``(first_instance, count)`` coordinates, folds the
+  returned :class:`SampleChunk` into the running statistics, and stops on
+  precision or on the cap, reporting an :class:`AdaptiveSampleResult`.
+
+Chunked seeding is the caller's contract: the chunk function must derive
+instance ``i``'s randomness from a per-instance stream (e.g.
+``np.random.default_rng((seed, i))``), so the same seed yields the same
+sample stream regardless of chunk size.  The repo's variation models
+honour this (see :meth:`repro.technology.variation.VariationModel.sample`
+and :meth:`repro.core.yield_analysis.ComponentVariation.sample_instances`),
+which is what makes chunked and one-shot adaptive runs bit-identical --
+hypothesis-tested in ``tests/test_mc.py``.
+
+Example -- a synthetic 97 %-yield process stops long before a 4096-sample
+cap once the 95 % Wilson interval is +/- 2 % tight:
+
+    >>> import numpy as np
+    >>> from repro.mc import SampleChunk, adaptive_sample
+    >>> def draw(first_instance, count):
+    ...     passes = np.array([
+    ...         np.random.default_rng((7, i)).uniform() < 0.97
+    ...         for i in range(first_instance, first_instance + count)
+    ...     ])
+    ...     return SampleChunk(passes={"yield": passes},
+    ...                        values={"score": passes.astype(float)})
+    >>> result = adaptive_sample(draw, primary="yield", precision=0.02,
+    ...                          chunk_size=64, max_samples=4096)
+    >>> result.stop_reason
+    'precision'
+    >>> result.trials
+    320
+    >>> result.intervals["yield"].half_width <= 0.02
+    True
+    >>> round(result.estimates["yield"], 3)
+    0.969
+
+and the same seed gives the same stream at any chunk size:
+
+    >>> chunked = adaptive_sample(draw, primary="yield", precision=0.0,
+    ...                           chunk_size=17, max_samples=320)
+    >>> chunked.successes["yield"] == result.successes["yield"]
+    True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "AdaptiveSampleResult",
+    "ConfidenceInterval",
+    "RunningMoments",
+    "SampleChunk",
+    "adaptive_sample",
+    "clopper_pearson_interval",
+    "interval_function",
+    "normal_ppf",
+    "wilson_interval",
+]
+
+
+# --------------------------------------------------------------------------
+# Confidence intervals on a binomial proportion (standard library only).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval on a proportion.
+
+    Attributes:
+        lower / upper: interval bounds, clipped to ``[0, 1]``.
+        confidence: the two-sided confidence level the bounds realize.
+    """
+
+    lower: float
+    upper: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lower <= self.upper <= 1.0:
+            raise ValueError(
+                f"bounds must satisfy 0 <= lower <= upper <= 1; "
+                f"got [{self.lower}, {self.upper}]"
+            )
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width -- the adaptive engine's precision measure."""
+        return 0.5 * (self.upper - self.lower)
+
+    def contains(self, proportion: float) -> bool:
+        return self.lower <= proportion <= self.upper
+
+
+def normal_ppf(quantile: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Refined with one Halley step against the exact :func:`math.erf` CDF, so
+    the result is accurate to machine precision -- cross-checked against
+    ``scipy.stats.norm.ppf`` in the tests.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1); got {quantile}")
+    # Acklam's coefficients.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if quantile < p_low:
+        q = math.sqrt(-2.0 * math.log(quantile))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    elif quantile <= 1.0 - p_low:
+        q = quantile - 0.5
+        r = q * q
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    else:
+        q = math.sqrt(-2.0 * math.log(1.0 - quantile))
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    # One Halley refinement step against the exact CDF.
+    error = 0.5 * math.erfc(-x / math.sqrt(2.0)) - quantile
+    u = error * math.sqrt(2.0 * math.pi) * math.exp(0.5 * x * x)
+    return x - u / (1.0 + 0.5 * x * u)
+
+
+def _validate_counts(successes: int, trials: int, confidence: float) -> None:
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1; got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}]; got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1); got {confidence}")
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval on a binomial proportion.
+
+    The default interval of the adaptive engine: unlike the normal
+    (Wald) approximation it never collapses to zero width at 0 %/100 %
+    observed yield, so "all passed so far" still carries honest
+    uncertainty -- exactly the regime high-yield cells live in.
+    """
+    _validate_counts(successes, trials, confidence)
+    z = normal_ppf(0.5 * (1.0 + confidence))
+    phat = successes / trials
+    z2_n = z * z / trials
+    denominator = 1.0 + z2_n
+    center = (phat + 0.5 * z2_n) / denominator
+    margin = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + 0.25 * z2_n / trials)
+        / denominator
+    )
+    # At the boundaries the closed form is exactly 0/1; pin it so float
+    # round-off cannot leak an epsilon past the estimate.
+    return ConfidenceInterval(
+        lower=0.0 if successes == 0 else max(0.0, center - margin),
+        upper=1.0 if successes == trials else min(1.0, center + margin),
+        confidence=confidence,
+    )
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued fraction for the regularized incomplete beta (NR's betacf)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            return h
+    return h  # pragma: no cover - 200 iterations always converge for our a, b
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """The regularized incomplete beta function I_x(a, b) (the Beta CDF)."""
+    if a <= 0 or b <= 0:
+        raise ValueError("shape parameters must be positive")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    )
+    front = math.exp(log_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def _beta_quantile(probability: float, a: float, b: float) -> float:
+    """Inverse Beta CDF by bisection (monotone, so always converges)."""
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1); got {probability}")
+    low, high = 0.0, 1.0
+    for _ in range(100):
+        mid = 0.5 * (low + high)
+        if regularized_incomplete_beta(a, b, mid) < probability:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Clopper-Pearson ("exact") interval on a binomial proportion.
+
+    Guaranteed coverage at the cost of width -- the conservative choice
+    when a yield number feeds a ship/no-ship decision.  The Beta quantiles
+    are computed from the regularized incomplete beta function, so no
+    scipy is needed at runtime.
+    """
+    _validate_counts(successes, trials, confidence)
+    alpha = 1.0 - confidence
+    lower = (
+        0.0
+        if successes == 0
+        else _beta_quantile(0.5 * alpha, successes, trials - successes + 1)
+    )
+    upper = (
+        1.0
+        if successes == trials
+        else _beta_quantile(1.0 - 0.5 * alpha, successes + 1, trials - successes)
+    )
+    return ConfidenceInterval(lower=lower, upper=upper, confidence=confidence)
+
+
+#: Named interval methods the adaptive engine accepts.
+_INTERVAL_METHODS: dict[str, Callable[[int, int, float], ConfidenceInterval]] = {
+    "wilson": wilson_interval,
+    "clopper_pearson": clopper_pearson_interval,
+}
+
+
+def interval_function(method: str) -> Callable[[int, int, float], ConfidenceInterval]:
+    """Resolve an interval method name (``"wilson"``/``"clopper_pearson"``)."""
+    try:
+        return _INTERVAL_METHODS[method]
+    except KeyError:
+        known = ", ".join(sorted(_INTERVAL_METHODS))
+        raise ValueError(
+            f"unknown interval method {method!r}; known methods: {known}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Streaming moments (Welford + Chan merge).
+# --------------------------------------------------------------------------
+
+
+class RunningMoments:
+    """Streaming mean/variance/extrema of a value stream.
+
+    Scalar updates use Welford's algorithm; whole-chunk updates
+    (:meth:`extend`) compute the chunk's moments vectorized and fold them
+    in with Chan et al.'s parallel-merge formula, so a chunked stream costs
+    one numpy pass per chunk and the result is independent of how the
+    stream was chunked (up to float round-off).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one scalar observation into the stream."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values) -> None:
+        """Fold a whole chunk of observations into the stream."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        chunk_count = int(values.size)
+        chunk_mean = float(values.mean())
+        chunk_m2 = float(((values - chunk_mean) ** 2).sum())
+        delta = chunk_mean - self.mean
+        total = self.count + chunk_count
+        self._m2 += chunk_m2 + delta * delta * self.count * chunk_count / total
+        self.mean += delta * chunk_count / total
+        self.count = total
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    def variance(self, ddof: int = 0) -> float:
+        """Variance of the stream so far (``ddof=1`` for the sample variance)."""
+        if self.count <= ddof:
+            return math.nan
+        return self._m2 / (self.count - ddof)
+
+    def std(self, ddof: int = 0) -> float:
+        variance = self.variance(ddof)
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    def summary(self) -> dict[str, float]:
+        """Mean/std/min/max/count as a plain JSON-able dict."""
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else math.nan,
+            "std": self.std(),
+            "min": self.minimum if self.count else math.nan,
+            "max": self.maximum if self.count else math.nan,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"RunningMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std():.6g})"
+        )
+
+
+# --------------------------------------------------------------------------
+# The adaptive sampling engine.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleChunk:
+    """What one drawn chunk contributed to the running statistics.
+
+    Attributes:
+        passes: mapping of statistic name to a per-instance boolean array
+            (one entry per instance of the chunk).  Every named statistic
+            accumulates its own success count and confidence interval; the
+            engine's stopping rule watches the *primary* one.
+        values: mapping of metric name to a per-instance float array;
+            each streams through a :class:`RunningMoments`.
+    """
+
+    passes: Mapping[str, np.ndarray]
+    values: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AdaptiveSampleResult:
+    """Outcome of one adaptive sampling run.
+
+    Attributes:
+        primary: name of the pass statistic that drove the stopping rule.
+        trials: total instances drawn.
+        chunks: number of chunks drawn.
+        stop_reason: ``"precision"`` (the primary interval's half-width hit
+            the target) or ``"max_samples"`` (the cap was exhausted first).
+        successes: per-statistic success counts.
+        estimates: per-statistic maximum-likelihood yields
+            (``successes / trials``).
+        intervals: per-statistic confidence intervals (same method and
+            confidence for all).
+        moments: per-metric streaming moments.
+        precision / confidence / method / max_samples / chunk_size: the
+            configuration the run used.
+    """
+
+    primary: str
+    trials: int
+    chunks: int
+    stop_reason: str
+    successes: dict[str, int]
+    estimates: dict[str, float]
+    intervals: dict[str, ConfidenceInterval]
+    moments: dict[str, RunningMoments]
+    precision: float
+    confidence: float
+    method: str
+    max_samples: int
+    chunk_size: int
+
+    @property
+    def estimate(self) -> float:
+        """The primary statistic's maximum-likelihood yield."""
+        return self.estimates[self.primary]
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """The primary statistic's confidence interval."""
+        return self.intervals[self.primary]
+
+
+def adaptive_sample(
+    draw: Callable[[int, int], SampleChunk],
+    *,
+    primary: str,
+    precision: float,
+    confidence: float = 0.95,
+    max_samples: int = 4096,
+    chunk_size: int = 64,
+    min_samples: int | None = None,
+    method: str = "wilson",
+) -> AdaptiveSampleResult:
+    """Draw chunks until the primary yield's confidence interval is tight.
+
+    Args:
+        draw: chunk function mapping ``(first_instance, count)`` to a
+            :class:`SampleChunk` covering instances ``first_instance ..
+            first_instance + count - 1``.  It must derive instance ``i``'s
+            randomness from a per-instance stream so the sample stream is
+            independent of the chunking.
+        primary: name of the pass statistic the stopping rule watches.
+        precision: target half-width of the primary confidence interval;
+            ``0.0`` disables early stopping (the run always exhausts the
+            cap -- useful for chunk-invariance testing).
+        confidence: two-sided confidence level of all intervals.
+        max_samples: hard cap on total instances; the final chunk is
+            clipped so the cap is met exactly.
+        chunk_size: instances per chunk.
+        min_samples: instances required before the stopping rule may fire
+            (defaults to one chunk); prevents a lucky first handful of
+            passes from stopping a run that has seen nothing yet.
+        method: interval method, ``"wilson"`` or ``"clopper_pearson"``.
+
+    Returns:
+        an :class:`AdaptiveSampleResult`; ``result.trials`` is the spent
+        sample budget, the quantity the adaptive engine exists to shrink.
+    """
+    if precision < 0:
+        raise ValueError(f"precision must be non-negative; got {precision}")
+    if max_samples < 1:
+        raise ValueError(f"max_samples must be >= 1; got {max_samples}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1); got {confidence}")
+    if min_samples is None:
+        min_samples = min(chunk_size, max_samples)
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1; got {min_samples}")
+    interval_of = interval_function(method)
+
+    successes: dict[str, int] = {}
+    moments: dict[str, RunningMoments] = {}
+    trials = 0
+    chunks = 0
+    stop_reason = "max_samples"
+    while trials < max_samples:
+        count = min(chunk_size, max_samples - trials)
+        chunk = draw(trials, count)
+        if primary not in chunk.passes:
+            raise ValueError(
+                f"chunk has no primary pass statistic {primary!r}; "
+                f"got {sorted(chunk.passes)}"
+            )
+        if chunks and set(chunk.passes) != set(successes):
+            raise ValueError(
+                f"chunk pass statistics changed mid-run: "
+                f"{sorted(chunk.passes)} vs {sorted(successes)}"
+            )
+        if chunks and set(chunk.values) != set(moments):
+            raise ValueError(
+                f"chunk value streams changed mid-run: "
+                f"{sorted(chunk.values)} vs {sorted(moments)}"
+            )
+        for name, flags in chunk.passes.items():
+            flags = np.asarray(flags, dtype=bool)
+            if flags.shape != (count,):
+                raise ValueError(
+                    f"pass statistic {name!r} has shape {flags.shape}; "
+                    f"expected ({count},)"
+                )
+            successes[name] = successes.get(name, 0) + int(flags.sum())
+        for name, stream in chunk.values.items():
+            stream = np.asarray(stream, dtype=float)
+            if stream.shape != (count,):
+                raise ValueError(
+                    f"value stream {name!r} has shape {stream.shape}; "
+                    f"expected ({count},)"
+                )
+            moments.setdefault(name, RunningMoments()).extend(stream)
+        trials += count
+        chunks += 1
+        if trials >= min_samples and precision > 0.0:
+            interval = interval_of(successes[primary], trials, confidence)
+            if interval.half_width <= precision:
+                stop_reason = "precision"
+                break
+
+    return AdaptiveSampleResult(
+        primary=primary,
+        trials=trials,
+        chunks=chunks,
+        stop_reason=stop_reason,
+        successes=dict(successes),
+        estimates={name: count / trials for name, count in successes.items()},
+        intervals={
+            name: interval_of(count, trials, confidence)
+            for name, count in successes.items()
+        },
+        moments=moments,
+        precision=precision,
+        confidence=confidence,
+        method=method,
+        max_samples=max_samples,
+        chunk_size=chunk_size,
+    )

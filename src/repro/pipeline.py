@@ -34,6 +34,36 @@ perf-gates (>= 10x at bit-exact steady-state agreement).
 Scoring lives next door: :func:`repro.core.yield_analysis.closed_loop_yield`
 runs this pipeline and composes the :class:`LinearitySpec` and
 :class:`RegulationSpec` pass/fail frameworks into one fused yield number.
+
+For adaptive Monte-Carlo (:mod:`repro.mc`) the pipeline also exposes a
+*chunked* entry point: :class:`ChunkedSiliconToRegulation` runs the design
+procedure once and then fabricates → calibrates → converts → regulates any
+instance range on demand, so a streaming sampler can grow the population
+chunk by chunk without re-running the design.  Because every variation
+model keys instance ``i``'s randomness on ``i`` itself, chunked runs are
+bit-identical to slicing one big run -- the contract the adaptive engine's
+reproducibility rests on.
+
+Example -- design once, fabricate in chunks, and the chunks tile the same
+population a one-shot fabrication draws:
+
+    >>> import numpy as np
+    >>> from repro.core.design import DesignSpec
+    >>> from repro.pipeline import ChunkedSiliconToRegulation
+    >>> from repro.technology.variation import VariationModel
+    >>> spec = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=4)
+    >>> chunked = ChunkedSiliconToRegulation(
+    ...     "proposed", spec, variation=VariationModel(seed=5))
+    >>> first = chunked.run_chunk(0, 2, periods=40)
+    >>> second = chunked.run_chunk(2, 2, periods=40)
+    >>> one_shot = chunked.run_chunk(0, 4, periods=40)
+    >>> bool(np.array_equal(
+    ...     np.concatenate([first.steady_state_voltages_v(),
+    ...                     second.steady_state_voltages_v()]),
+    ...     one_shot.steady_state_voltages_v()))
+    True
+    >>> one_shot.num_instances
+    4
 """
 
 from __future__ import annotations
@@ -63,11 +93,66 @@ from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import VariationModel
 
 __all__ = [
+    "ChunkedFabricator",
+    "ChunkedSiliconToRegulation",
     "PipelineResult",
     "SiliconToRegulationPipeline",
     "closed_loop_cell",
     "fabricate_ensemble",
 ]
+
+
+class ChunkedFabricator:
+    """Design a scheme once, then fabricate instance ranges on demand.
+
+    The paper's design procedure (:mod:`repro.core.design`) is deterministic
+    in the specification, so a streaming Monte-Carlo run only needs it
+    *once*; every subsequent chunk is just a variation draw over the stored
+    line configuration.  Because :meth:`VariationModel.sample` keys instance
+    ``i``'s randomness on ``i`` itself, :meth:`fabricate` over
+    ``[first_instance, first_instance + count)`` is bit-identical to the
+    matching slice of one big fabrication -- the chunking contract of
+    :mod:`repro.mc`.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        spec: DesignSpec,
+        variation: VariationModel | None = None,
+        library: TechnologyLibrary | None = None,
+    ) -> None:
+        self.library = library or intel32_like_library()
+        if scheme == "proposed":
+            designed = design_proposed(spec, self.library)
+            self._ensemble_cls = ProposedEnsemble
+        elif scheme == "conventional":
+            designed = design_conventional(spec, self.library)
+            self._ensemble_cls = ConventionalEnsemble
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.config = designed.build_line(library=self.library).config
+        self.scheme = scheme
+        self.spec = spec
+        self.variation = variation
+
+    def fabricate(
+        self, num_instances: int, first_instance: int = 0
+    ) -> DelayLineEnsemble:
+        """Draw the post-APR instances ``first_instance .. +num_instances``."""
+        if num_instances < 1:
+            raise ValueError("need at least one instance")
+        if self.variation is None:
+            return self._ensemble_cls(
+                self.config, library=self.library, num_instances=num_instances
+            )
+        return self._ensemble_cls.sample(
+            self.config,
+            num_instances,
+            self.variation,
+            library=self.library,
+            first_instance=first_instance,
+        )
 
 
 def fabricate_ensemble(
@@ -83,25 +168,30 @@ def fabricate_ensemble(
     Runs the paper's design procedure (:mod:`repro.core.design`) for the
     requested scheme, then samples ``num_instances`` post-APR instances from
     the variation model as one batch.  ``variation=None`` fabricates ideal
-    (mismatch-free) silicon: every instance is the nominal line.
+    (mismatch-free) silicon: every instance is the nominal line.  (One-shot
+    convenience over :class:`ChunkedFabricator`.)
     """
-    if num_instances < 1:
-        raise ValueError("need at least one instance")
-    library = library or intel32_like_library()
-    if scheme == "proposed":
-        config = design_proposed(spec, library).build_line(library=library).config
-        cls = ProposedEnsemble
-    elif scheme == "conventional":
-        config = design_conventional(spec, library).build_line(library=library).config
-        cls = ConventionalEnsemble
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    if variation is None:
-        return cls(config, library=library, num_instances=num_instances)
-    return cls.sample(
-        config, num_instances, variation, library=library,
-        first_instance=first_instance,
+    fabricator = ChunkedFabricator(
+        scheme, spec, variation=variation, library=library
     )
+    return fabricator.fabricate(num_instances, first_instance=first_instance)
+
+
+def _resolve_nominal(
+    nominal: BuckParameters | None, spec: DesignSpec
+) -> BuckParameters:
+    """Default the electrical nominals and enforce the shared clock."""
+    if nominal is None:
+        return BuckParameters(switching_frequency_hz=spec.clock_frequency_mhz * 1e6)
+    if not np.isclose(
+        nominal.switching_frequency_hz, spec.clock_frequency_mhz * 1e6
+    ):
+        raise ValueError(
+            "the DPWM and the power stage share one switching clock: "
+            f"spec says {spec.clock_frequency_mhz} MHz, nominal "
+            f"parameters say {nominal.switching_frequency_hz / 1e6} MHz"
+        )
+    return nominal
 
 
 @dataclass(frozen=True)
@@ -199,19 +289,7 @@ class SiliconToRegulationPipeline:
         self.library = library or intel32_like_library()
         self.conditions = conditions or OperatingConditions.typical()
         self.spec = spec
-        if nominal is None:
-            nominal = BuckParameters(
-                switching_frequency_hz=spec.clock_frequency_mhz * 1e6
-            )
-        if not np.isclose(
-            nominal.switching_frequency_hz, spec.clock_frequency_mhz * 1e6
-        ):
-            raise ValueError(
-                "the DPWM and the power stage share one switching clock: "
-                f"spec says {spec.clock_frequency_mhz} MHz, nominal "
-                f"parameters say {nominal.switching_frequency_hz / 1e6} MHz"
-            )
-        self.nominal = nominal
+        self.nominal = nominal = _resolve_nominal(nominal, spec)
         self.ensemble = fabricate_ensemble(
             scheme,
             spec,
@@ -264,6 +342,85 @@ class SiliconToRegulationPipeline:
             calibration=self.calibration,
             curves=self.curves,
             regulation=regulation,
+        )
+
+
+class ChunkedSiliconToRegulation:
+    """The pipeline's chunked entry point for streaming Monte-Carlo.
+
+    :class:`SiliconToRegulationPipeline` fabricates its whole population in
+    the constructor -- the right shape for a fixed-N run.  A streaming
+    sampler (:mod:`repro.mc`) instead grows the population until a
+    confidence target is met, so this variant runs the (deterministic)
+    design procedure once and defers all fabrication to :meth:`run_chunk`,
+    which takes an explicit instance range.  Chunk boundaries never change
+    the sample stream:
+
+    * the silicon mismatch of instance ``i`` comes from
+      :meth:`VariationModel.sample`'s per-instance RNG stream, and
+    * the electrical spread of instance ``i`` comes from
+      :meth:`ComponentVariation.sample_instances`'s per-instance stream
+      (*not* the one-shot :meth:`~ComponentVariation.sample_batch` stream
+      the fixed-N pipeline draws -- the two paths are different, equally
+      valid populations),
+
+    so ``run_chunk(0, n)`` equals the concatenation of any chunking of
+    ``[0, n)`` bit for bit -- hypothesis-tested in ``tests/test_pipeline.py``.
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        spec: DesignSpec,
+        conditions: OperatingConditions | None = None,
+        *,
+        variation: VariationModel | None = None,
+        nominal: BuckParameters | None = None,
+        reference_v: float = 0.9,
+        component_variation: ComponentVariation | None = None,
+        load=None,
+        library: TechnologyLibrary | None = None,
+    ) -> None:
+        self.fabricator = ChunkedFabricator(
+            scheme, spec, variation=variation, library=library
+        )
+        self.library = self.fabricator.library
+        self.conditions = conditions or OperatingConditions.typical()
+        self.spec = spec
+        self.scheme = scheme
+        self.nominal = _resolve_nominal(nominal, spec)
+        self.reference_v = reference_v
+        self.component_variation = component_variation
+        self.load = load
+
+    def run_chunk(
+        self, first_instance: int, num_instances: int, periods: int = 300
+    ) -> PipelineResult:
+        """Fabricate and regulate instances ``first_instance .. +num_instances``."""
+        ensemble = self.fabricator.fabricate(
+            num_instances, first_instance=first_instance
+        )
+        calibration = ensemble.lock(self.conditions)
+        curves = ensemble.transfer_curves(self.conditions, calibration=calibration)
+        quantizer = BatchQuantizer.from_ensemble(curves)
+        if self.component_variation is None:
+            parameters = BatchBuckParameters.uniform(self.nominal, num_instances)
+        else:
+            parameters = self.component_variation.sample_instances(
+                self.nominal, num_instances, first_instance=first_instance
+            )
+        loop = BatchClosedLoop(
+            parameters,
+            quantizer,
+            reference_v=self.reference_v,
+            load=self.load,
+        )
+        return PipelineResult(
+            scheme=ensemble.scheme,
+            reference_v=self.reference_v,
+            calibration=calibration,
+            curves=curves,
+            regulation=loop.run(periods),
         )
 
 

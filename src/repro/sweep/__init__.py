@@ -20,6 +20,14 @@ Experiments opt in by exposing a module-level cell function plus a grid and
 routing through :func:`~repro.sweep.orchestrator.sweep_map`; the CLI flags
 ``--workers`` and ``--cache-dir`` (see :mod:`repro.experiments.runner`)
 thread an orchestrator into every sweep-enabled experiment of a run.
+
+Adaptive Monte-Carlo cells (:mod:`repro.mc`, the CLI's ``--precision``)
+need no special handling here: the adaptive coordinates (``precision``,
+``max_instances``) join the cell's parameter dict via
+:meth:`ParameterGrid.cells`, so they are part of the content address --
+fixed-N and adaptive results never collide, a warm adaptive re-run with
+the same ``(seed, precision, cap)`` triple is bit-identical, and changing
+any of the three recomputes the cell.
 """
 
 from repro.sweep.cache import (

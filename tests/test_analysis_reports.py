@@ -1,0 +1,104 @@
+"""Direct tests for the plain-text report formatters.
+
+``format_table`` / ``format_series`` render every experiment's output, but
+until now they were only exercised indirectly through the experiment
+harnesses -- which never hit the edge cases (empty row lists, non-string
+cells, ragged rows, subsampled series).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reports import format_series, format_table
+
+
+class TestFormatTable:
+    def test_aligns_columns_to_the_widest_cell(self):
+        text = format_table(
+            headers=["Name", "Value"],
+            rows=[["a", 1], ["longer-name", 22]],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Name        | Value"
+        assert lines[1] == "------------+------"
+        assert lines[2] == "a           | 1    "
+        assert lines[3] == "longer-name | 22   "
+        # Every rendered line has the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_is_the_first_line(self):
+        text = format_table(headers=["H"], rows=[["x"]], title="The title")
+        assert text.splitlines()[0] == "The title"
+
+    def test_empty_rows_render_headers_and_rule_only(self):
+        text = format_table(headers=["A", "B"], rows=[])
+        lines = text.splitlines()
+        assert lines == ["A | B", "--+--"]
+
+    def test_non_string_cells_are_stringified(self):
+        text = format_table(
+            headers=["Kind", "Value"],
+            rows=[
+                ["float", 0.123456],
+                ["int", 7],
+                ["bool", True],
+                ["none", None],
+            ],
+        )
+        assert "0.123" in text  # floats render through %.3g
+        assert "7" in text
+        assert "True" in text
+        assert "None" in text
+
+    def test_float_cells_use_general_format(self):
+        text = format_table(headers=["V"], rows=[[1234567.0], [0.000012345]])
+        assert "1.23e+06" in text
+        assert "1.23e-05" in text
+
+    def test_header_cell_count_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="row 1 has 1 cells"):
+            format_table(headers=["A", "B"], rows=[["x", "y"], ["only-one"]])
+
+    def test_header_wider_than_cells_sets_the_width(self):
+        text = format_table(headers=["Wide header"], rows=[["x"]])
+        lines = text.splitlines()
+        assert lines[1] == "-" * len("Wide header")
+        assert lines[2] == "x".ljust(len("Wide header"))
+
+
+class TestFormatSeries:
+    def test_renders_shared_x_axis(self):
+        text = format_series(
+            x_label="t",
+            x_values=[0, 1, 2],
+            series={"a": [1.0, 2.0, 3.0], "b": [9.0, 8.0, 7.0]},
+        )
+        lines = text.splitlines()
+        assert lines[0].split(" | ") == ["t", "a", "b"]
+        assert len(lines) == 2 + 3
+
+    def test_length_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="series 'a' has 2 points"):
+            format_series("x", [1, 2, 3], {"a": [1.0, 2.0]})
+
+    def test_max_rows_subsamples_but_keeps_the_last_point(self):
+        x_values = list(range(100))
+        text = format_series(
+            "x", x_values, {"y": [float(x) for x in x_values]}, max_rows=10
+        )
+        lines = text.splitlines()
+        # Subsampled well below 100 rows, but the final x value survives.
+        assert len(lines) < 20
+        assert lines[-1].startswith("99")
+
+    def test_max_rows_larger_than_series_keeps_everything(self):
+        text = format_series("x", [1, 2], {"y": [1.0, 2.0]}, max_rows=50)
+        assert len(text.splitlines()) == 4  # header + rule + both rows
+
+    def test_empty_series_mapping_renders_x_only(self):
+        text = format_series("x", [1, 2], {})
+        lines = text.splitlines()
+        assert lines[0] == "x"
+        assert lines[2] == "1"
+        assert lines[3] == "2"

@@ -1,10 +1,12 @@
 """Docs stay in lockstep with the code.
 
-Two enforcement points: the module docstrings of the three hot engines
-carry *runnable* doctest examples (exercised here and by the CI docs job
-via ``pytest --doctest-modules``), and ``docs/experiments.md`` must list
-every id in the experiment registry -- adding an experiment without
-documenting it fails the suite.
+Three enforcement points: the module docstrings of the hot engines carry
+*runnable* doctest examples (exercised here and by the CI docs job via
+``pytest --doctest-modules``), ``docs/experiments.md`` must list every id
+in the experiment registry, and every CLI flag the catalog documents must
+exist in the runner's argparse spec -- and vice versa.  Adding an
+experiment or a flag without documenting it (or documenting one that does
+not exist) fails the suite.
 """
 
 from __future__ import annotations
@@ -17,17 +19,22 @@ import pytest
 
 import repro.core.ensemble
 import repro.core.yield_analysis
+import repro.mc
+import repro.pipeline
 import repro.simulation.batch
 from repro.experiments import registry
+from repro.experiments.runner import _build_parser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
 
-#: The three hot modules whose docstrings must carry runnable examples.
+#: The hot modules whose docstrings must carry runnable examples.
 DOCTEST_MODULES = [
     repro.simulation.batch,
     repro.core.ensemble,
     repro.core.yield_analysis,
+    repro.pipeline,
+    repro.mc,
 ]
 
 
@@ -56,6 +63,37 @@ def test_experiment_catalog_lists_every_registered_id():
     assert not stale, f"docs/experiments.md documents unknown ids: {stale}"
 
 
+def _cli_flags() -> set[str]:
+    """Every ``--flag`` the runner's argparse spec actually accepts."""
+    flags: set[str] = set()
+    for action in _build_parser()._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                flags.add(option)
+    return flags
+
+
+def _documented_flags() -> set[str]:
+    """Every ``--flag`` mentioned anywhere in ``docs/experiments.md``."""
+    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    return set(re.findall(r"(?<![\w-])--[a-z][a-z0-9-]+", text))
+
+
+def test_every_documented_cli_flag_exists():
+    unknown = _documented_flags() - _cli_flags()
+    assert not unknown, (
+        f"docs/experiments.md mentions CLI flags the runner does not "
+        f"accept: {sorted(unknown)}"
+    )
+
+
+def test_every_cli_flag_is_documented():
+    missing = _cli_flags() - _documented_flags()
+    assert not missing, (
+        f"runner.py flags missing from docs/experiments.md: {sorted(missing)}"
+    )
+
+
 def test_architecture_doc_names_every_layer():
     text = (DOCS / "architecture.md").read_text(encoding="utf-8")
     for package in (
@@ -65,6 +103,7 @@ def test_architecture_doc_names_every_layer():
         "repro.converter",
         "repro.simulation",
         "repro.pipeline",
+        "repro.mc",
         "repro.sweep",
         "repro.experiments",
         "repro.analysis",
@@ -72,7 +111,21 @@ def test_architecture_doc_names_every_layer():
         assert package in text, f"architecture.md does not mention {package}"
 
 
+def test_monte_carlo_guide_covers_the_adaptive_contract():
+    text = (DOCS / "monte_carlo.md").read_text(encoding="utf-8")
+    for required in (
+        "--precision",
+        "--max-instances",
+        "Wilson",
+        "Clopper-Pearson",
+        "chunk",
+        "seed",
+    ):
+        assert required in text, f"monte_carlo.md does not cover {required!r}"
+
+
 def test_readme_links_to_the_docs():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/architecture.md" in text
     assert "docs/experiments.md" in text
+    assert "docs/monte_carlo.md" in text

@@ -521,3 +521,127 @@ class TestRunnerCLI:
     def test_prune_cache_requires_cache_dir(self, capsys):
         assert runner_main(["design_example", "--prune-cache"]) == 2
         assert "--prune-cache requires --cache-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-0.1", "0.5", "1.0"])
+    def test_precision_out_of_range_rejected(self, capsys, value):
+        assert runner_main(["fig50_51_mc", "--precision", value]) == 2
+        assert "--precision must be in (0, 0.5)" in capsys.readouterr().err
+
+    def test_max_instances_requires_precision(self, capsys):
+        assert runner_main(["fig50_51_mc", "--max-instances", "100"]) == 2
+        assert "--max-instances requires --precision" in capsys.readouterr().err
+
+    def test_max_instances_below_one_rejected(self, capsys):
+        argv = ["fig50_51_mc", "--precision", "0.02", "--max-instances", "0"]
+        assert runner_main(argv) == 2
+        assert "--max-instances must be >= 1" in capsys.readouterr().err
+
+    def test_precision_threads_into_adaptive_experiments(self, capsys, monkeypatch):
+        from repro.experiments import registry as live_registry
+        from repro.experiments.base import ExperimentResult as Result
+
+        received = {}
+
+        def fake_adaptive(seed=None, precision=None, max_instances=None):
+            received["precision"] = precision
+            received["max_instances"] = max_instances
+            return Result("fake_adaptive", "t", {"p": precision}, "report " + "x" * 40)
+
+        monkeypatch.setitem(live_registry, "fake_adaptive", fake_adaptive)
+        argv = ["fake_adaptive", "--precision", "0.05", "--max-instances", "256"]
+        assert runner_main(argv) == 0
+        assert received == {"precision": 0.05, "max_instances": 256}
+
+    def test_precision_ignored_by_fixed_experiments_with_a_note(self, capsys):
+        assert runner_main(["design_example", "--precision", "0.02"]) == 0
+        captured = capsys.readouterr()
+        assert "--precision only reaches the Monte-Carlo experiments" in captured.err
+        assert "ignored by: design_example" in captured.err
+
+    def test_monte_carlo_experiments_declare_adaptive_support(self):
+        from repro.experiments.base import accepts_adaptive
+
+        for experiment_id in ("fig15", "fig15_mc", "fig50_51_mc"):
+            assert accepts_adaptive(experiment_id), experiment_id
+        for experiment_id in ("table5", "design_example", "fig19"):
+            assert not accepts_adaptive(experiment_id), experiment_id
+
+
+class TestAdaptiveExperiments:
+    """The --precision mode of the three Monte-Carlo experiments."""
+
+    def test_fig50_51_mc_adaptive_reports_confidence_columns(self):
+        result = run_experiment(
+            "fig50_51_mc", precision=0.05, max_instances=192
+        )
+        assert "95 % CI" in result.report
+        assert "adaptive to +/- 0.05" in result.report
+        entry = result.data["proposed"]["fast"][200.0]
+        assert entry["samples"] <= 192
+        assert entry["stop_reason"] in {"precision", "max_samples"}
+        assert entry["ci_lower"] <= entry["linearity_yield"] <= entry["ci_upper"]
+
+    def test_fig50_51_mc_rejects_cap_without_precision(self):
+        with pytest.raises(ValueError, match="only meaningful with a precision"):
+            run_experiment("fig50_51_mc", max_instances=100)
+        from repro.experiments import figure15, figure15_mc
+
+        with pytest.raises(ValueError, match="only meaningful with a precision"):
+            figure15.run(max_instances=100)
+        with pytest.raises(ValueError, match="only meaningful with a precision"):
+            figure15_mc.run(max_instances=100)
+
+    def test_fig15_mc_adaptive_cell_payload(self):
+        from repro.experiments import figure15_mc
+
+        payload = figure15_mc.run_cell(
+            {
+                "scheme": "proposed",
+                "corner": "fast",
+                "frequency_mhz": 100.0,
+                "load": "constant",
+                "seed": 2012,
+                "precision": 0.05,
+                "max_instances": 128,
+            }
+        )
+        assert payload["samples"] <= 128
+        assert payload["ci_lower"] <= payload["closed_loop_yield"]
+        assert payload["closed_loop_yield"] <= payload["ci_upper"]
+        assert payload["mean_limit_cycle_amplitude_v"] >= 0.0
+
+    def test_fig15_adaptive_sections_report_samples(self):
+        result = run_experiment("fig15", precision=0.1, max_instances=64)
+        assert "Samples drawn (adaptive)" in result.report
+        for section in ("monte_carlo", "silicon_monte_carlo"):
+            entry = result.data[section]
+            assert entry["samples"] <= 64
+            assert entry["stop_reason"] in {"precision", "max_samples"}
+        # The deterministic architecture comparison is untouched.
+        assert set(result.data["architectures"]) == {
+            "ideal 6-bit",
+            "calibrated proposed",
+            "calibrated conventional",
+        }
+
+    def test_adaptive_cells_cache_independently_of_fixed_cells(self, tmp_path):
+        from repro.sweep import SweepConfig, SweepOrchestrator
+
+        with SweepOrchestrator(
+            SweepConfig(cache_dir=tmp_path / "cache")
+        ) as sweep:
+            run_experiment(
+                "fig50_51_mc", sweep=sweep, precision=0.05, max_instances=192
+            )
+            cold_misses = sweep.misses
+            assert cold_misses > 0 and sweep.hits == 0
+            # Warm adaptive re-run: every adaptive cell hits.
+            run_experiment(
+                "fig50_51_mc", sweep=sweep, precision=0.05, max_instances=192
+            )
+            assert sweep.hits == cold_misses
+            # A different precision is a different cache key.
+            run_experiment(
+                "fig50_51_mc", sweep=sweep, precision=0.06, max_instances=192
+            )
+            assert sweep.misses == 2 * cold_misses

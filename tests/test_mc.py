@@ -1,0 +1,392 @@
+"""The streaming Monte-Carlo engine: sound statistics, chunk-proof streams.
+
+Three fronts:
+
+* the confidence intervals are statistically correct (cross-checked against
+  scipy where available, plus structural properties via hypothesis),
+* the streaming moments match the batch formulas regardless of chunking,
+* the adaptive sampler stops for the right reasons and -- the load-bearing
+  reproducibility contract -- draws the *same sample stream at any chunk
+  size* when the chunk function keys instance randomness on the instance
+  index.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mc import (
+    AdaptiveSampleResult,
+    ConfidenceInterval,
+    RunningMoments,
+    SampleChunk,
+    adaptive_sample,
+    clopper_pearson_interval,
+    interval_function,
+    normal_ppf,
+    wilson_interval,
+)
+
+
+class TestNormalPpf:
+    def test_median_is_zero(self):
+        assert normal_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        assert normal_ppf(0.975) == pytest.approx(-normal_ppf(0.025), abs=1e-12)
+
+    def test_classic_z_values(self):
+        assert normal_ppf(0.975) == pytest.approx(1.959963984540054, abs=1e-9)
+        assert normal_ppf(0.995) == pytest.approx(2.5758293035489004, abs=1e-9)
+
+    @pytest.mark.parametrize("quantile", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_out_of_range(self, quantile):
+        with pytest.raises(ValueError):
+            normal_ppf(quantile)
+
+    def test_matches_scipy_across_the_range(self):
+        stats = pytest.importorskip("scipy.stats")
+        for quantile in np.linspace(1e-6, 1 - 1e-6, 101):
+            assert normal_ppf(float(quantile)) == pytest.approx(
+                stats.norm.ppf(quantile), abs=1e-9
+            )
+
+
+class TestIntervals:
+    def test_wilson_known_value(self):
+        # 198/200 at 95 %: the canonical worked example.
+        interval = wilson_interval(198, 200)
+        assert interval.lower == pytest.approx(0.96428, abs=1e-4)
+        assert interval.upper == pytest.approx(0.99725, abs=1e-4)
+
+    def test_clopper_pearson_matches_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        for successes, trials in [(0, 10), (1, 10), (5, 10), (9, 10), (10, 10),
+                                  (198, 200), (17, 1000), (999, 1000)]:
+            interval = clopper_pearson_interval(successes, trials)
+            alpha = 0.05
+            expected_lower = (
+                0.0 if successes == 0
+                else stats.beta.ppf(alpha / 2, successes, trials - successes + 1)
+            )
+            expected_upper = (
+                1.0 if successes == trials
+                else stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes)
+            )
+            assert interval.lower == pytest.approx(expected_lower, abs=1e-9)
+            assert interval.upper == pytest.approx(expected_upper, abs=1e-9)
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    def test_all_passed_still_carries_uncertainty(self, method):
+        interval = interval_function(method)(100, 100, 0.95)
+        assert interval.upper == 1.0
+        assert interval.lower < 1.0
+        assert interval.half_width > 0.0
+
+    @given(
+        trials=st.integers(min_value=1, max_value=5000),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+        method=st.sampled_from(["wilson", "clopper_pearson"]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_interval_brackets_the_estimate(
+        self, trials, fraction, confidence, method
+    ):
+        successes = round(fraction * trials)
+        interval = interval_function(method)(successes, trials, confidence)
+        assert 0.0 <= interval.lower <= successes / trials <= interval.upper <= 1.0
+
+    @given(
+        trials=st.integers(min_value=4, max_value=2000),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        method=st.sampled_from(["wilson", "clopper_pearson"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_more_samples_never_widen_the_interval(self, trials, fraction, method):
+        # Scale (successes, trials) by 4 at the same observed proportion:
+        # the interval must tighten (or stay equal).
+        successes = round(fraction * trials)
+        small = interval_function(method)(successes, trials, 0.95)
+        large = interval_function(method)(4 * successes, 4 * trials, 0.95)
+        assert large.half_width <= small.half_width + 1e-12
+
+    def test_clopper_pearson_is_wider_than_wilson_in_the_interior(self):
+        # Clopper-Pearson guarantees coverage by paying width; away from
+        # the 0 %/100 % boundaries its interval is the wider of the two.
+        for successes, trials in [(50, 64), (120, 128), (500, 1000)]:
+            wilson = wilson_interval(successes, trials)
+            exact = clopper_pearson_interval(successes, trials)
+            assert exact.half_width >= wilson.half_width
+
+    @pytest.mark.parametrize(
+        "successes, trials", [(-1, 10), (11, 10), (0, 0), (1, -5)]
+    )
+    def test_rejects_bad_counts(self, successes, trials):
+        with pytest.raises(ValueError):
+            wilson_interval(successes, trials)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown interval method"):
+            interval_function("wald")
+
+    def test_confidence_interval_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(lower=0.9, upper=0.1, confidence=0.95)
+
+
+class TestRunningMoments:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_batch_formulas(self, values):
+        moments = RunningMoments()
+        for value in values:
+            moments.push(value)
+        array = np.asarray(values)
+        scale = max(1.0, float(np.abs(array).max()) ** 2)
+        assert moments.count == len(values)
+        assert moments.mean == pytest.approx(array.mean(), abs=1e-9 * scale)
+        assert moments.variance() == pytest.approx(array.var(), abs=1e-6 * scale)
+        assert moments.minimum == array.min()
+        assert moments.maximum == array.max()
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        split=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_extend_matches_one_shot(self, values, split):
+        split = min(split, len(values))
+        chunked = RunningMoments()
+        chunked.extend(values[:split])
+        chunked.extend(values[split:])
+        one_shot = RunningMoments()
+        one_shot.extend(values)
+        assert chunked.count == one_shot.count == len(values)
+        assert chunked.mean == pytest.approx(one_shot.mean, abs=1e-9)
+        assert chunked.variance() == pytest.approx(one_shot.variance(), abs=1e-6)
+        assert chunked.minimum == one_shot.minimum
+        assert chunked.maximum == one_shot.maximum
+
+    def test_sample_variance_needs_two_points(self):
+        moments = RunningMoments()
+        moments.push(1.0)
+        assert math.isnan(moments.variance(ddof=1))
+        moments.push(2.0)
+        assert moments.variance(ddof=1) == pytest.approx(0.5)
+
+    def test_empty_extend_is_a_no_op(self):
+        moments = RunningMoments()
+        moments.extend([])
+        assert moments.count == 0
+        assert math.isnan(moments.summary()["mean"])
+
+
+def _bernoulli_draw(seed: int, pass_rate: float):
+    """A chunk function whose instance i randomness is keyed on i itself."""
+
+    def draw(first_instance: int, count: int) -> SampleChunk:
+        uniforms = np.array(
+            [
+                np.random.default_rng((seed, i)).uniform()
+                for i in range(first_instance, first_instance + count)
+            ]
+        )
+        return SampleChunk(
+            passes={"yield": uniforms < pass_rate},
+            values={"uniform": uniforms},
+        )
+
+    return draw
+
+
+class TestAdaptiveSample:
+    def test_high_yield_stops_on_precision_long_before_the_cap(self):
+        result = adaptive_sample(
+            _bernoulli_draw(seed=1, pass_rate=0.999),
+            primary="yield",
+            precision=0.02,
+            chunk_size=64,
+            max_samples=4096,
+        )
+        assert isinstance(result, AdaptiveSampleResult)
+        assert result.stop_reason == "precision"
+        assert result.trials < 4096 // 4
+        assert result.interval.half_width <= 0.02
+        assert result.trials == result.chunk_size * result.chunks
+
+    def test_marginal_yield_exhausts_the_cap(self):
+        result = adaptive_sample(
+            _bernoulli_draw(seed=2, pass_rate=0.5),
+            primary="yield",
+            precision=0.001,
+            chunk_size=32,
+            max_samples=200,
+        )
+        assert result.stop_reason == "max_samples"
+        assert result.trials == 200  # the final chunk is clipped to the cap
+        assert result.chunks == math.ceil(200 / 32)
+
+    def test_zero_precision_disables_early_stopping(self):
+        result = adaptive_sample(
+            _bernoulli_draw(seed=3, pass_rate=1.0),
+            primary="yield",
+            precision=0.0,
+            chunk_size=16,
+            max_samples=64,
+        )
+        assert result.stop_reason == "max_samples"
+        assert result.trials == 64
+
+    @given(chunk_size=st.integers(min_value=1, max_value=97))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_size_never_changes_the_sample_stream(self, chunk_size):
+        # Run to a fixed cap with early stopping disabled: every chunking
+        # must see exactly the same instances and therefore the same
+        # successes and value moments.
+        reference = adaptive_sample(
+            _bernoulli_draw(seed=4, pass_rate=0.9),
+            primary="yield",
+            precision=0.0,
+            chunk_size=160,
+            max_samples=160,
+        )
+        chunked = adaptive_sample(
+            _bernoulli_draw(seed=4, pass_rate=0.9),
+            primary="yield",
+            precision=0.0,
+            chunk_size=chunk_size,
+            max_samples=160,
+        )
+        assert chunked.trials == reference.trials == 160
+        assert chunked.successes == reference.successes
+        assert chunked.estimates == reference.estimates
+        assert chunked.moments["uniform"].mean == pytest.approx(
+            reference.moments["uniform"].mean, abs=1e-12
+        )
+        assert chunked.moments["uniform"].minimum == (
+            reference.moments["uniform"].minimum
+        )
+        assert chunked.moments["uniform"].maximum == (
+            reference.moments["uniform"].maximum
+        )
+
+    def test_min_samples_holds_off_the_stopping_rule(self):
+        # With everything passing, one 8-sample chunk would not satisfy a
+        # 0.2 half-width at 95 %, but 8 chunks would; min_samples forces
+        # the engine to keep drawing regardless.
+        result = adaptive_sample(
+            _bernoulli_draw(seed=5, pass_rate=1.0),
+            primary="yield",
+            precision=0.2,
+            chunk_size=8,
+            max_samples=512,
+            min_samples=64,
+        )
+        assert result.trials >= 64
+
+    def test_secondary_statistics_ride_along(self):
+        def draw(first_instance: int, count: int) -> SampleChunk:
+            flags = np.ones(count, dtype=bool)
+            return SampleChunk(
+                passes={"primary": flags, "secondary": ~flags},
+            )
+
+        result = adaptive_sample(
+            draw, primary="primary", precision=0.1, chunk_size=32,
+            max_samples=128,
+        )
+        assert result.estimates["secondary"] == 0.0
+        assert result.intervals["secondary"].lower == 0.0
+        assert result.intervals["secondary"].upper < 1.0
+
+    def test_clopper_pearson_method_is_honoured(self):
+        wilson = adaptive_sample(
+            _bernoulli_draw(seed=6, pass_rate=1.0),
+            primary="yield", precision=0.02, chunk_size=64, max_samples=4096,
+        )
+        exact = adaptive_sample(
+            _bernoulli_draw(seed=6, pass_rate=1.0),
+            primary="yield", precision=0.02, chunk_size=64, max_samples=4096,
+            method="clopper_pearson",
+        )
+        # The conservative interval needs more samples for the same target.
+        assert exact.trials >= wilson.trials
+        assert exact.method == "clopper_pearson"
+
+    def test_missing_primary_statistic_is_an_error(self):
+        def draw(first_instance: int, count: int) -> SampleChunk:
+            return SampleChunk(passes={"other": np.ones(count, dtype=bool)})
+
+        with pytest.raises(ValueError, match="no primary pass statistic"):
+            adaptive_sample(
+                draw, primary="yield", precision=0.1, max_samples=64,
+            )
+
+    def test_wrong_chunk_shape_is_an_error(self):
+        def draw(first_instance: int, count: int) -> SampleChunk:
+            return SampleChunk(passes={"yield": np.ones(count + 1, dtype=bool)})
+
+        with pytest.raises(ValueError, match="shape"):
+            adaptive_sample(
+                draw, primary="yield", precision=0.1, max_samples=64,
+            )
+
+    def test_changing_statistics_mid_run_is_an_error(self):
+        def draw(first_instance: int, count: int) -> SampleChunk:
+            name = "yield" if first_instance == 0 else "renamed"
+            return SampleChunk(
+                passes={"yield": np.ones(count, dtype=bool), name: np.ones(count, dtype=bool)}
+            )
+
+        with pytest.raises(ValueError, match="changed mid-run"):
+            adaptive_sample(
+                draw, primary="yield", precision=0.0, chunk_size=8,
+                max_samples=64,
+            )
+
+    def test_changing_value_streams_mid_run_is_an_error(self):
+        # A value stream that silently vanishes would leave RunningMoments
+        # covering only a subset of the samples; the engine must refuse.
+        def draw(first_instance: int, count: int) -> SampleChunk:
+            values = {"metric": np.zeros(count)} if first_instance == 0 else {}
+            return SampleChunk(
+                passes={"yield": np.ones(count, dtype=bool)}, values=values
+            )
+
+        with pytest.raises(ValueError, match="value streams changed mid-run"):
+            adaptive_sample(
+                draw, primary="yield", precision=0.0, chunk_size=8,
+                max_samples=64,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"precision": -0.1},
+            {"precision": 0.1, "max_samples": 0},
+            {"precision": 0.1, "chunk_size": 0},
+            {"precision": 0.1, "confidence": 1.0},
+            {"precision": 0.1, "min_samples": 0},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            adaptive_sample(
+                _bernoulli_draw(seed=7, pass_rate=1.0), primary="yield", **kwargs
+            )

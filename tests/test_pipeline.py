@@ -27,7 +27,12 @@ from repro.core.yield_analysis import (
     closed_loop_yield,
 )
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
-from repro.pipeline import SiliconToRegulationPipeline, fabricate_ensemble
+from repro.pipeline import (
+    ChunkedFabricator,
+    ChunkedSiliconToRegulation,
+    SiliconToRegulationPipeline,
+    fabricate_ensemble,
+)
 from repro.simulation.batch import BatchQuantizer
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
@@ -153,6 +158,85 @@ class TestFabricateEnsemble:
             fabricate_ensemble("ideal", SPEC, None, 2, LIBRARY)
         with pytest.raises(ValueError, match="at least one instance"):
             fabricate_ensemble("proposed", SPEC, None, 0, LIBRARY)
+
+
+class TestChunkedFabricator:
+    def test_design_runs_once_and_chunks_share_it(self):
+        fabricator = ChunkedFabricator(
+            "proposed", SPEC, variation=VariationModel(seed=2), library=LIBRARY
+        )
+        first = fabricator.fabricate(3)
+        second = fabricator.fabricate(2, first_instance=3)
+        assert first.config == second.config == fabricator.config
+
+    @given(scheme=schemes, split=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=10, deadline=None)
+    def test_chunks_tile_the_one_shot_fabrication(self, scheme, split):
+        fabricator = ChunkedFabricator(
+            scheme, SPEC, variation=VariationModel(seed=4), library=LIBRARY
+        )
+        whole = fabricator.fabricate(8)
+        head = fabricator.fabricate(split)
+        tail = fabricator.fabricate(8 - split, first_instance=split)
+        np.testing.assert_array_equal(
+            whole.batch.multipliers,
+            np.concatenate([head.batch.multipliers, tail.batch.multipliers]),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            ChunkedFabricator("ideal", SPEC, library=LIBRARY)
+        with pytest.raises(ValueError, match="at least one instance"):
+            ChunkedFabricator("proposed", SPEC, library=LIBRARY).fabricate(0)
+
+
+class TestChunkedSiliconToRegulation:
+    @given(
+        scheme=schemes,
+        chunks=st.sampled_from([(6,), (3, 3), (1, 5), (2, 2, 2), (4, 1, 1)]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_chunking_matches_the_one_shot_run(self, scheme, chunks):
+        """The tentpole contract: chunk boundaries never change the stream."""
+        runner = ChunkedSiliconToRegulation(
+            scheme,
+            SPEC,
+            OperatingConditions.typical(),
+            variation=VariationModel(seed=6),
+            component_variation=ComponentVariation(seed=6),
+            library=LIBRARY,
+        )
+        one_shot = runner.run_chunk(0, 6, periods=80)
+        first_instance = 0
+        pieces = []
+        for count in chunks:
+            pieces.append(runner.run_chunk(first_instance, count, periods=80))
+            first_instance += count
+        np.testing.assert_array_equal(
+            one_shot.regulation.output_voltages_v,
+            np.concatenate(
+                [piece.regulation.output_voltages_v for piece in pieces], axis=1
+            ),
+        )
+        np.testing.assert_array_equal(
+            one_shot.calibration.locked,
+            np.concatenate([piece.calibration.locked for piece in pieces]),
+        )
+
+    def test_uniform_parameters_without_component_variation(self):
+        runner = ChunkedSiliconToRegulation(
+            "proposed", SPEC, library=LIBRARY
+        )
+        result = runner.run_chunk(0, 3, periods=40)
+        assert result.num_instances == 3
+        assert result.scheme == "proposed"
+
+    def test_mismatched_switching_frequency_rejected(self):
+        nominal = BuckParameters(switching_frequency_hz=50e6)
+        with pytest.raises(ValueError, match="one switching clock"):
+            ChunkedSiliconToRegulation(
+                "proposed", SPEC, nominal=nominal, library=LIBRARY
+            )
 
 
 class TestPipelineConstruction:
