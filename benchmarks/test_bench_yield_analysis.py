@@ -5,7 +5,6 @@ lists it as the natural ablation of the worst-case design methodology: how
 many of the 256 worst-case cells are actually needed for a given yield.
 """
 
-import pytest
 
 from repro.core.design import DesignSpec, design_proposed
 from repro.core.yield_analysis import YieldModel, cells_for_yield, coverage_yield

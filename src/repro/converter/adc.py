@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["WindowedADC"]
 
@@ -74,7 +75,9 @@ class WindowedADC:
         code = self._unclamped_code(reference_v, measured_v)
         return code > self.max_code or code < self.min_code
 
-    def quantize_error_array(self, reference_v, measured_v) -> np.ndarray:
+    def quantize_error_array(
+        self, reference_v: npt.ArrayLike, measured_v: npt.ArrayLike
+    ) -> npt.NDArray[np.int64]:
         """Vectorized :meth:`quantize_error` over arrays of voltages.
 
         Used by the batch simulation engine; element-for-element identical to

@@ -20,6 +20,7 @@ of a millivolt on the regulation workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -33,8 +34,11 @@ __all__ = [
 
 
 def plant_matrix_entries(
-    inductance_h, capacitance_f, series_resistance_ohm, load_resistance_ohm
-):
+    inductance_h: Any,
+    capacitance_f: Any,
+    series_resistance_ohm: Any,
+    load_resistance_ohm: Any,
+) -> tuple[Any, Any, Any, Any]:
     """System-matrix entries of the buck LC plant.
 
     For state ``x = [i_L, v_out]`` and ``dx/dt = A x + u`` with
@@ -55,7 +59,9 @@ def plant_matrix_entries(
 _DEGENERATE_EPS = 1e-24
 
 
-def exact_interval_coefficients(a, b, c, d, duration):
+def exact_interval_coefficients(
+    a: Any, b: Any, c: Any, d: Any, duration: Any
+) -> tuple[Any, Any, Any, Any, Any, Any]:
     """Exact discrete-time update coefficients for a 2-state linear interval.
 
     For ``dx/dt = A x + u`` with ``A = [[a, b], [c, d]]`` constant over

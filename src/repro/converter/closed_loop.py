@@ -21,15 +21,24 @@ from typing import Protocol
 
 import numpy as np
 
+import numpy.typing as npt
+
 from repro.converter.adc import WindowedADC
 from repro.converter.buck import BuckParameters, BuckPowerStage
 from repro.converter.compensator import PIDCompensator
-from repro.converter.load import ConstantLoad
+from repro.converter.load import (
+    ConstantLoad,
+    LoadProfile,
+    ReferenceProfile,
+    SourceProfile,
+)
 
 __all__ = ["DutyQuantizer", "IdealDPWM", "RegulationTrace", "DigitallyControlledBuck"]
 
 
-def validate_reference_profile(reference_profile, input_voltage_v) -> None:
+def validate_reference_profile(
+    reference_profile: object, input_voltage_v: float | npt.ArrayLike
+) -> None:
     """Reject reference profiles that peak above the input voltage.
 
     Shared by the scalar loop and the batch engine.  ``input_voltage_v`` may
@@ -180,10 +189,10 @@ class DigitallyControlledBuck:
         reference_v: float,
         adc: WindowedADC | None = None,
         compensator: PIDCompensator | None = None,
-        load=None,
+        load: LoadProfile | None = None,
         start_at_reference: bool = True,
-        reference_profile=None,
-        source_profile=None,
+        reference_profile: ReferenceProfile | None = None,
+        source_profile: SourceProfile | None = None,
         stepper: str = "exact",
     ) -> None:
         """Assemble the loop.

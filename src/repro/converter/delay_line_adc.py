@@ -26,12 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.technology.corners import (
-    NOMINAL_VDD_V,
-    OperatingConditions,
-    ProcessCorner,
-    VOLTAGE_COEFFICIENT,
-)
+from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 
 __all__ = ["DelayLineADC", "no_limit_cycle_condition"]

@@ -14,10 +14,14 @@ voltage transitions) and line transients (input-rail droop).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
 __all__ = [
+    "LoadProfile",
+    "ReferenceProfile",
+    "SourceProfile",
     "ConstantLoad",
     "SteppedLoad",
     "RampLoad",
@@ -26,6 +30,27 @@ __all__ = [
     "ReferenceStep",
     "LineTransient",
 ]
+
+
+class LoadProfile(Protocol):
+    """What the closed loops need from a load scenario."""
+
+    def resistance_at(self, period_index: int) -> float:  # pragma: no cover
+        ...
+
+
+class ReferenceProfile(Protocol):
+    """What the closed loops need from a reference-voltage scenario."""
+
+    def reference_at(self, period_index: int) -> float:  # pragma: no cover
+        ...
+
+
+class SourceProfile(Protocol):
+    """What the closed loops need from an input-rail scenario."""
+
+    def voltage_at(self, period_index: int) -> float:  # pragma: no cover
+        ...
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from repro.core.conventional import (
 from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
+from repro.technology.variation import VariationModel
 
 __all__ = [
     "DesignSpec",
@@ -107,7 +108,7 @@ class ConventionalDesign:
         self,
         library: TechnologyLibrary | None = None,
         tuning_order: TuningOrder = TuningOrder.ROUND_ROBIN,
-        variation=None,
+        variation: VariationModel | None = None,
     ) -> ConventionalDelayLine:
         """Instantiate the delay-line model for this design."""
         config = ConventionalDelayLineConfig(
@@ -140,7 +141,9 @@ class ProposedDesign:
         return self.worst_case_total_delay_ps(library) >= self.spec.clock_period_ps
 
     def build_line(
-        self, library: TechnologyLibrary | None = None, variation=None
+        self,
+        library: TechnologyLibrary | None = None,
+        variation: VariationModel | None = None,
     ) -> ProposedDelayLine:
         """Instantiate the delay-line model for this design."""
         config = ProposedDelayLineConfig(

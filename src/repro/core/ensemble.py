@@ -65,6 +65,7 @@ transfer curve in one pass:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -80,6 +81,9 @@ from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import BatchVariationSample, VariationModel
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import stays lazy (cycle guard)
+    from repro.core.linearity import TransferCurve
 
 __all__ = [
     "ConventionalEnsemble",
@@ -183,7 +187,7 @@ class EnsembleTransferCurves:
         """Per-instance worst-case deviation as a fraction of the period."""
         return self.max_error_ps() / self.clock_period_ps
 
-    def curve(self, index: int):
+    def curve(self, index: int) -> "TransferCurve":
         """One instance's row as a scalar :class:`TransferCurve` view."""
         from repro.core.linearity import TransferCurve
 

@@ -24,7 +24,7 @@ The model exposes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.technology.cells import CellKind
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.netlist import Netlist
-from repro.technology.variation import VariationModel, VariationSample
+from repro.technology.variation import VariationSample
 
 __all__ = ["ProposedDelayLineConfig", "ProposedDelayLine", "ProposedController"]
 

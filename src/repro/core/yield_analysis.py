@@ -81,8 +81,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.converter.buck import BuckParameters
+from repro.converter.load import LoadProfile
 from repro.core.design import DesignSpec
 from repro.technology.cells import CellKind
 from repro.technology.corners import OperatingConditions
@@ -90,9 +92,15 @@ from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import VariationModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
+    from repro.analysis.metrics import BatchLinearityMetrics
     from repro.core.ensemble import EnsembleCalibration, EnsembleTransferCurves
+    from repro.mc import AdaptiveSampleResult
     from repro.pipeline import PipelineResult
-    from repro.simulation.batch import BatchRegulationResult
+    from repro.simulation.batch import (
+        BatchBuckParameters,
+        BatchQuantizer,
+        BatchRegulationResult,
+    )
 
 __all__ = [
     "YieldModel",
@@ -147,7 +155,7 @@ class YieldModel:
         num_buffers: int,
         num_chips: int,
         rng: np.random.Generator | None = None,
-    ) -> np.ndarray:
+    ) -> npt.NDArray[np.float64]:
         """Sample per-chip, per-buffer delays.
 
         Returns an array of shape ``(num_chips, num_buffers)``.
@@ -230,7 +238,7 @@ def yield_curve(
         step = max(1, nominal // 8)
         cell_counts = list(range(nominal, worst_case + step, step))
     buffer_area = library.area(CellKind.BUFFER)
-    points = []
+    points: list[YieldPoint] = []
     for num_cells in cell_counts:
         locking_yield = coverage_yield(
             num_cells=num_cells,
@@ -334,7 +342,7 @@ class ComponentVariation:
         nominal: BuckParameters,
         num_variants: int,
         rng: np.random.Generator | None = None,
-    ):
+    ) -> "BatchBuckParameters":
         """Draw a fleet of varied converters as stacked batch parameters.
 
         Returns a :class:`~repro.simulation.batch.BatchBuckParameters` of
@@ -344,14 +352,14 @@ class ComponentVariation:
 
         if num_variants < 1:
             raise ValueError("need at least one variant")
-        rng = rng or np.random.default_rng(self.seed)
+        generator = rng if rng is not None else np.random.default_rng(self.seed)
 
-        def lognormal(sigma: float) -> np.ndarray:
-            return rng.lognormal(mean=0.0, sigma=sigma, size=num_variants)
+        def lognormal(sigma: float) -> npt.NDArray[np.float64]:
+            return generator.lognormal(mean=0.0, sigma=sigma, size=num_variants)
 
-        def clipped_normal(sigma: float) -> np.ndarray:
+        def clipped_normal(sigma: float) -> npt.NDArray[np.float64]:
             return np.clip(
-                rng.normal(loc=1.0, scale=sigma, size=num_variants), 0.0, None
+                generator.normal(loc=1.0, scale=sigma, size=num_variants), 0.0, None
             )
 
         return BatchBuckParameters(
@@ -373,7 +381,7 @@ class ComponentVariation:
         nominal: BuckParameters,
         num_variants: int,
         first_instance: int = 0,
-    ):
+    ) -> "BatchBuckParameters":
         """Chunk-stable fleet draw: instance ``i`` owns its RNG stream.
 
         :meth:`sample_batch` draws the whole fleet from one generator, so
@@ -447,10 +455,10 @@ class LinearitySpec:
 
     def passes(
         self,
-        metrics,
-        locked: np.ndarray,
-        error_fractions: np.ndarray,
-    ) -> np.ndarray:
+        metrics: "BatchLinearityMetrics",
+        locked: npt.ArrayLike,
+        error_fractions: npt.ArrayLike,
+    ) -> npt.NDArray[np.bool_]:
         """Per-instance pass flags from batch linearity metrics.
 
         Args:
@@ -476,7 +484,7 @@ class LinearitySpec:
         self,
         calibration: "EnsembleCalibration",
         curves: "EnsembleTransferCurves",
-    ) -> np.ndarray:
+    ) -> npt.NDArray[np.bool_]:
         """Per-instance pass flags straight from an ensemble's outputs."""
         return self.passes(
             curves.metrics(),
@@ -510,10 +518,10 @@ class RegulationSpec:
 
     def passes(
         self,
-        steady_state_v: np.ndarray,
-        ripples_v: np.ndarray,
-        reference_v,
-    ) -> np.ndarray:
+        steady_state_v: npt.ArrayLike,
+        ripples_v: npt.ArrayLike,
+        reference_v: npt.ArrayLike,
+    ) -> npt.NDArray[np.bool_]:
         """Per-variant pass flags from steady-state statistics."""
         errors = np.abs(np.asarray(steady_state_v) - np.asarray(reference_v))
         passes = errors <= self.tolerance_v
@@ -522,8 +530,8 @@ class RegulationSpec:
         return passes
 
     def evaluate(
-        self, regulation: "BatchRegulationResult", reference_v
-    ) -> np.ndarray:
+        self, regulation: "BatchRegulationResult", reference_v: npt.ArrayLike
+    ) -> npt.NDArray[np.bool_]:
         """Per-variant pass flags straight from a batch regulation run."""
         return self.passes(
             regulation.steady_state_voltage_v(self.tail_fraction),
@@ -545,8 +553,8 @@ class RegulationYieldResult:
     """
 
     regulation_yield: float
-    steady_state_voltages_v: np.ndarray
-    steady_state_ripples_v: np.ndarray
+    steady_state_voltages_v: npt.NDArray[np.float64]
+    steady_state_ripples_v: npt.NDArray[np.float64]
     worst_error_v: float
 
 
@@ -558,8 +566,8 @@ def regulation_yield(
     periods: int = 300,
     tolerance_v: float = 0.02,
     dpwm_bits: int = 6,
-    quantizer=None,
-    load=None,
+    quantizer: "BatchQuantizer | None" = None,
+    load: LoadProfile | None = None,
 ) -> RegulationYieldResult:
     """Monte-Carlo estimate of the closed loop's regulation yield.
 
@@ -610,13 +618,13 @@ class LinearityYieldResult:
     scheme: str
     linearity_yield: float
     lock_yield: float
-    passes: np.ndarray
-    locked: np.ndarray
-    max_dnl_lsb: np.ndarray
-    max_inl_lsb: np.ndarray
-    rms_inl_lsb: np.ndarray
-    monotonic: np.ndarray
-    max_error_fraction_of_period: np.ndarray
+    passes: npt.NDArray[np.bool_]
+    locked: npt.NDArray[np.bool_]
+    max_dnl_lsb: npt.NDArray[np.float64]
+    max_inl_lsb: npt.NDArray[np.float64]
+    rms_inl_lsb: npt.NDArray[np.float64]
+    monotonic: npt.NDArray[np.bool_]
+    max_error_fraction_of_period: npt.NDArray[np.float64]
 
     @property
     def num_instances(self) -> int:
@@ -716,11 +724,11 @@ class ClosedLoopYieldResult:
     linearity_yield: float
     regulation_yield: float
     lock_yield: float
-    passes: np.ndarray
-    linearity_passes: np.ndarray
-    regulation_passes: np.ndarray
-    steady_state_voltages_v: np.ndarray
-    limit_cycle_amplitudes_v: np.ndarray
+    passes: npt.NDArray[np.bool_]
+    linearity_passes: npt.NDArray[np.bool_]
+    regulation_passes: npt.NDArray[np.bool_]
+    steady_state_voltages_v: npt.NDArray[np.float64]
+    limit_cycle_amplitudes_v: npt.NDArray[np.float64]
     worst_error_v: float
     pipeline_result: "PipelineResult"
 
@@ -741,7 +749,7 @@ def closed_loop_yield(
     periods: int = 300,
     linearity_spec: LinearitySpec | None = None,
     regulation_spec: RegulationSpec | None = None,
-    load=None,
+    load: LoadProfile | None = None,
     library: TechnologyLibrary | None = None,
     first_instance: int = 0,
 ) -> ClosedLoopYieldResult:
@@ -850,7 +858,9 @@ class AdaptiveYieldResult:
         return 0.5 * (self.upper - self.lower)
 
 
-def _adaptive_result(scheme, sample_result, primary: str) -> AdaptiveYieldResult:
+def _adaptive_result(
+    scheme: str | None, sample_result: "AdaptiveSampleResult", primary: str
+) -> AdaptiveYieldResult:
     """Fold an :class:`repro.mc.AdaptiveSampleResult` into the domain shape."""
     interval = sample_result.intervals[primary]
     return AdaptiveYieldResult(
@@ -908,7 +918,7 @@ def adaptive_linearity_yield(
     from repro.mc import SampleChunk, adaptive_sample
     from repro.pipeline import ChunkedFabricator
 
-    linearity_spec = LinearitySpec(
+    resolved_spec = LinearitySpec(
         dnl_limit_lsb=dnl_limit_lsb,
         inl_limit_lsb=inl_limit_lsb,
         error_limit_fraction=error_limit_fraction,
@@ -927,7 +937,7 @@ def adaptive_linearity_yield(
         error_fractions = curves.max_error_fraction_of_period()
         return SampleChunk(
             passes={
-                "linearity": linearity_spec.passes(
+                "linearity": resolved_spec.passes(
                     metrics, calibration.locked, error_fractions
                 ),
                 "lock": np.asarray(calibration.locked, dtype=bool),
@@ -971,7 +981,7 @@ def adaptive_closed_loop_yield(
     periods: int = 300,
     linearity_spec: LinearitySpec | None = None,
     regulation_spec: RegulationSpec | None = None,
-    load=None,
+    load: LoadProfile | None = None,
     library: TechnologyLibrary | None = None,
 ) -> AdaptiveYieldResult:
     """Adaptive sibling of :func:`closed_loop_yield`.
@@ -990,8 +1000,8 @@ def adaptive_closed_loop_yield(
     from repro.mc import SampleChunk, adaptive_sample
     from repro.pipeline import ChunkedSiliconToRegulation
 
-    linearity_spec = linearity_spec or LinearitySpec()
-    regulation_spec = regulation_spec or RegulationSpec()
+    resolved_linearity = linearity_spec or LinearitySpec()
+    resolved_regulation = regulation_spec or RegulationSpec()
     runner = ChunkedSiliconToRegulation(
         scheme,
         spec,
@@ -1006,16 +1016,16 @@ def adaptive_closed_loop_yield(
 
     def draw(first_instance: int, count: int) -> SampleChunk:
         result = runner.run_chunk(first_instance, count, periods=periods)
-        linearity_passes = linearity_spec.evaluate(
+        linearity_passes = resolved_linearity.evaluate(
             result.calibration, result.curves
         )
         steady_state = result.regulation.steady_state_voltage_v(
-            regulation_spec.tail_fraction
+            resolved_regulation.tail_fraction
         )
         ripple = result.regulation.steady_state_ripple_v(
-            regulation_spec.tail_fraction
+            resolved_regulation.tail_fraction
         )
-        regulation_passes = regulation_spec.passes(
+        regulation_passes = resolved_regulation.passes(
             steady_state, ripple, reference_v
         )
         return SampleChunk(
@@ -1057,7 +1067,7 @@ def adaptive_regulation_yield(
     periods: int = 300,
     tolerance_v: float = 0.02,
     dpwm_bits: int = 6,
-    load=None,
+    load: LoadProfile | None = None,
 ) -> AdaptiveYieldResult:
     """Adaptive sibling of :func:`regulation_yield` (component spread only).
 
@@ -1071,10 +1081,10 @@ def adaptive_regulation_yield(
     from repro.simulation.batch import BatchClosedLoop, BatchQuantizer
 
     spec = RegulationSpec(tolerance_v=tolerance_v)
-    variation = variation or ComponentVariation()
+    resolved_variation = variation or ComponentVariation()
 
     def draw(first_instance: int, count: int) -> SampleChunk:
-        parameters = variation.sample_instances(
+        parameters = resolved_variation.sample_instances(
             nominal, count, first_instance=first_instance
         )
         loop = BatchClosedLoop(

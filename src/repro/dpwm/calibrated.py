@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.calibration import CalibrationResult
 from repro.core.conventional import ConventionalDelayLine, ShiftRegisterController
 from repro.core.ensemble import ConventionalEnsemble, ProposedEnsemble
 from repro.core.proposed import ProposedController, ProposedDelayLine
@@ -80,7 +81,7 @@ class CalibratedDelayLineDPWM:
     def max_word(self) -> int:
         return (1 << self.word_bits) - 1
 
-    def recalibrate(self, conditions: OperatingConditions):
+    def recalibrate(self, conditions: OperatingConditions) -> CalibrationResult:
         """Re-run the locking phase at new operating conditions."""
         self.conditions = conditions
         if self._scheme == "proposed":
@@ -96,12 +97,16 @@ class CalibratedDelayLineDPWM:
     def _build_duty_table(self) -> np.ndarray:
         """Word -> achieved-duty table via the vectorized ensemble path."""
         if self._scheme == "proposed":
-            assert self._tap_sel is not None
+            if self._tap_sel is None:
+                raise RuntimeError("proposed scheme has no tap selection; lock first")
             curves = ProposedEnsemble.from_line(self.line).transfer_curves(
                 self.conditions, tap_sel=np.array([self._tap_sel])
             )
         else:
-            assert self._levels is not None
+            if self._levels is None:
+                raise RuntimeError(
+                    "conventional scheme has no level settings; lock first"
+                )
             curves = ConventionalEnsemble.from_line(self.line).transfer_curves(
                 self.conditions, levels=np.asarray(self._levels)
             )
@@ -124,9 +129,11 @@ class CalibratedDelayLineDPWM:
                 f"duty word {duty_word} out of range [0, {self.max_word}]"
             )
         if self._scheme == "proposed":
-            assert self._tap_sel is not None
+            if self._tap_sel is None:
+                raise RuntimeError("proposed scheme has no tap selection; lock first")
             return self.line.output_delay_ps(duty_word, self._tap_sel, self.conditions)
-        assert self._levels is not None
+        if self._levels is None:
+            raise RuntimeError("conventional scheme has no level settings; lock first")
         return self.line.output_delay_ps(duty_word, self._levels, self.conditions)
 
     def duty_fraction(self, duty_word: int) -> float:

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sweep import SweepOrchestrator
 
 __all__ = [
     "ExperimentResult",
@@ -37,20 +40,25 @@ class ExperimentResult:
     title: str
     data: dict
     report: str
-    paper_reference: dict = field(default_factory=dict)
+    paper_reference: dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return f"[{self.experiment_id}] {self.title}\n{self.report}"
 
 
-#: Global registry of experiment id -> zero-argument run function.
-registry: dict[str, Callable[[], ExperimentResult]] = {}
+#: Global registry of experiment id -> run function (extra keywords such as
+#: ``seed`` are threaded in by :func:`run_experiment` when declared).
+registry: dict[str, Callable[..., ExperimentResult]] = {}
 
 
-def register(experiment_id: str):
+def register(
+    experiment_id: str,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
     """Decorator registering an experiment ``run`` function under an id."""
 
-    def decorator(func: Callable[[], ExperimentResult]):
+    def decorator(
+        func: Callable[..., ExperimentResult],
+    ) -> Callable[..., ExperimentResult]:
         if experiment_id in registry:
             raise ValueError(f"experiment id {experiment_id!r} already registered")
         registry[experiment_id] = func
@@ -99,7 +107,7 @@ def accepts_adaptive(experiment_id: str) -> bool:
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
-    sweep=None,
+    sweep: "SweepOrchestrator | None" = None,
     precision: float | None = None,
     max_instances: int | None = None,
 ) -> ExperimentResult:

@@ -46,7 +46,7 @@ from repro.simulation.batch import (
     BatchClosedLoop,
     BatchQuantizer,
 )
-from repro.sweep import sweep_map
+from repro.sweep import SweepOrchestrator, sweep_map
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import intel32_like_library
 from repro.technology.variation import VariationModel
@@ -191,7 +191,9 @@ def _run_adaptive_cell(params: dict, nominal: BuckParameters) -> dict:
     raise ValueError(f"unknown fig15 cell section {params['section']!r}")
 
 
-def _fixed_sections(monte_carlo: dict, silicon: dict):
+def _fixed_sections(
+    monte_carlo: dict[str, object], silicon: dict[str, object]
+) -> tuple[str, str, dict[str, object], dict[str, object]]:
     """Tables + data payloads of the two fixed-N Monte-Carlo sections."""
     spread = np.asarray(monte_carlo["steady_state_voltages_v"])
     ripples = np.asarray(monte_carlo["steady_state_ripples_v"])
@@ -248,7 +250,9 @@ def _fixed_sections(monte_carlo: dict, silicon: dict):
     return yield_table, silicon_table, mc_data, silicon_data
 
 
-def _adaptive_sections(monte_carlo: dict, silicon: dict):
+def _adaptive_sections(
+    monte_carlo: dict[str, object], silicon: dict[str, object]
+) -> tuple[str, str, dict[str, object], dict[str, object]]:
     """Tables + data payloads of the two adaptive Monte-Carlo sections.
 
     The adaptive sampler streams its statistics, so the payloads carry
@@ -301,7 +305,7 @@ def _adaptive_sections(monte_carlo: dict, silicon: dict):
 @register("fig15")
 def run(
     seed: int | None = None,
-    sweep=None,
+    sweep: SweepOrchestrator | None = None,
     precision: float | None = None,
     max_instances: int | None = None,
 ) -> ExperimentResult:

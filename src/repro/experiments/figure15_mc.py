@@ -47,7 +47,7 @@ from repro.core.yield_analysis import (
 )
 from repro.experiments.base import ExperimentResult, register
 from repro.pipeline import closed_loop_cell
-from repro.sweep import ParameterGrid, sweep_map
+from repro.sweep import ParameterGrid, SweepOrchestrator, sweep_map
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
 from repro.technology.variation import VariationModel
@@ -169,7 +169,7 @@ def run_cell(params: dict) -> dict:
 @register("fig15_mc")
 def run(
     seed: int | None = None,
-    sweep=None,
+    sweep: SweepOrchestrator | None = None,
     precision: float | None = None,
     max_instances: int | None = None,
 ) -> ExperimentResult:

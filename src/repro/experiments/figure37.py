@@ -67,7 +67,8 @@ def run() -> ExperimentResult:
         rows=summary_rows,
         title="Figure 37 -- conventional controller locking at each corner",
     )
-    assert typical_trace is not None
+    if typical_trace is None:
+        raise RuntimeError("corner sweep did not visit the typical corner")
     trace_report = format_series(
         x_label="cycle",
         x_values=[step.cycle for step in typical_trace.steps],

@@ -68,7 +68,8 @@ def run() -> ExperimentResult:
         rows=rows,
         title="Figures 47-48 -- proposed controller locking vs the conventional DLL",
     )
-    assert fast_trace is not None
+    if fast_trace is None:
+        raise RuntimeError("corner sweep did not visit the fast corner")
     trace_report = format_series(
         x_label="cycle",
         x_values=[step.cycle for step in fast_trace.steps],

@@ -26,7 +26,7 @@ from repro.core.design import DesignSpec, design_proposed
 from repro.core.ensemble import ProposedEnsemble
 from repro.experiments.base import ExperimentResult, register
 from repro.technology.corners import OperatingConditions, ProcessCorner
-from repro.technology.library import intel32_like_library
+from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import VariationModel
 
 __all__ = ["run", "FREQUENCIES_MHZ", "SCALE_FACTORS"]
@@ -36,9 +36,13 @@ FREQUENCIES_MHZ = (50.0, 100.0, 200.0)
 SCALE_FACTORS = {50.0: 1.0, 100.0: 2.0, 200.0: 4.0}
 
 
-def _run_corner(corner: ProcessCorner, library, variation: VariationModel) -> dict:
+def _run_corner(
+    corner: ProcessCorner,
+    library: TechnologyLibrary,
+    variation: VariationModel,
+) -> dict[float, dict[str, object]]:
     conditions = OperatingConditions(corner=corner)
-    curves = {}
+    curves: dict[float, dict[str, object]] = {}
     for frequency in FREQUENCIES_MHZ:
         spec = DesignSpec(clock_frequency_mhz=frequency, resolution_bits=6)
         design = design_proposed(spec, library)

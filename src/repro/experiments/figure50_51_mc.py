@@ -31,7 +31,7 @@ from repro.analysis.reports import format_table
 from repro.core.design import DesignSpec
 from repro.core.yield_analysis import adaptive_linearity_yield, linearity_yield
 from repro.experiments.base import ExperimentResult, register
-from repro.sweep import ParameterGrid, sweep_map
+from repro.sweep import ParameterGrid, SweepOrchestrator, sweep_map
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import intel32_like_library
 from repro.technology.variation import VariationModel
@@ -146,7 +146,7 @@ def run_cell(params: dict) -> dict:
 @register("fig50_51_mc")
 def run(
     seed: int | None = None,
-    sweep=None,
+    sweep: SweepOrchestrator | None = None,
     precision: float | None = None,
     max_instances: int | None = None,
 ) -> ExperimentResult:

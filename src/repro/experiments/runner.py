@@ -217,7 +217,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
-    collected: dict[str, dict] = {}
+    collected: dict[str, dict[str, object]] = {}
     failures: list[str] = []
     try:
         for experiment_id in selected:

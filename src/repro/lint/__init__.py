@@ -1,0 +1,60 @@
+"""Contract-checking static analysis for the seven-layer engine.
+
+The repo rests on invariants no general-purpose linter knows about:
+
+* **Determinism** -- a content-addressed sweep cache and bit-identical
+  serial/parallel/chunked runs only hold if nothing in :mod:`repro` reads a
+  wall clock or an unseeded RNG.  One stray ``time.time()`` or
+  ``np.random.normal()`` silently poisons every cache key downstream.
+* **The chunked seeding contract** -- :mod:`repro.mc` requires that a
+  function drawing per-instance randomness keys instance ``i``'s stream on
+  ``i`` itself (``default_rng((seed, i))``), so the sample stream is
+  independent of chunk boundaries.
+* **Sweep cache safety** -- :mod:`repro.sweep` fans cells out across a
+  ``multiprocessing`` pool and addresses them by canonical JSON, so every
+  ``run_cell`` must be module-level (picklable by reference) and every cell
+  dict JSON-scalar.
+* **Registry/docs lockstep** -- experiment ids, CLI flags, layer packages
+  and doc links must agree between code and ``docs/``.
+* **Numerical hygiene** -- exact ``==`` on floats, mutable default
+  arguments, bare ``except`` and ``assert``-as-validation (asserts vanish
+  under ``python -O``) are the classic ways reproduction code rots.
+
+:mod:`repro.lint` machine-checks all five as a custom AST pass on the
+standard library alone -- no new runtime dependencies.  Rules live in a
+pluggable registry (:mod:`repro.lint.rules`); the ``repro-lint`` console
+entry point (:mod:`repro.lint.cli`) reports violations as
+``path:line:col: rule: message`` and exits non-zero when any survive.
+Suppress a finding with a trailing ``# repro-lint: disable=<rule>`` comment
+(see ``docs/static_analysis.md`` for the catalog and the rationale behind
+each contract).
+"""
+
+from repro.lint.core import (
+    PROJECT_RULES,
+    RULES,
+    SourceFile,
+    Violation,
+    all_rules,
+    lint_paths,
+    lint_project,
+    lint_source,
+    project_rule,
+    rule,
+)
+
+# Importing the rules package registers every built-in rule.
+import repro.lint.rules  # noqa: F401  (imported for registration)
+
+__all__ = [
+    "PROJECT_RULES",
+    "RULES",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+    "project_rule",
+    "rule",
+]

@@ -1,0 +1,154 @@
+"""The ``repro-lint`` command line: lint paths, report, exit non-zero.
+
+Usage::
+
+    repro-lint src/ tests/
+    repro-lint --list-rules
+    repro-lint --select determinism,seeding-contract src/
+    repro-lint --no-project-rules some/other/tree
+
+File rules run over every ``*.py`` under the given paths.  The
+repository-level drift rules additionally run when a project root is found
+(a directory holding both ``pyproject.toml`` and ``docs/``, located by
+walking up from the first path); ``--no-project-rules`` skips them and
+``--project-root`` pins the root explicitly.  Violations print as
+``path:line:col: rule: message`` sorted by location; the exit code is 0
+when clean, 1 when violations survive, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.lint.core import all_rules, lint_paths, lint_project
+
+__all__ = ["find_project_root", "main"]
+
+
+def find_project_root(start: str | Path) -> Path | None:
+    """Nearest ancestor of ``start`` holding ``pyproject.toml`` and ``docs/``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() and (candidate / "docs").is_dir():
+            return candidate
+    return None
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Contract-checking static analysis for the repro package.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule with its description and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--project-root",
+        metavar="PATH",
+        help="repository root for the project-level drift rules "
+        "(default: auto-detected from the first path)",
+    )
+    parser.add_argument(
+        "--no-project-rules",
+        action="store_true",
+        help="skip the repository-level drift rules",
+    )
+    return parser
+
+
+def _split(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for registered in all_rules():
+            print(f"{registered.name}: {registered.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"repro-lint: error: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = _split(args.select)
+    ignore = _split(args.ignore)
+    known = {registered.name for registered in all_rules()}
+    unknown = [name for name in (select or []) + (ignore or []) if name not in known]
+    if unknown:
+        print(
+            f"repro-lint: error: unknown rule(s): {', '.join(unknown)}; "
+            f"known rules: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    violations = lint_paths(args.paths, select=select, ignore=ignore)
+
+    if not args.no_project_rules:
+        root = (
+            Path(args.project_root)
+            if args.project_root is not None
+            else find_project_root(args.paths[0])
+        )
+        if args.project_root is not None and not Path(args.project_root).is_dir():
+            print(
+                f"repro-lint: error: --project-root {args.project_root} is "
+                "not a directory",
+                file=sys.stderr,
+            )
+            return 2
+        if root is not None:
+            violations = sorted(violations + lint_project(root, select, ignore))
+
+    for violation in violations:
+        print(violation.format())
+    checked = len({violation.path for violation in violations})
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("repro-lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

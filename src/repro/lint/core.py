@@ -1,0 +1,301 @@
+"""The lint engine: violations, the rule registries and the file walker.
+
+Two kinds of rules plug into the engine:
+
+* **File rules** (:func:`rule`) receive one parsed :class:`SourceFile` and
+  yield :class:`Violation` objects anchored to lines of that file.  They
+  are pure AST/text analyses -- nothing is imported or executed.
+* **Project rules** (:func:`project_rule`) receive the repository root and
+  check cross-file invariants (the registry-vs-docs drift gates); they may
+  import :mod:`repro` itself, since they run inside this repository.
+
+Rules declare the *scopes* they apply to: ``"src"`` (package sources) or
+``"tests"`` (anything under a ``tests``/``benchmarks`` directory, or files
+named ``test_*.py``/``conftest.py``).  The determinism and seeding
+contracts bind the package, not the suite -- pytest's ``assert`` idiom, for
+instance, must not trip the assert-as-validation rule.
+
+Suppression is per line or per file, always naming the rule it silences::
+
+    value = legacy_api()  # repro-lint: disable=float-equality
+    # repro-lint: disable-file=determinism   (anywhere in the file)
+
+``disable=all`` silences every rule on that line.  Suppressions are scoped
+on purpose -- a bare blanket switch would hide exactly the violations this
+tool exists to keep out.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "PROJECT_RULES",
+    "RULES",
+    "FileRule",
+    "ProjectRule",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+    "project_rule",
+    "rule",
+]
+
+#: Scope labels a file rule may declare.
+SCOPES = frozenset({"src", "tests"})
+
+#: Directory / file-name markers classifying a path as test code.
+_TEST_DIRS = frozenset({"tests", "benchmarks"})
+
+_DISABLE_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+_DISABLE_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_\-, ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, anchored to a file position.
+
+    Attributes:
+        path: file the violation lives in (as given to the linter).
+        line / col: 1-based line and 0-based column of the offending node.
+        rule: name of the rule that fired.
+        message: human-readable description of the contract breach.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical ``path:line:col: rule: message`` report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class SourceFile:
+    """One parsed source file plus its suppression table.
+
+    Attributes:
+        path: the path the file was read from (used in reports).
+        text: the raw source text.
+        tree: the parsed :mod:`ast` module node.
+        scope: ``"tests"`` for suite/benchmark code, ``"src"`` otherwise.
+    """
+
+    def __init__(self, path: str | Path, text: str) -> None:
+        self.path = str(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        self.lines = text.splitlines()
+        self._line_disabled: dict[int, set[str]] = {}
+        self._file_disabled: set[str] = set()
+        for number, line in enumerate(self.lines, start=1):
+            match = _DISABLE_LINE.search(line)
+            if match:
+                self._line_disabled[number] = {
+                    name.strip() for name in match.group(1).split(",") if name.strip()
+                }
+            match = _DISABLE_FILE.search(line)
+            if match:
+                self._file_disabled.update(
+                    name.strip() for name in match.group(1).split(",") if name.strip()
+                )
+
+    @property
+    def scope(self) -> str:
+        """``"tests"`` for suite/benchmark files, ``"src"`` for package code."""
+        path = Path(self.path)
+        if any(part in _TEST_DIRS for part in path.parts):
+            return "tests"
+        if path.name == "conftest.py" or path.name.startswith("test_"):
+            return "tests"
+        return "src"
+
+    def is_disabled(self, rule_name: str, line: int) -> bool:
+        """Whether a suppression comment silences ``rule_name`` at ``line``."""
+        if {"all", rule_name} & self._file_disabled:
+            return True
+        disabled = self._line_disabled.get(line, set())
+        return "all" in disabled or rule_name in disabled
+
+    def violation(self, node: ast.AST, rule_name: str, message: str) -> Violation:
+        """A :class:`Violation` anchored at an AST node of this file."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_name,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class FileRule:
+    """A registered per-file rule."""
+
+    name: str
+    description: str
+    scopes: frozenset[str]
+    check: Callable[[SourceFile], Iterable[Violation]] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    """A registered repository-level rule."""
+
+    name: str
+    description: str
+    check: Callable[[Path], Iterable[Violation]] = field(compare=False)
+
+
+#: Registry of per-file rules, by name.  :func:`rule` populates it.
+RULES: dict[str, FileRule] = {}
+
+#: Registry of repository-level rules, by name.
+PROJECT_RULES: dict[str, ProjectRule] = {}
+
+
+def rule(
+    name: str, description: str, scopes: Sequence[str] = ("src", "tests")
+) -> Callable[
+    [Callable[[SourceFile], Iterable[Violation]]],
+    Callable[[SourceFile], Iterable[Violation]],
+]:
+    """Register a per-file rule under a name (the pluggable entry point).
+
+    Args:
+        name: the rule id used in reports and suppression comments.
+        description: one-line summary shown by ``repro-lint --list-rules``.
+        scopes: which file scopes the rule binds (``"src"``/``"tests"``).
+    """
+    scope_set = frozenset(scopes)
+    if not scope_set <= SCOPES:
+        raise ValueError(f"unknown scopes {sorted(scope_set - SCOPES)}")
+    if name in RULES:
+        raise ValueError(f"rule {name!r} already registered")
+
+    def decorator(
+        check: Callable[[SourceFile], Iterable[Violation]],
+    ) -> Callable[[SourceFile], Iterable[Violation]]:
+        RULES[name] = FileRule(
+            name=name, description=description, scopes=scope_set, check=check
+        )
+        return check
+
+    return decorator
+
+
+def project_rule(
+    name: str, description: str
+) -> Callable[
+    [Callable[[Path], Iterable[Violation]]],
+    Callable[[Path], Iterable[Violation]],
+]:
+    """Register a repository-level rule under a name."""
+    if name in PROJECT_RULES:
+        raise ValueError(f"project rule {name!r} already registered")
+
+    def decorator(
+        check: Callable[[Path], Iterable[Violation]],
+    ) -> Callable[[Path], Iterable[Violation]]:
+        PROJECT_RULES[name] = ProjectRule(
+            name=name, description=description, check=check
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> list[FileRule | ProjectRule]:
+    """Every registered rule (file rules first), for ``--list-rules``."""
+    return [*RULES.values(), *PROJECT_RULES.values()]
+
+
+def _selected(
+    name: str, select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> bool:
+    if select is not None and name not in select:
+        return False
+    return not (ignore is not None and name in ignore)
+
+
+def lint_source(
+    path: str | Path,
+    text: str,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """All (unsuppressed) violations of the registered file rules in a file.
+
+    A file that does not parse yields a single ``parse-error`` violation --
+    the linter never raises on malformed input.
+    """
+    try:
+        source = SourceFile(path, text)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path=str(path),
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule="parse-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    violations: list[Violation] = []
+    for registered in RULES.values():
+        if not _selected(registered.name, select, ignore):
+            continue
+        if source.scope not in registered.scopes:
+            continue
+        for violation in registered.check(source):
+            if not source.is_disabled(violation.rule, violation.line):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def _python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directories (recursively) with the file rules."""
+    violations: list[Violation] = []
+    for path in _python_files(paths):
+        violations.extend(
+            lint_source(path, path.read_text(encoding="utf-8"), select, ignore)
+        )
+    return sorted(violations)
+
+
+def lint_project(
+    root: str | Path,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Violation]:
+    """Run the repository-level rules against a project root."""
+    violations: list[Violation] = []
+    for registered in PROJECT_RULES.values():
+        if _selected(registered.name, select, ignore):
+            violations.extend(registered.check(Path(root)))
+    return sorted(violations)

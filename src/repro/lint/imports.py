@@ -1,0 +1,63 @@
+"""Resolving names in a module to canonical dotted import paths.
+
+The determinism and seeding rules need to know that ``np.random.normal``
+*is* ``numpy.random.normal`` whatever the file imported ``numpy`` as, and
+that a bare ``default_rng(...)`` call refers to
+``numpy.random.default_rng`` when the file did ``from numpy.random import
+default_rng``.  :class:`ImportTable` records every binding an ``import``
+statement creates and :meth:`ImportTable.resolve` maps a ``Name`` /
+``Attribute`` chain back to the canonical dotted path -- purely
+syntactically, nothing is imported.
+
+Unresolvable roots (locals, relative imports, attributes of call results)
+resolve to ``None``; rules treat that as "not provably banned" and stay
+silent, preferring false negatives over false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportTable"]
+
+
+class ImportTable:
+    """Alias -> canonical dotted-path table for one parsed module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the *root* name.
+                        root = alias.name.split(".", 1)[0]
+                        self._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports cannot name stdlib/numpy
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted path of a ``Name``/``Attribute`` chain, if known.
+
+        ``np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"`` under ``import numpy as np``;
+        anything rooted in a local variable or call result resolves to
+        ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))

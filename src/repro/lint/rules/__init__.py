@@ -1,0 +1,19 @@
+"""Built-in rules; importing this package registers every one of them.
+
+Each module holds one contract's rules and registers them with
+:func:`repro.lint.core.rule` (per-file AST analyses) or
+:func:`repro.lint.core.project_rule` (repository-level gates).  Adding a
+rule is: write a module here, decorate a check function, import the module
+below -- the CLI, the suppression syntax and the tests pick it up through
+the registry.  See ``docs/static_analysis.md``.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    cache_safety,
+    determinism,
+    drift,
+    hygiene,
+    seeding,
+)
+
+__all__ = ["cache_safety", "determinism", "drift", "hygiene", "seeding"]

@@ -1,0 +1,119 @@
+"""Determinism: no wall clocks, no global or unseeded RNG in package code.
+
+The sweep layer content-addresses every cell result by ``(experiment id,
+parameter cell, source fingerprint)`` and trusts that a cell is a pure
+function of those inputs; the Monte-Carlo engines promise bit-identical
+serial/parallel/chunked runs.  Both guarantees die silently the moment any
+package code reads a wall clock (``time.time``, ``datetime.now``) or draws
+from a global or unseeded RNG (``np.random.normal``, ``random.random()``,
+``default_rng()`` with no seed): results still *look* right, but cache
+entries stop being reproducible and equivalence tests start flaking.
+
+Seeded construction is always fine: ``np.random.default_rng(seed)``,
+``np.random.Generator`` used as an annotation, ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import SourceFile, Violation, rule
+from repro.lint.imports import ImportTable
+
+RULE = "determinism"
+
+#: Wall-clock reads: each call poisons content-addressed cache keys.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random names that are legitimate *seeded-stream* constructors.
+#: Anything else called under ``numpy.random`` uses the legacy global
+#: state and is banned outright.
+_NUMPY_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Seedable constructors that are only deterministic *with* a seed
+#: argument; calling them empty falls back to OS entropy.
+_SEED_REQUIRED = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+    "random.Random",
+}
+
+#: stdlib ``random`` attributes that do not draw from the global stream.
+_STDLIB_RANDOM_ALLOWED = {"Random"}
+
+
+def _is_empty_call(node: ast.Call) -> bool:
+    return not node.args and not node.keywords
+
+
+@rule(
+    RULE,
+    "no wall clocks, no global numpy/stdlib RNG, no unseeded generators",
+    scopes=("src",),
+)
+def check(source: SourceFile) -> Iterator[Violation]:
+    imports = ImportTable(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = imports.resolve(node.func)
+        if dotted is None:
+            continue
+        if dotted in _CLOCK_CALLS:
+            yield source.violation(
+                node,
+                RULE,
+                f"{dotted}() reads the wall clock; results must be pure "
+                "functions of their parameters (cache keys and bit-identity "
+                "depend on it)",
+            )
+        elif dotted in _SEED_REQUIRED and _is_empty_call(node):
+            yield source.violation(
+                node,
+                RULE,
+                f"{dotted}() without a seed draws OS entropy; pass an "
+                "explicit seed (derived from the cell parameters)",
+            )
+        elif dotted.startswith("numpy.random."):
+            name = dotted.removeprefix("numpy.random.")
+            if "." not in name and name not in _NUMPY_CONSTRUCTORS:
+                yield source.violation(
+                    node,
+                    RULE,
+                    f"{dotted}() uses numpy's global RNG state; draw from a "
+                    "seeded np.random.default_rng(...) generator instead",
+                )
+        elif dotted.startswith("random."):
+            name = dotted.removeprefix("random.")
+            if "." not in name and name not in _STDLIB_RANDOM_ALLOWED:
+                yield source.violation(
+                    node,
+                    RULE,
+                    f"{dotted}() uses the global stdlib RNG; construct a "
+                    "seeded random.Random(seed) instead",
+                )

@@ -1,0 +1,186 @@
+"""Registry drift: code and docs must name the same ids, flags and layers.
+
+The experiment registry (:mod:`repro.experiments`), the runner's argparse
+spec (:mod:`repro.experiments.runner`) and the documentation under
+``docs/`` describe the same catalog from three angles; any one drifting
+makes the other two lie.  This repository-level rule generalizes the
+ad-hoc gates that used to live in ``tests/test_docs.py``:
+
+* every registered experiment id appears as a ``###`` heading in
+  ``docs/experiments.md``, and every documented id is registered;
+* every ``--flag`` the runner accepts is mentioned in
+  ``docs/experiments.md``, and every documented flag exists;
+* every first-level layer of the ``repro`` package (discovered from the
+  filesystem, so new layers are picked up automatically) is named in
+  ``docs/architecture.md``;
+* every markdown file under ``docs/`` is linked from the README.
+
+``tests/test_docs.py`` now asserts through this rule, so the pytest gate
+and ``repro-lint`` share one implementation.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.core import Violation, project_rule
+
+RULE = "registry-drift"
+
+
+def catalog_ids(root: Path) -> set[str]:
+    """Experiment ids named in ``###`` headings of ``docs/experiments.md``."""
+    text = (root / "docs" / "experiments.md").read_text(encoding="utf-8")
+    ids: set[str] = set()
+    for heading in re.findall(r"^###\s+(.*)$", text, flags=re.MULTILINE):
+        ids.update(re.findall(r"`([a-z0-9_]+)`", heading))
+    return ids
+
+
+def documented_flags(root: Path) -> set[str]:
+    """Every ``--flag`` mentioned anywhere in ``docs/experiments.md``."""
+    text = (root / "docs" / "experiments.md").read_text(encoding="utf-8")
+    return set(re.findall(r"(?<![\w-])--[a-z][a-z0-9-]+", text))
+
+
+def registered_ids() -> set[str]:
+    """Every id in the experiment registry."""
+    from repro.experiments import registry
+
+    return set(registry)
+
+
+def cli_flags() -> set[str]:
+    """Every ``--flag`` the runner's argparse spec actually accepts."""
+    from repro.experiments.runner import _build_parser
+
+    flags: set[str] = set()
+    for action in _build_parser()._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                flags.add(option)
+    return flags
+
+
+def layer_packages(root: Path) -> set[str]:
+    """First-level layers of the ``repro`` package, from the filesystem.
+
+    Subpackages (directories with an ``__init__.py``) and top-level modules
+    both count, so a new layer is gated into ``docs/architecture.md`` the
+    moment its file exists -- no hand-maintained list to forget.
+    """
+    package = root / "src" / "repro"
+    layers: set[str] = set()
+    for path in package.iterdir():
+        if path.is_dir() and (path / "__init__.py").is_file():
+            layers.add(f"repro.{path.name}")
+        elif path.suffix == ".py" and path.name != "__init__.py":
+            layers.add(f"repro.{path.stem}")
+    return layers
+
+
+def _line_of(path: Path, needle: str) -> int:
+    """1-based line of the first occurrence of ``needle`` (1 if absent)."""
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if needle in line:
+            return number
+    return 1
+
+
+def _missing_doc(root: Path, relative: str) -> Violation:
+    return Violation(
+        path=str(root / relative),
+        line=1,
+        col=0,
+        rule=RULE,
+        message=f"{relative} is missing; the drift gates cannot run without it",
+    )
+
+
+@project_rule(
+    RULE,
+    "experiment ids, CLI flags, layer packages and doc links in lockstep",
+)
+def check(root: Path) -> Iterator[Violation]:
+    catalog = root / "docs" / "experiments.md"
+    architecture = root / "docs" / "architecture.md"
+    readme = root / "README.md"
+    if not catalog.is_file():
+        yield _missing_doc(root, "docs/experiments.md")
+        return
+
+    documented_ids = catalog_ids(root)
+    registered = registered_ids()
+    for experiment_id in sorted(registered - documented_ids):
+        yield Violation(
+            path=str(catalog),
+            line=1,
+            col=0,
+            rule=RULE,
+            message=f"registered experiment {experiment_id!r} has no "
+            "### heading in docs/experiments.md",
+        )
+    for experiment_id in sorted(documented_ids - registered):
+        yield Violation(
+            path=str(catalog),
+            line=_line_of(catalog, f"`{experiment_id}`"),
+            col=0,
+            rule=RULE,
+            message=f"docs/experiments.md documents unknown experiment "
+            f"{experiment_id!r}",
+        )
+
+    accepted = cli_flags()
+    documented = documented_flags(root)
+    for flag in sorted(documented - accepted):
+        yield Violation(
+            path=str(catalog),
+            line=_line_of(catalog, flag),
+            col=0,
+            rule=RULE,
+            message=f"docs/experiments.md mentions CLI flag {flag} that the "
+            "runner does not accept",
+        )
+    for flag in sorted(accepted - documented):
+        yield Violation(
+            path=str(catalog),
+            line=1,
+            col=0,
+            rule=RULE,
+            message=f"runner flag {flag} is not documented in "
+            "docs/experiments.md",
+        )
+
+    if not architecture.is_file():
+        yield _missing_doc(root, "docs/architecture.md")
+    else:
+        text = architecture.read_text(encoding="utf-8")
+        for layer in sorted(layer_packages(root)):
+            if layer not in text:
+                yield Violation(
+                    path=str(architecture),
+                    line=1,
+                    col=0,
+                    rule=RULE,
+                    message=f"docs/architecture.md does not mention the "
+                    f"layer package {layer}",
+                )
+
+    if not readme.is_file():
+        yield _missing_doc(root, "README.md")
+    else:
+        text = readme.read_text(encoding="utf-8")
+        for doc in sorted((root / "docs").glob("*.md")):
+            link = f"docs/{doc.name}"
+            if link not in text:
+                yield Violation(
+                    path=str(readme),
+                    line=1,
+                    col=0,
+                    rule=RULE,
+                    message=f"README.md does not link {link}",
+                )

@@ -1,0 +1,113 @@
+"""Numerical and error-handling hygiene for reproduction code.
+
+Four classic rot patterns, each its own rule id (suppress them
+individually, never wholesale):
+
+* ``float-equality`` -- ``==`` / ``!=`` against a float literal.  Exact
+  float comparison encodes an accident of rounding as a contract; compare
+  against a tolerance, or restructure so the intent ("is the feature
+  disabled?") reads from the code.  Scoped to package code: the test suite
+  legitimately asserts *bit-identity* (``==`` on floats is the point
+  there).
+* ``mutable-default`` -- ``def f(x=[])`` / ``def f(x={})`` shares one
+  mutable object across every call; use ``None`` plus an inline default.
+* ``bare-except`` -- ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` along with the error it meant to handle; name the
+  exception type (or ``Exception``).
+* ``assert-validation`` -- ``assert`` for runtime validation in package
+  code vanishes under ``python -O``, turning a loud contract breach into
+  silent corruption; raise a typed error instead.  Scoped to package code:
+  ``assert`` is pytest's assertion idiom in the suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import SourceFile, Violation, rule
+
+_MUTABLE_FACTORIES = {"list", "dict", "set"}
+
+
+def _is_float_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@rule(
+    "float-equality",
+    "no == / != against float literals; use a tolerance or restructure",
+    scopes=("src",),
+)
+def check_float_equality(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_constant(left) or _is_float_constant(right):
+                yield source.violation(
+                    node,
+                    "float-equality",
+                    "exact ==/!= against a float literal; compare with a "
+                    "tolerance (math.isclose / np.isclose) or restructure "
+                    "the condition to state its intent",
+                )
+
+
+@rule(
+    "mutable-default",
+    "no mutable default arguments (list/dict/set literals or calls)",
+)
+def check_mutable_default(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+                and not default.args
+                and not default.keywords
+            )
+            if mutable:
+                yield source.violation(
+                    default,
+                    "mutable-default",
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+
+@rule("bare-except", "no bare except: clauses; name the exception type")
+def check_bare_except(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield source.violation(
+                node,
+                "bare-except",
+                "bare except: catches KeyboardInterrupt/SystemExit too; "
+                "name the exception type (or Exception)",
+            )
+
+
+@rule(
+    "assert-validation",
+    "no assert for runtime validation in package code (gone under -O)",
+    scopes=("src",),
+)
+def check_assert_validation(source: SourceFile) -> Iterator[Violation]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Assert):
+            yield source.violation(
+                node,
+                "assert-validation",
+                "assert statements are stripped under python -O; raise a "
+                "typed error (ValueError/RuntimeError/TypeError) instead",
+            )

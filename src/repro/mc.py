@@ -72,6 +72,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "AdaptiveSampleResult",
@@ -346,7 +347,7 @@ class RunningMoments:
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
-    def extend(self, values) -> None:
+    def extend(self, values: npt.ArrayLike) -> None:
         """Fold a whole chunk of observations into the stream."""
         values = np.asarray(values, dtype=float).ravel()
         if values.size == 0:
@@ -407,8 +408,8 @@ class SampleChunk:
             each streams through a :class:`RunningMoments`.
     """
 
-    passes: Mapping[str, np.ndarray]
-    values: Mapping[str, np.ndarray] = field(default_factory=dict)
+    passes: Mapping[str, npt.NDArray[np.bool_]]
+    values: Mapping[str, npt.NDArray[np.float64]] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -69,10 +69,15 @@ population a one-shot fabrication draws:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.converter.adc import WindowedADC
 from repro.converter.buck import BuckParameters
+from repro.converter.load import LoadProfile, ReferenceProfile, SourceProfile
 from repro.core.design import DesignSpec, design_conventional, design_proposed
 from repro.core.ensemble import (
     ConventionalEnsemble,
@@ -81,10 +86,16 @@ from repro.core.ensemble import (
     EnsembleTransferCurves,
     ProposedEnsemble,
 )
-from repro.core.yield_analysis import ComponentVariation
+from repro.core.yield_analysis import (
+    ClosedLoopYieldResult,
+    ComponentVariation,
+    LinearitySpec,
+    RegulationSpec,
+)
 from repro.simulation.batch import (
     BatchBuckParameters,
     BatchClosedLoop,
+    BatchCompensator,
     BatchQuantizer,
     BatchRegulationResult,
 )
@@ -216,11 +227,15 @@ class PipelineResult:
     def num_instances(self) -> int:
         return self.regulation.num_variants
 
-    def steady_state_voltages_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+    def steady_state_voltages_v(
+        self, tail_fraction: float = 0.25
+    ) -> npt.NDArray[np.float64]:
         """Per-instance steady-state output voltage."""
         return self.regulation.steady_state_voltage_v(tail_fraction)
 
-    def limit_cycle_amplitudes_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+    def limit_cycle_amplitudes_v(
+        self, tail_fraction: float = 0.25
+    ) -> npt.NDArray[np.float64]:
         """Per-instance steady-state peak-to-peak output ripple.
 
         This is the limit-cycle amplitude the DPWM's finite (and, after
@@ -229,7 +244,9 @@ class PipelineResult:
         """
         return self.regulation.steady_state_ripple_v(tail_fraction)
 
-    def regulation_errors_v(self, tail_fraction: float = 0.25) -> np.ndarray:
+    def regulation_errors_v(
+        self, tail_fraction: float = 0.25
+    ) -> npt.NDArray[np.float64]:
         """Per-instance |steady-state output - reference|."""
         return np.abs(self.steady_state_voltages_v(tail_fraction) - self.reference_v)
 
@@ -255,12 +272,12 @@ class SiliconToRegulationPipeline:
         nominal: BuckParameters | None = None,
         reference_v: float = 0.9,
         component_variation: ComponentVariation | None = None,
-        load=None,
-        loads=None,
-        adc=None,
-        compensator=None,
-        reference_profile=None,
-        source_profile=None,
+        load: LoadProfile | None = None,
+        loads: Sequence[LoadProfile] | None = None,
+        adc: WindowedADC | None = None,
+        compensator: BatchCompensator | None = None,
+        reference_profile: ReferenceProfile | None = None,
+        source_profile: SourceProfile | None = None,
         library: TechnologyLibrary | None = None,
         first_instance: int = 0,
     ) -> None:
@@ -311,7 +328,7 @@ class SiliconToRegulationPipeline:
                 nominal, num_instances
             )
         self.reference_v = reference_v
-        self._loop_kwargs = dict(
+        self._loop_kwargs: dict[str, Any] = dict(
             adc=adc,
             compensator=compensator,
             load=load,
@@ -378,7 +395,7 @@ class ChunkedSiliconToRegulation:
         nominal: BuckParameters | None = None,
         reference_v: float = 0.9,
         component_variation: ComponentVariation | None = None,
-        load=None,
+        load: LoadProfile | None = None,
         library: TechnologyLibrary | None = None,
     ) -> None:
         self.fabricator = ChunkedFabricator(
@@ -434,12 +451,12 @@ def closed_loop_cell(
     reference_v: float = 0.9,
     num_instances: int = 256,
     periods: int = 300,
-    linearity_spec=None,
-    regulation_spec=None,
-    load=None,
+    linearity_spec: LinearitySpec | None = None,
+    regulation_spec: RegulationSpec | None = None,
+    load: LoadProfile | None = None,
     nominal: BuckParameters | None = None,
     library: TechnologyLibrary | None = None,
-):
+) -> ClosedLoopYieldResult:
     """One silicon-to-regulation sweep cell from scalar cell coordinates.
 
     This is the cell-sized entry point of the pipeline: everything that

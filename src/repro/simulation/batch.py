@@ -51,9 +51,10 @@ ideal 6-bit DPWM, advanced 200 switching periods in one vectorized run:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.converter.adc import WindowedADC
 from repro.converter.buck import (
@@ -62,11 +63,18 @@ from repro.converter.buck import (
     plant_matrix_entries,
 )
 from repro.converter.closed_loop import (
+    DigitallyControlledBuck,
+    DutyQuantizer,
     RegulationTrace,
     steady_state_tail,
     validate_reference_profile,
 )
-from repro.converter.load import ConstantLoad
+from repro.converter.load import (
+    ConstantLoad,
+    LoadProfile,
+    ReferenceProfile,
+    SourceProfile,
+)
 
 __all__ = [
     "BatchBuckParameters",
@@ -78,7 +86,9 @@ __all__ = [
 ]
 
 
-def _as_variant_array(value, num_variants: int, name: str) -> np.ndarray:
+def _as_variant_array(
+    value: npt.ArrayLike, num_variants: int, name: str
+) -> np.ndarray:
     """Broadcast a scalar or (N,) sequence to a float array of length N."""
     array = np.asarray(value, dtype=float)
     if array.ndim == 0:
@@ -178,6 +188,24 @@ class BatchBuckParameters:
         )
 
 
+class TransferCurveMatrix(Protocol):
+    """What :meth:`BatchQuantizer.from_ensemble` reads off an ensemble's
+    transfer curves (:class:`~repro.core.ensemble.EnsembleTransferCurves`
+    in practice)."""
+
+    @property
+    def input_words(self) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def delays_ps(self) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def clock_period_ps(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
 class BatchQuantizer:
     """Vectorized duty quantizer backed by per-variant word -> duty tables.
 
@@ -239,7 +267,7 @@ class BatchQuantizer:
         return cls(levels[np.newaxis, :], num_variants=num_variants)
 
     @classmethod
-    def from_quantizers(cls, quantizers: Sequence) -> "BatchQuantizer":
+    def from_quantizers(cls, quantizers: Sequence[DutyQuantizer]) -> "BatchQuantizer":
         """Extract the word -> duty tables of scalar DPWM objects.
 
         Every quantizer must expose ``max_word`` / ``duty_fraction`` (the
@@ -271,7 +299,9 @@ class BatchQuantizer:
         return cls(levels, num_words=num_words)
 
     @classmethod
-    def from_ensemble(cls, curves, num_words: int | None = None) -> "BatchQuantizer":
+    def from_ensemble(
+        cls, curves: "TransferCurveMatrix", num_words: int | None = None
+    ) -> "BatchQuantizer":
         """Per-instance duty tables straight from an ensemble's curve matrix.
 
         ``curves`` is any object exposing ``input_words`` (the contiguous
@@ -342,12 +372,12 @@ class BatchCompensator:
     def __init__(
         self,
         num_variants: int,
-        kp=0.001,
-        ki=5e-5,
-        kd=0.0,
-        initial_duty=0.5,
-        min_duty=0.0,
-        max_duty=1.0,
+        kp: npt.ArrayLike = 0.001,
+        ki: npt.ArrayLike = 5e-5,
+        kd: npt.ArrayLike = 0.0,
+        initial_duty: npt.ArrayLike = 0.5,
+        min_duty: npt.ArrayLike = 0.0,
+        max_duty: npt.ArrayLike = 1.0,
     ) -> None:
         self.kp = _as_variant_array(kp, num_variants, "kp")
         self.ki = _as_variant_array(ki, num_variants, "ki")
@@ -528,14 +558,14 @@ class BatchClosedLoop:
         self,
         parameters: BatchBuckParameters,
         quantizer: BatchQuantizer,
-        reference_v,
+        reference_v: npt.ArrayLike,
         adc: WindowedADC | None = None,
         compensator: BatchCompensator | None = None,
-        load=None,
-        loads: Sequence | None = None,
+        load: LoadProfile | None = None,
+        loads: Sequence[LoadProfile] | None = None,
         start_at_reference: bool = True,
-        reference_profile=None,
-        source_profile=None,
+        reference_profile: ReferenceProfile | None = None,
+        source_profile: SourceProfile | None = None,
     ) -> None:
         """Assemble the batch loop.
 
@@ -714,7 +744,7 @@ class BatchClosedLoop:
         )
 
 
-def from_closed_loops(loops: Sequence) -> BatchClosedLoop:
+def from_closed_loops(loops: Sequence[DigitallyControlledBuck]) -> BatchClosedLoop:
     """Lift scalar :class:`DigitallyControlledBuck` loops into one batch.
 
     The loops must share the ADC configuration and scenario objects (their

@@ -27,6 +27,7 @@ import tempfile
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -55,7 +56,7 @@ class _Miss:
 MISS = _Miss()
 
 
-def jsonable(value):
+def jsonable(value: Any) -> Any:
     """Recursively convert result data into JSON-serializable types.
 
     Numpy arrays become (nested) lists, numpy scalars become Python
@@ -77,7 +78,7 @@ def jsonable(value):
     return value
 
 
-def canonical_json(value) -> str:
+def canonical_json(value: Any) -> str:
     """The canonical (sorted, compact) JSON text of a value.
 
     Canonicalization makes the text -- and therefore the content address
@@ -108,7 +109,7 @@ def code_fingerprint() -> str:
 
 
 def cell_key(
-    experiment_id: str, params: dict, fingerprint: str | None = None
+    experiment_id: str, params: dict[str, Any], fingerprint: str | None = None
 ) -> str:
     """Content address of one sweep cell.
 
@@ -128,7 +129,7 @@ def cell_key(
     return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
 
 
-def _payload_digest(payload) -> str:
+def _payload_digest(payload: Any) -> str:
     """Integrity checksum of a stored payload (canonical-JSON sha256)."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
@@ -150,7 +151,7 @@ class ResultCache:
         """Where the entry for a cell key lives (whether or not it exists)."""
         return self.root / experiment_id / f"{key}.json"
 
-    def load(self, experiment_id: str, key: str):
+    def load(self, experiment_id: str, key: str) -> Any:
         """The cached payload for a key, or the :data:`MISS` sentinel.
 
         A present-but-invalid entry (unreadable, corrupt JSON, wrong schema
@@ -184,7 +185,11 @@ class ResultCache:
         return entry["payload"]
 
     def store(
-        self, experiment_id: str, key: str, payload, params: dict | None = None
+        self,
+        experiment_id: str,
+        key: str,
+        payload: Any,
+        params: dict[str, Any] | None = None,
     ) -> None:
         """Atomically write a payload under its content address."""
         path = self.entry_path(experiment_id, key)

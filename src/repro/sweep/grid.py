@@ -16,6 +16,7 @@ the cell function from these scalar coordinates.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable, Iterator
 from math import prod
 
 __all__ = ["ParameterGrid"]
@@ -42,34 +43,34 @@ class ParameterGrid:
         {'scheme': 'proposed', 'frequency_mhz': 200.0}
     """
 
-    def __init__(self, **axes) -> None:
+    def __init__(self, **axes: Iterable[object]) -> None:
         if not axes:
             raise ValueError("a parameter grid needs at least one axis")
-        validated: dict[str, tuple] = {}
+        validated: dict[str, tuple[object, ...]] = {}
         for name, values in axes.items():
-            values = tuple(values)
-            if not values:
+            axis_values = tuple(values)
+            if not axis_values:
                 raise ValueError(f"axis {name!r} has no values")
-            for value in values:
+            for value in axis_values:
                 if value is not None and not isinstance(value, _SCALAR_TYPES):
                     raise TypeError(
                         f"axis {name!r} value {value!r} is not a JSON scalar; "
                         "reconstruct rich objects inside the cell function"
                     )
-            if len(set(values)) != len(values):
+            if len(set(axis_values)) != len(axis_values):
                 raise ValueError(f"axis {name!r} has duplicate values")
-            validated[name] = values
+            validated[name] = axis_values
         self.axes = validated
 
     def __len__(self) -> int:
         return prod(len(values) for values in self.axes.values())
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[dict[str, object]]:
         names = list(self.axes)
         for combination in itertools.product(*self.axes.values()):
             yield dict(zip(names, combination))
 
-    def cells(self, **extra) -> list[dict]:
+    def cells(self, **extra: object) -> list[dict[str, object]]:
         """All cells as dicts, each extended with the ``extra`` parameters.
 
         The extras (typically the resolved RNG seed) become part of every

@@ -24,15 +24,24 @@ from __future__ import annotations
 import json
 import multiprocessing
 from dataclasses import dataclass
+from multiprocessing import pool
+from multiprocessing.context import BaseContext
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.sweep.cache import MISS, ResultCache, canonical_json, cell_key
 
 __all__ = ["SweepConfig", "SweepOrchestrator", "sweep_map"]
 
+#: One sweep cell: a JSON-scalar parameter dict.
+CellParams = dict[str, Any]
+#: What a cell function returns: a JSON-serializable payload dict.
+CellPayload = dict[str, Any]
 
-def _call_cell(item):
+
+def _call_cell(
+    item: tuple[Callable[[CellParams], CellPayload], CellParams],
+) -> CellPayload:
     """Top-level pool target: unpack (function, params) and invoke.
 
     Lives at module level so it pickles by reference into worker processes.
@@ -75,15 +84,15 @@ class SweepOrchestrator:
         )
         self.hits = 0
         self.misses = 0
-        self._pool = None
+        self._pool: pool.Pool | None = None
 
     def map_cells(
         self,
-        func: Callable[[dict], dict],
-        cells: Iterable[dict],
+        func: Callable[[CellParams], CellPayload],
+        cells: Iterable[CellParams],
         *,
         experiment_id: str,
-    ) -> list[dict]:
+    ) -> list[CellPayload]:
         """Payloads for all cells, in cell order.
 
         Args:
@@ -95,7 +104,7 @@ class SweepOrchestrator:
         """
         cells = [dict(cell) for cell in cells]
         keys = [cell_key(experiment_id, cell) for cell in cells]
-        payloads: list = [None] * len(cells)
+        payloads: list[Any] = [None] * len(cells)
         missing: list[int] = []
         for index, key in enumerate(keys):
             cached = (
@@ -125,16 +134,17 @@ class SweepOrchestrator:
                 payloads[index] = payload
         return payloads
 
-    def _pool_instance(self):
+    def _pool_instance(self) -> pool.Pool:
         if self._pool is None:
             # Prefer fork where available (instant start-up, inherits the
             # already-imported numpy/repro stack); fall back to the
             # platform default elsewhere -- cell functions are module-level
             # and cells are plain dicts, so both pickle fine.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
+            context: BaseContext
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
             self._pool = context.Pool(processes=self.config.workers)
         return self._pool
 
@@ -148,17 +158,17 @@ class SweepOrchestrator:
     def __enter__(self) -> "SweepOrchestrator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
 def sweep_map(
-    func: Callable[[dict], dict],
-    cells: Iterable[dict],
+    func: Callable[[CellParams], CellPayload],
+    cells: Iterable[CellParams],
     *,
     experiment_id: str,
     sweep: SweepOrchestrator | None = None,
-) -> list[dict]:
+) -> list[CellPayload]:
     """Run cells through an orchestrator, or serially when none is given.
 
     This is the entry point the experiments call: with ``sweep=None`` (the

@@ -23,6 +23,7 @@ only used to exercise the calibration loop, never to claim absolute accuracy.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -197,7 +198,7 @@ class OperatingPointSweep:
             for vdd in self.vdds_v
         ]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[OperatingConditions]:
         return iter(self.points)
 
     def __len__(self) -> int:

@@ -191,7 +191,7 @@ class VariationModel:
 
     def _placement_gradient(self, num_cells: int) -> np.ndarray:
         """Systematic slow gradient along the placed line."""
-        if self.gradient_peak == 0.0 or num_cells == 1:
+        if self.gradient_peak <= 0.0 or num_cells == 1:
             return np.zeros(num_cells)
         position = np.linspace(0.0, 1.0, num_cells)
         # Half a cosine period: cells at one end of the row are slightly

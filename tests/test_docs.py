@@ -1,18 +1,22 @@
 """Docs stay in lockstep with the code.
 
-Three enforcement points: the module docstrings of the hot engines carry
+Two enforcement points: the module docstrings of the hot engines carry
 *runnable* doctest examples (exercised here and by the CI docs job via
-``pytest --doctest-modules``), ``docs/experiments.md`` must list every id
-in the experiment registry, and every CLI flag the catalog documents must
-exist in the runner's argparse spec -- and vice versa.  Adding an
-experiment or a flag without documenting it (or documenting one that does
-not exist) fails the suite.
+``pytest --doctest-modules``), and the ``registry-drift`` rule of
+:mod:`repro.lint` must report the repository clean -- every id in the
+experiment registry documented in ``docs/experiments.md`` (and vice
+versa), every runner CLI flag documented (and vice versa), every layer
+package named in ``docs/architecture.md``, and every docs page linked
+from the README.  The drift logic itself lives in
+:mod:`repro.lint.rules.drift` so the pytest gate and the ``repro-lint``
+command can never disagree; the per-aspect tests below call the rule's
+helpers directly so a failure still names the specific contract that
+broke.
 """
 
 from __future__ import annotations
 
 import doctest
-import re
 from pathlib import Path
 
 import pytest
@@ -22,8 +26,7 @@ import repro.core.yield_analysis
 import repro.mc
 import repro.pipeline
 import repro.simulation.batch
-from repro.experiments import registry
-from repro.experiments.runner import _build_parser
+from repro.lint.rules import drift
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
@@ -45,42 +48,17 @@ def test_module_docstring_examples_run(module):
     assert results.failed == 0
 
 
-def _catalog_ids() -> set[str]:
-    """Experiment ids named in ``###`` headings of the catalog."""
-    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
-    ids: set[str] = set()
-    for heading in re.findall(r"^###\s+(.*)$", text, flags=re.MULTILINE):
-        ids.update(re.findall(r"`([a-z0-9_]+)`", heading))
-    return ids
-
-
 def test_experiment_catalog_lists_every_registered_id():
-    documented = _catalog_ids()
-    registered = set(registry)
+    documented = drift.catalog_ids(REPO_ROOT)
+    registered = drift.registered_ids()
     missing = registered - documented
     stale = documented - registered
     assert not missing, f"experiments missing from docs/experiments.md: {missing}"
     assert not stale, f"docs/experiments.md documents unknown ids: {stale}"
 
 
-def _cli_flags() -> set[str]:
-    """Every ``--flag`` the runner's argparse spec actually accepts."""
-    flags: set[str] = set()
-    for action in _build_parser()._actions:
-        for option in action.option_strings:
-            if option.startswith("--") and option != "--help":
-                flags.add(option)
-    return flags
-
-
-def _documented_flags() -> set[str]:
-    """Every ``--flag`` mentioned anywhere in ``docs/experiments.md``."""
-    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
-    return set(re.findall(r"(?<![\w-])--[a-z][a-z0-9-]+", text))
-
-
 def test_every_documented_cli_flag_exists():
-    unknown = _documented_flags() - _cli_flags()
+    unknown = drift.documented_flags(REPO_ROOT) - drift.cli_flags()
     assert not unknown, (
         f"docs/experiments.md mentions CLI flags the runner does not "
         f"accept: {sorted(unknown)}"
@@ -88,15 +66,19 @@ def test_every_documented_cli_flag_exists():
 
 
 def test_every_cli_flag_is_documented():
-    missing = _cli_flags() - _documented_flags()
-    assert not missing, (
+    missing = drift.cli_flags() - drift.documented_flags(REPO_ROOT)
+    assert missing == set(), (
         f"runner.py flags missing from docs/experiments.md: {sorted(missing)}"
     )
 
 
 def test_architecture_doc_names_every_layer():
     text = (DOCS / "architecture.md").read_text(encoding="utf-8")
-    for package in (
+    layers = drift.layer_packages(REPO_ROOT)
+    # The filesystem discovery must keep seeing the seven-layer stack; a
+    # refactor that silently renames a package would otherwise weaken the
+    # gate to vacuity.
+    for expected in (
         "repro.technology",
         "repro.core",
         "repro.dpwm",
@@ -107,8 +89,17 @@ def test_architecture_doc_names_every_layer():
         "repro.sweep",
         "repro.experiments",
         "repro.analysis",
+        "repro.lint",
     ):
+        assert expected in layers, f"layer discovery lost {expected}"
+    for package in sorted(layers):
         assert package in text, f"architecture.md does not mention {package}"
+
+
+def test_registry_drift_rule_reports_repository_clean():
+    """The single gate the per-aspect tests above are facets of."""
+    violations = list(drift.check(REPO_ROOT))
+    assert violations == [], "\n".join(v.format() for v in violations)
 
 
 def test_monte_carlo_guide_covers_the_adaptive_contract():
@@ -126,6 +117,5 @@ def test_monte_carlo_guide_covers_the_adaptive_contract():
 
 def test_readme_links_to_the_docs():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    assert "docs/architecture.md" in text
-    assert "docs/experiments.md" in text
-    assert "docs/monte_carlo.md" in text
+    for doc in sorted(DOCS.glob("*.md")):
+        assert f"docs/{doc.name}" in text, f"README.md does not link docs/{doc.name}"

@@ -21,7 +21,6 @@ from repro.core.linearity import transfer_curve
 from repro.core.proposed import ProposedController
 from repro.dpwm.calibrated import CalibratedDelayLineDPWM
 from repro.technology.corners import OperatingConditions, ProcessCorner
-from repro.technology.synthesis import Synthesizer
 from repro.technology.variation import VariationModel
 
 
