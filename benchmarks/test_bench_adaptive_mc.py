@@ -56,7 +56,7 @@ def _cell_kwargs(corner: OperatingConditions) -> dict:
     )
 
 
-def test_bench_adaptive_budget_reduction_on_a_high_yield_cell():
+def test_bench_adaptive_budget_reduction_on_a_high_yield_cell(bench_provenance):
     # The fixed reference: the stock fig50_51_mc budget of 1000 instances.
     start = time.perf_counter()
     fixed = linearity_yield(
@@ -101,6 +101,7 @@ def test_bench_adaptive_budget_reduction_on_a_high_yield_cell():
         "budget_reduction_x": NUM_INSTANCES / adaptive.samples,
         "marginal_cell_samples": marginal.samples,
         "marginal_cell_yield": marginal.yield_estimate,
+        "provenance": bench_provenance,
     }
     report_path = os.environ.get("BENCH_ADAPTIVE_MC_JSON")
     if report_path:

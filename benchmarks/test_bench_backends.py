@@ -1,0 +1,212 @@
+"""Benchmark: kernel backends head-to-head on the vectorized engines.
+
+Every *available* backend (see ``repro.kernels``; ``numba`` only counts
+when it is importable, since otherwise it resolves to the numpy
+reference) runs the two flagship workloads:
+
+* the 512-instance silicon-to-regulation pipeline sweep of
+  ``test_bench_pipeline`` (proposed scheme, 100 MHz, 6-bit, typical
+  corner, 300 periods);
+* the 1000-instance proposed-scheme linearity sweep of
+  ``test_bench_linearity_engine``.
+
+All backends must agree with the numpy reference — bit-identical duty
+words, voltages and transfer curves within the documented
+``repro.kernels.TOLERANCES`` — and the numba backend must be at least
+2x faster than numpy on the pipeline sweep (JIT compilation is warmed
+up outside the timers; the gate is skipped when numba is not
+installed).
+
+When ``BENCH_BACKENDS_JSON`` is set, per-backend throughput is written
+there so CI can archive the perf trajectory (the ``BENCH_backends.json``
+artifact).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignSpec, design_proposed
+from repro.core.ensemble import ProposedEnsemble
+from repro.core.yield_analysis import ComponentVariation
+from repro.kernels import available_backends, get_backend
+from repro.pipeline import SiliconToRegulationPipeline
+from repro.technology.corners import OperatingConditions
+from repro.technology.library import intel32_like_library
+from repro.technology.variation import VariationModel
+
+PIPELINE_INSTANCES = 512
+PERIODS = 300
+LINEARITY_INSTANCES = 1000
+REFERENCE_V = 0.9
+REPEATS = 3
+SPEC = DesignSpec(clock_frequency_mhz=100.0, resolution_bits=6)
+CONDITIONS = OperatingConditions.typical()
+VARIATION = VariationModel(random_sigma=0.04, gradient_peak=0.015, seed=2012)
+COMPONENTS = ComponentVariation(seed=2012)
+
+LIBRARY = intel32_like_library()
+CONFIG = design_proposed(SPEC, LIBRARY).build_line(library=LIBRARY).config
+
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+#: Memoized per-backend measurements, shared between the report test and
+#: the speedup gate so the workloads run once per session.
+_MEASURED: dict[str, dict[str, object]] = {}
+
+
+def _backend_names() -> list[str]:
+    """Registered backends that resolve to themselves in this environment."""
+    return [
+        name for name in available_backends() if get_backend(name).name == name
+    ]
+
+
+def _run_pipeline(backend: str):
+    pipeline = SiliconToRegulationPipeline(
+        "proposed",
+        SPEC,
+        CONDITIONS,
+        variation=VARIATION,
+        num_instances=PIPELINE_INSTANCES,
+        reference_v=REFERENCE_V,
+        component_variation=COMPONENTS,
+        library=LIBRARY,
+        backend=backend,
+    )
+    return pipeline.run(PERIODS)
+
+
+def _run_linearity(backend: str):
+    ensemble = ProposedEnsemble.sample(
+        CONFIG, LINEARITY_INSTANCES, VARIATION, library=LIBRARY, backend=backend
+    )
+    calibration = ensemble.lock(CONDITIONS)
+    return ensemble.transfer_curves(CONDITIONS, calibration=calibration)
+
+
+def _measure(name: str) -> dict[str, object]:
+    """Best-of-N timings plus result arrays for one backend."""
+    if name in _MEASURED:
+        return _MEASURED[name]
+    if get_backend(name).compiled:
+        from repro.kernels.numba_backend import warm_up
+
+        warm_up()
+    # One untimed run warms every remaining code path (JIT specializations,
+    # coefficient tables) and supplies the arrays for the equivalence check.
+    regulation = _run_pipeline(name)
+    curves = _run_linearity(name)
+
+    pipeline_seconds = min(
+        _timed(_run_pipeline, name) for _ in range(REPEATS)
+    )
+    linearity_seconds = min(
+        _timed(_run_linearity, name) for _ in range(REPEATS)
+    )
+    _MEASURED[name] = {
+        "duty_words": regulation.regulation.duty_words,
+        "voltages": regulation.regulation.output_voltages_v,
+        "locked": bool(regulation.calibration.locked.all()),
+        "delays_ps": curves.delays_ps,
+        "pipeline_seconds": pipeline_seconds,
+        "linearity_seconds": linearity_seconds,
+    }
+    return _MEASURED[name]
+
+
+def _timed(workload, name: str) -> float:
+    start = time.perf_counter()
+    workload(name)
+    return time.perf_counter() - start
+
+
+def test_bench_backends_agree_and_report(bench_provenance):
+    names = _backend_names()
+    assert "numpy" in names, "the numpy reference backend must always exist"
+    measured = {name: _measure(name) for name in names}
+    reference = measured["numpy"]
+
+    # Archive the measurements *before* the gates: a perf regression is
+    # exactly the run whose numbers must survive for diagnosis.
+    report_path = os.environ.get("BENCH_BACKENDS_JSON")
+    if report_path:
+        report = {
+            "workloads": {
+                "pipeline": f"{PIPELINE_INSTANCES}-instance "
+                "silicon-to-regulation sweep (proposed, 100 MHz, 6-bit, "
+                f"typical corner, {PERIODS} periods)",
+                "linearity": f"{LINEARITY_INSTANCES}-instance "
+                "proposed-scheme linearity sweep (100 MHz, 6-bit, "
+                "typical corner)",
+            },
+            "numba_available": NUMBA_AVAILABLE,
+            "backends": {
+                name: {
+                    "compiled": get_backend(name).compiled,
+                    "pipeline_seconds": stats["pipeline_seconds"],
+                    "pipeline_instances_per_sec": PIPELINE_INSTANCES
+                    / stats["pipeline_seconds"],
+                    "linearity_seconds": stats["linearity_seconds"],
+                    "linearity_instances_per_sec": LINEARITY_INSTANCES
+                    / stats["linearity_seconds"],
+                }
+                for name, stats in measured.items()
+            },
+            "pipeline_speedup_numba_over_numpy": (
+                reference["pipeline_seconds"]
+                / measured["numba"]["pipeline_seconds"]
+                if "numba" in measured
+                else None
+            ),
+            "provenance": bench_provenance,
+        }
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+
+    # Sanity on the reference run, then equivalence of every other backend.
+    assert reference["locked"], "reference run failed to lock"
+    for name, stats in measured.items():
+        if name == "numpy":
+            continue
+        assert stats["locked"], f"{name}: fleet failed to lock"
+        np.testing.assert_array_equal(
+            stats["duty_words"],
+            reference["duty_words"],
+            err_msg=f"{name}: per-period duty-word decisions diverged",
+        )
+        # Voltages and curves inherit interval_coefficients' documented
+        # transcendental tolerance (repro.kernels.TOLERANCES), compounded
+        # over the run; everything beyond ~1e-9 is a real divergence.
+        np.testing.assert_allclose(
+            stats["voltages"],
+            reference["voltages"],
+            rtol=1e-9,
+            atol=1e-12,
+            err_msg=f"{name}: output-voltage histories diverged",
+        )
+        np.testing.assert_allclose(
+            stats["delays_ps"],
+            reference["delays_ps"],
+            rtol=1e-9,
+            atol=1e-9,
+            err_msg=f"{name}: transfer curves diverged",
+        )
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba is not installed")
+def test_bench_numba_pipeline_speedup_gate():
+    numpy_stats = _measure("numpy")
+    numba_stats = _measure("numba")
+    speedup = numpy_stats["pipeline_seconds"] / numba_stats["pipeline_seconds"]
+    assert speedup >= 2.0, (
+        f"numba backend only {speedup:.2f}x faster on the pipeline sweep "
+        f"({numpy_stats['pipeline_seconds']:.3f}s numpy vs "
+        f"{numba_stats['pipeline_seconds']:.3f}s numba)"
+    )

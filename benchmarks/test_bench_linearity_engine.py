@@ -72,7 +72,7 @@ def _run_scalar_sweep():
     return tap_sels, delays
 
 
-def test_bench_linearity_engine_speedup_and_agreement(benchmark):
+def test_bench_linearity_engine_speedup_and_agreement(benchmark, bench_provenance):
     # Reference: the seed per-instance loop, timed once (it is the slow side;
     # timing it through the benchmark fixture would dominate the suite).
     start = time.perf_counter()
@@ -101,6 +101,7 @@ def test_bench_linearity_engine_speedup_and_agreement(benchmark):
                     "batch_instances_per_sec": NUM_INSTANCES / batch_seconds,
                     "speedup": speedup,
                     "worst_disagreement_ps": float(worst_disagreement),
+                    "provenance": bench_provenance,
                 },
                 handle,
                 indent=2,

@@ -81,7 +81,7 @@ def _run_scalar_composition(pipeline):
     return duty_words, voltages
 
 
-def test_bench_pipeline_speedup_and_bit_exactness(benchmark):
+def test_bench_pipeline_speedup_and_bit_exactness(benchmark, bench_provenance):
     # One warm construction outside the timers hands the scalar path its
     # (identical) electrical parameter draws.
     reference_pipeline, _ = _run_pipeline()
@@ -122,6 +122,7 @@ def test_bench_pipeline_speedup_and_bit_exactness(benchmark):
                     "speedup": speedup,
                     "duty_words_bit_exact": words_equal,
                     "voltages_bit_exact": voltages_equal,
+                    "provenance": bench_provenance,
                 },
                 handle,
                 indent=2,

@@ -51,7 +51,7 @@ def _run_all(sweep=None) -> str:
     return canonical_json(collected)
 
 
-def test_bench_sweep_speedup_identity_and_warm_cache(tmp_path):
+def test_bench_sweep_speedup_identity_and_warm_cache(tmp_path, bench_provenance):
     cpus = _cpu_count()
     cache_dir = tmp_path / "sweep-cache"
 
@@ -97,6 +97,7 @@ def test_bench_sweep_speedup_identity_and_warm_cache(tmp_path):
                     "parallel_speedup": speedup,
                     "warm_fraction_of_serial": warm_fraction,
                     "bit_identical": serial_json == cold_json == warm_json,
+                    "provenance": bench_provenance,
                 },
                 handle,
                 indent=2,

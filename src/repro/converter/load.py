@@ -59,6 +59,11 @@ class ConstantLoad:
 
     resistance_ohm: float
 
+    #: Static loads return the same resistance every period, which lets the
+    #: batch engine evaluate the resistance vector once per run instead of
+    #: once per period (plain class attribute, not a dataclass field).
+    is_static = True
+
     def __post_init__(self) -> None:
         if self.resistance_ohm <= 0:
             raise ValueError("load resistance must be positive")

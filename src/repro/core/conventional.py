@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.calibration import CalibrationResult, LockingStep, LockingTrace
 from repro.core.delay_cells import TunableDelayCell
+from repro.kernels import fabrication
 from repro.technology.cells import CellKind
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
@@ -50,17 +51,15 @@ def active_branch_delays_ps(
 ) -> np.ndarray:
     """Delay of the active branch of every cell, from per-buffer multipliers.
 
-    The active branch of a cell uses the first ``buffers_active`` buffers of
-    its longest branch, so its delay is the unit delay times the prefix sum
-    of those multipliers -- one gather into the running cumulative sum along
-    the buffer axis.  ``multipliers`` is ``(..., cells, buffers)`` and
-    ``buffers_active`` ``(..., cells)``; leading batch axes broadcast, and
-    the accumulation order is the same for every caller, so the scalar line
-    and the ensemble engine are bit-identical by construction.
+    The math lives in :func:`repro.kernels.fabrication.active_branch_delays`
+    (this is the numpy reference the backend registry serves); the wrapper
+    stays for the scalar line's callers and for backwards compatibility.
+    ``multipliers`` is ``(..., cells, buffers)`` and ``buffers_active``
+    ``(..., cells)``; leading batch axes broadcast, and the accumulation
+    order is the same for every caller, so the scalar line and the ensemble
+    engine are bit-identical by construction.
     """
-    prefix_sums = np.cumsum(multipliers, axis=-1)
-    indices = (buffers_active - 1)[..., np.newaxis]
-    return unit_delay_ps * np.take_along_axis(prefix_sums, indices, axis=-1)[..., 0]
+    return fabrication.active_branch_delays(multipliers, buffers_active, unit_delay_ps)
 
 
 class TuningOrder(enum.Enum):

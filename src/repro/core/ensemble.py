@@ -74,10 +74,10 @@ from repro.core.calibration import CalibrationResult, LockingTrace
 from repro.core.conventional import (
     ConventionalDelayLine,
     ConventionalDelayLineConfig,
-    active_branch_delays_ps,
 )
 from repro.core.mapper import MappingBlock
 from repro.core.proposed import ProposedDelayLine, ProposedDelayLineConfig
+from repro.kernels import KernelBackend, get_backend
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.variation import BatchVariationSample, VariationModel
@@ -217,8 +217,12 @@ class DelayLineEnsemble:
         library: TechnologyLibrary | None,
         batch: BatchVariationSample | None,
         num_instances: int | None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.library = library or intel32_like_library()
+        self.kernels = (
+            backend if isinstance(backend, KernelBackend) else get_backend(backend)
+        )
         if batch is not None:
             expected = (num_cells, buffers_per_cell)
             actual = (batch.num_cells, batch.buffers_per_cell)
@@ -260,9 +264,15 @@ class ProposedEnsemble(DelayLineEnsemble):
         library: TechnologyLibrary | None = None,
         batch: BatchVariationSample | None = None,
         num_instances: int | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         super().__init__(
-            config.num_cells, config.buffers_per_cell, library, batch, num_instances
+            config.num_cells,
+            config.buffers_per_cell,
+            library,
+            batch,
+            num_instances,
+            backend=backend,
         )
         self.config = config
         # The transfer curves apply the mapper's eq.-18 multiply/shift/clamp
@@ -278,6 +288,7 @@ class ProposedEnsemble(DelayLineEnsemble):
         model: VariationModel,
         library: TechnologyLibrary | None = None,
         first_instance: int = 0,
+        backend: str | KernelBackend | None = None,
     ) -> "ProposedEnsemble":
         """Draw an ensemble of fabricated instances from a variation model."""
         batch = model.sample_batch(
@@ -286,17 +297,21 @@ class ProposedEnsemble(DelayLineEnsemble):
             config.buffers_per_cell,
             first_instance=first_instance,
         )
-        return cls(config, library=library, batch=batch)
+        return cls(config, library=library, batch=batch, backend=backend)
 
     @classmethod
-    def from_line(cls, line: ProposedDelayLine) -> "ProposedEnsemble":
+    def from_line(
+        cls,
+        line: ProposedDelayLine,
+        backend: str | KernelBackend | None = None,
+    ) -> "ProposedEnsemble":
         """A single-instance ensemble sharing one scalar line's sample."""
         batch = None
         if line.variation is not None:
             batch = BatchVariationSample(
                 multipliers=line.variation.multipliers[np.newaxis]
             )
-        return cls(line.config, library=line.library, batch=batch)
+        return cls(line.config, library=line.library, batch=batch, backend=backend)
 
     def line(self, index: int) -> ProposedDelayLine:
         """One instance as a scalar :class:`ProposedDelayLine` view."""
@@ -309,7 +324,7 @@ class ProposedEnsemble(DelayLineEnsemble):
         if self.batch is None:
             nominal = unit * self.config.buffers_per_cell
             return np.full((self.num_instances, self.config.num_cells), nominal)
-        return self.batch.multipliers.sum(axis=2) * unit
+        return self.kernels.cell_delays_from_multipliers(self.batch.multipliers, unit)
 
     def tap_delays_ps(self, conditions: OperatingConditions) -> np.ndarray:
         """``(instances, num_cells)`` cumulative tap-delay matrix."""
@@ -321,15 +336,12 @@ class ProposedEnsemble(DelayLineEnsemble):
         taps = self.tap_delays_ps(conditions)
         half = config.clock_period_ps / 2.0
         # Tap delays increase strictly along the line, so the count of taps
-        # at or below the half period is the searchsorted insertion point --
-        # the fixed point the scalar up/down walk dithers around.
-        count = np.count_nonzero(taps <= half, axis=1)
-        control = np.clip(count, 1, config.num_cells)
-        locked = (count >= 1) & (count <= config.num_cells - 1)
+        # at or below the half period is the fixed point the scalar up/down
+        # walk dithers around (see repro.kernels.ensemble.proposed_lock).
+        control, locked, locked_delay = self.kernels.proposed_lock(
+            taps, half, config.num_cells
+        )
         lock_cycles = control + self.synchronizer_latency_cycles
-        locked_delay = np.take_along_axis(
-            taps, (control - 1)[:, np.newaxis], axis=1
-        )[:, 0]
         return EnsembleCalibration(
             scheme=self.scheme,
             control_state=control,
@@ -368,13 +380,9 @@ class ProposedEnsemble(DelayLineEnsemble):
         words = np.arange(1, self.mapper.max_word + 1)
         # The mapping block, vectorized over (instances, words): integer
         # multiply, right shift, clamp to the last tap.
-        cal_sel = np.minimum(
-            (words[np.newaxis, :] * tap_sel[:, np.newaxis])
-            >> self.mapper.shift_amount,
-            self.config.num_cells - 1,
+        delays = self.kernels.proposed_transfer_delays(
+            taps, tap_sel, words, self.mapper.shift_amount, self.config.num_cells
         )
-        delays = np.take_along_axis(taps, np.maximum(cal_sel - 1, 0), axis=1)
-        delays = np.where(cal_sel == 0, 0.0, delays)
         period = self.config.clock_period_ps
         ideal = words / float(self.mapper.max_word + 1) * period
         return EnsembleTransferCurves(
@@ -401,6 +409,7 @@ class ConventionalEnsemble(DelayLineEnsemble):
         library: TechnologyLibrary | None = None,
         batch: BatchVariationSample | None = None,
         num_instances: int | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         longest_branch = config.branches * config.buffers_per_element
         if batch is not None and batch.buffers_per_cell > longest_branch:
@@ -416,6 +425,7 @@ class ConventionalEnsemble(DelayLineEnsemble):
             library,
             batch,
             num_instances,
+            backend=backend,
         )
         self.config = config
         # A nominal template line provides the tuning-level bookkeeping, so
@@ -433,6 +443,7 @@ class ConventionalEnsemble(DelayLineEnsemble):
         model: VariationModel,
         library: TechnologyLibrary | None = None,
         first_instance: int = 0,
+        backend: str | KernelBackend | None = None,
     ) -> "ConventionalEnsemble":
         """Draw an ensemble of fabricated instances from a variation model.
 
@@ -446,17 +457,21 @@ class ConventionalEnsemble(DelayLineEnsemble):
             config.branches * config.buffers_per_element,
             first_instance=first_instance,
         )
-        return cls(config, library=library, batch=batch)
+        return cls(config, library=library, batch=batch, backend=backend)
 
     @classmethod
-    def from_line(cls, line: ConventionalDelayLine) -> "ConventionalEnsemble":
+    def from_line(
+        cls,
+        line: ConventionalDelayLine,
+        backend: str | KernelBackend | None = None,
+    ) -> "ConventionalEnsemble":
         """A single-instance ensemble sharing one scalar line's sample."""
         batch = None
         if line.variation is not None:
             batch = BatchVariationSample(
                 multipliers=line.variation.multipliers[np.newaxis]
             )
-        return cls(line.config, library=line.library, batch=batch)
+        return cls(line.config, library=line.library, batch=batch, backend=backend)
 
     def line(self, index: int) -> ConventionalDelayLine:
         """One instance as a scalar :class:`ConventionalDelayLine` view."""
@@ -503,7 +518,9 @@ class ConventionalEnsemble(DelayLineEnsemble):
         buffers_active = (levels + 1) * config.buffers_per_element
         if self.batch is None:
             return buffers_active.astype(float) * unit
-        return active_branch_delays_ps(self.batch.multipliers, buffers_active, unit)
+        return self.kernels.active_branch_delays(
+            self.batch.multipliers, buffers_active, unit
+        )
 
     def tap_delays_ps(
         self, levels: np.ndarray, conditions: OperatingConditions
@@ -531,7 +548,7 @@ class ConventionalEnsemble(DelayLineEnsemble):
             # along the cell axis then reproduces the scalar tap accumulation
             # order bit-exactly without a second (instances, steps, cells)
             # allocation.
-            cell_delays = active_branch_delays_ps(
+            cell_delays = self.kernels.active_branch_delays(
                 self.batch.multipliers[:, np.newaxis],
                 buffers_active[np.newaxis],
                 unit,
@@ -541,14 +558,9 @@ class ConventionalEnsemble(DelayLineEnsemble):
         last_but_one = step_taps[..., -2]
         # The controller halts at the first step whose total reaches the
         # period; when none does it saturates at the maximum step (up_limit).
-        reaches = totals >= period
-        any_reach = reaches.any(axis=1)
-        steps = np.where(
-            any_reach, np.argmax(reaches, axis=1), config.max_adjustment_steps
+        steps, locked, total_at_stop = self.kernels.conventional_crossing(
+            totals, last_but_one, period, config.max_adjustment_steps
         )
-        rows = np.arange(self.num_instances)
-        total_at_stop = totals[rows, steps]
-        locked = (last_but_one[rows, steps] < period) & (total_at_stop >= period)
         lock_cycles = (
             self.synchronizer_latency_cycles + steps * self.cycles_per_update
         )

@@ -1,0 +1,45 @@
+"""Backend-pluggable math kernels for the batch engines.
+
+This package splits the pure array math out of the orchestration layers
+(:mod:`repro.simulation.batch`, :mod:`repro.core.ensemble`,
+:mod:`repro.pipeline`) into stateless, RNG-free functions -- arrays in,
+arrays out -- grouped by stage:
+
+* :mod:`repro.kernels.closed_loop` -- per-period regulation kernels
+  (exact 2x2 stepper coefficients, coefficient gather, PID update, duty
+  quantizer, state advance);
+* :mod:`repro.kernels.ensemble` -- calibration kernels (proposed lock
+  fixed point, transfer-curve matrix build, conventional first-crossing);
+* :mod:`repro.kernels.fabrication` -- variation-draw-to-delay kernels.
+
+:mod:`repro.kernels.backend` selects between named kernel *sets*: the
+always-available ``numpy`` reference, and a ``numba`` backend that
+JIT-compiles the per-period kernels when numba is importable (falling
+back to numpy, with a logged note, when it is not).  See
+``docs/backends.md`` for the contract, selection precedence, and the
+cross-backend tolerance policy.
+"""
+
+from repro.kernels.backend import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    TOLERANCES,
+    KernelBackend,
+    active_backend_name,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "TOLERANCES",
+    "KernelBackend",
+    "active_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

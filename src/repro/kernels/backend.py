@@ -1,0 +1,221 @@
+"""Backend registry and selection for the compiled kernel layer.
+
+A *backend* is a complete, named set of kernel implementations -- one
+callable per kernel of the contract (see ``docs/backends.md``).  The
+``numpy`` backend is the reference and is always available; the ``numba``
+backend JIT-compiles the per-period closed-loop kernels when :mod:`numba`
+is importable and **falls back to numpy with a logged note** when it is
+not, so selection can never break a numpy-only install.
+
+Selection precedence (first match wins):
+
+1. an explicit ``backend=`` argument on an engine constructor or a direct
+   :func:`get_backend` call;
+2. the ``REPRO_BACKEND`` environment variable (which is what the runner's
+   ``--backend`` CLI flag sets, so worker processes inherit it);
+3. the default, ``numpy``.
+
+The *effective* backend name (:func:`active_backend_name`) -- i.e. after
+any fallback -- is part of every sweep-cache cell key
+(:func:`repro.sweep.cache.cell_key`), so cached cells computed under
+different backends can never collide.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict
+
+from repro.kernels import closed_loop, ensemble, fabrication
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "TOLERANCES",
+    "KernelBackend",
+    "active_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+]
+
+log = logging.getLogger("repro.kernels")
+
+#: Environment variable naming the backend to use when no explicit
+#: ``backend=`` argument is given (the CLI's ``--backend`` flag sets it).
+ENV_VAR = "REPRO_BACKEND"
+
+#: The always-available reference backend.
+DEFAULT_BACKEND = "numpy"
+
+Kernel = Callable[..., Any]
+
+#: Per-kernel equivalence tolerance policy: the relative tolerance every
+#: backend's implementation must meet against the numpy reference
+#: (``tests/test_kernels.py`` enforces it for each available backend).
+#: ``0.0`` demands bit-identity -- the elementwise add/multiply/compare
+#: kernels preserve the reference operation order exactly.
+#: ``interval_coefficients`` runs through ``exp``/``cos``/``cosh``, where
+#: compiled libm code and numpy's SIMD routines legitimately differ in the
+#: last ulps, hence its documented non-zero tolerance.
+TOLERANCES: Dict[str, float] = {
+    "interval_coefficients": 1e-12,
+    "gather_coefficients": 0.0,
+    "pid_update": 0.0,
+    "quantize_duty": 0.0,
+    "apply_period_step": 0.0,
+    "proposed_lock": 0.0,
+    "proposed_transfer_delays": 0.0,
+    "conventional_crossing": 0.0,
+    "cell_delays_from_multipliers": 0.0,
+    "active_branch_delays": 0.0,
+    "duty_tables_from_delays": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One named, complete set of kernel implementations.
+
+    Attributes:
+        name: registry name (``"numpy"``, ``"numba"``, ...).
+        compiled: whether any kernel is JIT/AOT compiled (diagnostics and
+            bench reports only; selection never reads it).
+    """
+
+    name: str
+    compiled: bool
+    interval_coefficients: Kernel
+    gather_coefficients: Kernel
+    pid_update: Kernel
+    quantize_duty: Kernel
+    apply_period_step: Kernel
+    proposed_lock: Kernel
+    proposed_transfer_delays: Kernel
+    conventional_crossing: Kernel
+    cell_delays_from_multipliers: Kernel
+    active_branch_delays: Kernel
+    duty_tables_from_delays: Kernel
+
+    @classmethod
+    def kernel_names(cls) -> tuple[str, ...]:
+        """The kernel contract: every field that is a kernel callable."""
+        return tuple(
+            field.name for field in fields(cls) if field.name not in ("name", "compiled")
+        )
+
+
+def _numpy_kernels() -> Dict[str, Kernel]:
+    """The reference implementations, by kernel name."""
+    return {
+        "interval_coefficients": closed_loop.interval_coefficients,
+        "gather_coefficients": closed_loop.gather_coefficients,
+        "pid_update": closed_loop.pid_update,
+        "quantize_duty": closed_loop.quantize_duty,
+        "apply_period_step": closed_loop.apply_period_step,
+        "proposed_lock": ensemble.proposed_lock,
+        "proposed_transfer_delays": ensemble.proposed_transfer_delays,
+        "conventional_crossing": ensemble.conventional_crossing,
+        "cell_delays_from_multipliers": fabrication.cell_delays_from_multipliers,
+        "active_branch_delays": fabrication.active_branch_delays,
+        "duty_tables_from_delays": fabrication.duty_tables_from_delays,
+    }
+
+
+def _build_numpy() -> KernelBackend:
+    return KernelBackend(name="numpy", compiled=False, **_numpy_kernels())
+
+
+def _build_numba() -> KernelBackend:
+    """The numba backend, or the numpy backend when numba is absent.
+
+    The fallback is deliberate API: requesting ``numba`` on a numpy-only
+    install degrades to the reference backend with a logged note instead
+    of failing, and the *returned* backend's name says ``numpy`` so cache
+    keys and bench reports record what actually ran.
+    """
+    try:
+        from repro.kernels import numba_backend
+    except ImportError:
+        log.warning(
+            "backend 'numba' requested but numba is not importable; "
+            "falling back to the 'numpy' reference backend"
+        )
+        return get_backend("numpy")
+    kernels = _numpy_kernels()
+    kernels.update(numba_backend.compiled_kernels())
+    return KernelBackend(name="numba", compiled=True, **kernels)
+
+
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": _build_numpy,
+    "numba": _build_numba,
+}
+
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under a name (see ``docs/backends.md``).
+
+    The factory is called lazily on first :func:`get_backend` and its
+    result is cached for the life of the process.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order.
+
+    Registration does not imply the backend's dependencies are installed:
+    ``numba`` is always listed, and resolves to the numpy fallback when
+    the JIT toolchain is absent.
+    """
+    return tuple(_FACTORIES)
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The backend name selection resolves to, before any fallback.
+
+    Precedence: explicit ``name`` > ``REPRO_BACKEND`` > ``numpy``.
+    Unknown names raise :class:`ValueError` naming the registry.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return name
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """The selected backend's kernel set (see the module docstring).
+
+    The returned object's ``name`` is the *effective* backend: requesting
+    ``numba`` without numba installed returns the numpy backend (with a
+    logged note), so callers recording provenance record the truth.
+    """
+    resolved = resolve_backend_name(name)
+    backend = _INSTANCES.get(resolved)
+    if backend is None:
+        backend = _FACTORIES[resolved]()
+        _INSTANCES[resolved] = backend
+    return backend
+
+
+def active_backend_name(name: str | None = None) -> str:
+    """The effective backend name selection resolves to right now.
+
+    This is what enters sweep-cache cell keys: the post-fallback name, so
+    a ``numba``-requested run that actually computed with numpy shares its
+    cache entries with explicit numpy runs (they are the same numbers)
+    and a genuinely numba-computed cell never collides with them.
+    """
+    return get_backend(name).name

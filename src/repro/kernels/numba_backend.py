@@ -1,0 +1,206 @@
+"""Numba-compiled kernels (optional backend).
+
+Importing this module requires :mod:`numba`; the backend registry
+(:mod:`repro.kernels.backend`) catches the :class:`ImportError` and falls
+back to the numpy backend with a logged note, so a numpy-only install
+never sees this file executed.
+
+Only the per-period closed-loop kernels are JIT-compiled -- they run once
+per switching period per fleet and their numpy forms are chains of small
+interpreter-dispatched ufunc calls, which is exactly the shape
+``numba.njit`` collapses into one allocation-free loop.  The one-shot
+fabrication and ensemble-calibration kernels are gather/broadcast
+dominated (memory bound, executed once per run), so this backend reuses
+their numpy reference implementations unchanged; see ``docs/backends.md``.
+
+Equivalence vs the numpy reference (``tests/test_kernels.py``):
+elementwise add/multiply/compare kernels are bit-identical;
+:func:`interval_coefficients` goes through ``exp``/``cos``/``cosh`` where
+numpy's SIMD routines and libm may differ in the last ulps, so it carries
+the documented tolerance in :data:`repro.kernels.backend.TOLERANCES`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+import numba
+import numpy as np
+
+__all__ = ["compiled_kernels"]
+
+_njit = numba.njit(cache=True)
+
+
+@_njit
+def _interval_scalar(
+    a: float, b: float, c: float, d: float, duration: float
+) -> tuple[float, float, float, float, float, float]:
+    # Scalar transcription of repro.converter.buck.exact_interval_coefficients
+    # (same branch structure: degenerate, oscillatory, grouped-overdamped,
+    # direct-overdamped).
+    mu = 0.5 * (a + d)
+    delta = 0.5 * (a - d)
+    q_squared = delta * delta + b * c
+    scale = max(mu * mu, abs(q_squared))
+    envelope = math.exp(mu * duration)
+    if abs(q_squared) <= 1e-24 * max(scale, 1.0):
+        cosh_env = envelope
+        sinh_env = duration * envelope
+    else:
+        q = math.sqrt(abs(q_squared))
+        qt = q * duration
+        if q_squared < 0.0:
+            cosh_env = envelope * math.cos(qt)
+            sinh_env = envelope * math.sin(qt) / q
+        elif qt > 30.0:
+            exp_plus = math.exp((mu + q) * duration)
+            exp_minus = math.exp((mu - q) * duration)
+            cosh_env = 0.5 * (exp_plus + exp_minus)
+            sinh_env = (exp_plus - exp_minus) / (2.0 * q)
+        else:
+            cosh_env = envelope * math.cosh(qt)
+            sinh_env = envelope * math.sinh(qt) / q
+    ad11 = cosh_env + sinh_env * delta
+    ad12 = sinh_env * b
+    ad21 = sinh_env * c
+    ad22 = cosh_env - sinh_env * delta
+    det = a * d - b * c
+    m11 = (d * (ad11 - 1.0) - b * ad21) / det
+    m21 = (a * ad21 - c * (ad11 - 1.0)) / det
+    return ad11, ad12, ad21, ad22, m11, m21
+
+
+@_njit
+def interval_coefficients(
+    a: Any, b: Any, c: Any, d: Any, on_time_s: Any, period_s: Any
+) -> Any:
+    num_variants = a.shape[0]
+    out = np.empty((num_variants, 12))
+    for i in range(num_variants):
+        on = _interval_scalar(a[i], b[i], c[i], d[i], on_time_s[i])
+        off = _interval_scalar(a[i], b[i], c[i], d[i], period_s[i] - on_time_s[i])
+        out[i, 0], out[i, 1], out[i, 2], out[i, 3], out[i, 4], out[i, 5] = on
+        out[i, 6], out[i, 7], out[i, 8], out[i, 9], out[i, 10], out[i, 11] = off
+    return out
+
+
+@_njit
+def gather_coefficients(table: Any, slots: Any, variant_rows: Any) -> Any:
+    num_variants = slots.shape[0]
+    out = np.empty((num_variants, 12))
+    for i in range(num_variants):
+        slot = slots[i]
+        row = variant_rows[i]
+        for j in range(12):
+            out[i, j] = table[slot, row, j]
+    return out
+
+
+@_njit
+def pid_update(
+    error: Any,
+    integral: Any,
+    previous_error: Any,
+    kp: Any,
+    ki: Any,
+    kd: Any,
+    min_duty: Any,
+    max_duty: Any,
+) -> Any:
+    num_variants = error.shape[0]
+    duty = np.empty(num_variants)
+    new_integral = np.empty(num_variants)
+    for i in range(num_variants):
+        accumulated = integral[i] + ki[i] * error[i]
+        if accumulated < min_duty[i]:
+            accumulated = min_duty[i]
+        elif accumulated > max_duty[i]:
+            accumulated = max_duty[i]
+        command = (
+            accumulated
+            + kp[i] * error[i]
+            + kd[i] * (error[i] - previous_error[i])
+        )
+        if command < min_duty[i]:
+            command = min_duty[i]
+        elif command > max_duty[i]:
+            command = max_duty[i]
+        new_integral[i] = accumulated
+        duty[i] = command
+    return duty, new_integral
+
+
+@_njit
+def quantize_duty(commands: Any, levels: Any, num_words: Any, rows: Any) -> Any:
+    count = commands.shape[0]
+    words = np.empty(count, dtype=np.int64)
+    duties = np.empty(count)
+    for i in range(count):
+        command = commands[i]
+        if command < 0.0:
+            command = 0.0
+        elif command > 1.0:
+            command = 1.0
+        row = rows[i]
+        top = num_words[row] - 1
+        word = np.int64(np.rint(command * num_words[row]))
+        if word > top:
+            word = top
+        words[i] = word
+        duties[i] = levels[row, word]
+    return words, duties
+
+
+@_njit
+def apply_period_step(step: Any, current: Any, voltage: Any, drive: Any) -> Any:
+    num_variants = current.shape[0]
+    new_current = np.empty(num_variants)
+    new_voltage = np.empty(num_variants)
+    for i in range(num_variants):
+        on_current = (
+            step[i, 0] * current[i] + step[i, 1] * voltage[i] + step[i, 4] * drive[i]
+        )
+        on_voltage = (
+            step[i, 2] * current[i] + step[i, 3] * voltage[i] + step[i, 5] * drive[i]
+        )
+        new_current[i] = step[i, 6] * on_current + step[i, 7] * on_voltage
+        new_voltage[i] = step[i, 8] * on_current + step[i, 9] * on_voltage
+    return new_current, new_voltage
+
+
+def compiled_kernels() -> dict[str, Callable[..., Any]]:
+    """The kernel overrides this backend compiles (name -> callable)."""
+    return {
+        "interval_coefficients": interval_coefficients,
+        "gather_coefficients": gather_coefficients,
+        "pid_update": pid_update,
+        "quantize_duty": quantize_duty,
+        "apply_period_step": apply_period_step,
+    }
+
+
+def warm_up() -> None:
+    """Trigger JIT compilation of every kernel on a tiny workload.
+
+    Benchmarks call this before timing so compile time is not billed to
+    the first measured period.
+    """
+    ones = np.ones(2)
+    step = interval_coefficients(
+        -0.1 * ones, -1.0 * ones, 1.0 * ones, -0.2 * ones, 0.4 * ones, ones
+    )
+    table = step[np.newaxis]
+    slots = np.zeros(2, dtype=np.int64)
+    rows = np.arange(2, dtype=np.int64)
+    gather_coefficients(table, slots, rows)
+    pid_update(
+        ones, 0.5 * ones, ones, 0.1 * ones, 0.1 * ones, 0.0 * ones,
+        0.0 * ones, 1.0 * ones,
+    )
+    quantize_duty(
+        0.5 * ones, np.tile(np.linspace(0.0, 1.0, 4), (2, 1)),
+        np.full(2, 4, dtype=np.int64), rows,
+    )
+    apply_period_step(step, ones, ones, ones)

@@ -13,7 +13,8 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     drift,
     hygiene,
+    purity,
     seeding,
 )
 
-__all__ = ["cache_safety", "determinism", "drift", "hygiene", "seeding"]
+__all__ = ["cache_safety", "determinism", "drift", "hygiene", "purity", "seeding"]

@@ -92,6 +92,7 @@ from repro.core.yield_analysis import (
     LinearitySpec,
     RegulationSpec,
 )
+from repro.kernels import KernelBackend, get_backend
 from repro.simulation.batch import (
     BatchBuckParameters,
     BatchClosedLoop,
@@ -132,8 +133,12 @@ class ChunkedFabricator:
         spec: DesignSpec,
         variation: VariationModel | None = None,
         library: TechnologyLibrary | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.library = library or intel32_like_library()
+        self.kernels = (
+            backend if isinstance(backend, KernelBackend) else get_backend(backend)
+        )
         if scheme == "proposed":
             designed = design_proposed(spec, self.library)
             self._ensemble_cls = ProposedEnsemble
@@ -155,7 +160,10 @@ class ChunkedFabricator:
             raise ValueError("need at least one instance")
         if self.variation is None:
             return self._ensemble_cls(
-                self.config, library=self.library, num_instances=num_instances
+                self.config,
+                library=self.library,
+                num_instances=num_instances,
+                backend=self.kernels,
             )
         return self._ensemble_cls.sample(
             self.config,
@@ -163,6 +171,7 @@ class ChunkedFabricator:
             self.variation,
             library=self.library,
             first_instance=first_instance,
+            backend=self.kernels,
         )
 
 
@@ -173,6 +182,7 @@ def fabricate_ensemble(
     num_instances: int,
     library: TechnologyLibrary | None = None,
     first_instance: int = 0,
+    backend: str | KernelBackend | None = None,
 ) -> DelayLineEnsemble:
     """Design a scheme for a specification and draw fabricated instances.
 
@@ -183,7 +193,7 @@ def fabricate_ensemble(
     convenience over :class:`ChunkedFabricator`.)
     """
     fabricator = ChunkedFabricator(
-        scheme, spec, variation=variation, library=library
+        scheme, spec, variation=variation, library=library, backend=backend
     )
     return fabricator.fabricate(num_instances, first_instance=first_instance)
 
@@ -280,6 +290,7 @@ class SiliconToRegulationPipeline:
         source_profile: SourceProfile | None = None,
         library: TechnologyLibrary | None = None,
         first_instance: int = 0,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         """Fabricate, calibrate and convert the silicon for a fleet.
 
@@ -302,8 +313,14 @@ class SiliconToRegulationPipeline:
             library: technology library shared by design and calibration.
             first_instance: index of the first fabricated instance (for
                 sharding one Monte-Carlo population across runs).
+            backend: kernel backend name or instance shared by every stage
+                (``docs/backends.md``); defaults to the process-wide
+                selection (:func:`repro.kernels.get_backend`).
         """
         self.library = library or intel32_like_library()
+        self.kernels = (
+            backend if isinstance(backend, KernelBackend) else get_backend(backend)
+        )
         self.conditions = conditions or OperatingConditions.typical()
         self.spec = spec
         self.nominal = nominal = _resolve_nominal(nominal, spec)
@@ -314,6 +331,7 @@ class SiliconToRegulationPipeline:
             num_instances=num_instances,
             library=self.library,
             first_instance=first_instance,
+            backend=self.kernels,
         )
         self.scheme = self.ensemble.scheme
         self.calibration = self.ensemble.lock(self.conditions)
@@ -347,6 +365,7 @@ class SiliconToRegulationPipeline:
             self.parameters,
             self.quantizer,
             reference_v=self.reference_v,
+            backend=self.kernels,
             **self._loop_kwargs,
         )
 
@@ -397,10 +416,12 @@ class ChunkedSiliconToRegulation:
         component_variation: ComponentVariation | None = None,
         load: LoadProfile | None = None,
         library: TechnologyLibrary | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.fabricator = ChunkedFabricator(
-            scheme, spec, variation=variation, library=library
+            scheme, spec, variation=variation, library=library, backend=backend
         )
+        self.kernels = self.fabricator.kernels
         self.library = self.fabricator.library
         self.conditions = conditions or OperatingConditions.typical()
         self.spec = spec
@@ -431,6 +452,7 @@ class ChunkedSiliconToRegulation:
             quantizer,
             reference_v=self.reference_v,
             load=self.load,
+            backend=self.kernels,
         )
         return PipelineResult(
             scheme=ensemble.scheme,

@@ -59,7 +59,6 @@ import numpy.typing as npt
 from repro.converter.adc import WindowedADC
 from repro.converter.buck import (
     BuckParameters,
-    exact_interval_coefficients,
     plant_matrix_entries,
 )
 from repro.converter.closed_loop import (
@@ -75,6 +74,7 @@ from repro.converter.load import (
     ReferenceProfile,
     SourceProfile,
 )
+from repro.kernels import KernelBackend, get_backend
 
 __all__ = [
     "BatchBuckParameters",
@@ -225,6 +225,7 @@ class BatchQuantizer:
         levels: np.ndarray,
         num_variants: int | None = None,
         num_words: np.ndarray | None = None,
+        kernels: KernelBackend | None = None,
     ) -> None:
         levels = np.atleast_2d(np.asarray(levels, dtype=float))
         if levels.shape[1] < 2:
@@ -251,7 +252,10 @@ class BatchQuantizer:
         self.levels = levels
         self.num_variants = num_variants
         self.num_words = num_words
-        self._rows = np.arange(num_variants)
+        self._rows = np.arange(num_variants, dtype=np.int64)
+        # None means "inherit": BatchClosedLoop installs its backend, and a
+        # standalone quantize() falls back to the process default.
+        self.kernels = kernels
 
     @property
     def max_word(self) -> np.ndarray:
@@ -338,10 +342,9 @@ class BatchQuantizer:
             raise ValueError(
                 f"num_words must lie in [2, {available}], got {num_words}"
             )
-        period = float(curves.clock_period_ps)
-        levels = np.empty((delays.shape[0], num_words))
-        levels[:, 0] = 0.0
-        np.minimum(delays[:, : num_words - 1] / period, 1.0, out=levels[:, 1:])
+        levels = get_backend().duty_tables_from_delays(
+            delays, float(curves.clock_period_ps), num_words
+        )
         return cls(levels)
 
     def quantize(self, commands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -351,18 +354,20 @@ class BatchQuantizer:
         DPWMs exactly (clip to [0, 1], round half to even, clamp to the top
         word).
         """
-        commands = np.atleast_1d(np.clip(np.asarray(commands, dtype=float), 0.0, 1.0))
+        commands = np.atleast_1d(np.asarray(commands, dtype=float))
         if self.num_variants != 1 and commands.shape != (self.num_variants,):
             raise ValueError(
                 f"need one duty command per variant ({self.num_variants}), "
                 f"got shape {commands.shape}"
             )
-        rows = self._rows[: commands.shape[0]]
-        num_words = self.num_words[rows]
-        words = np.minimum(
-            np.rint(commands * num_words).astype(np.int64), num_words - 1
-        )
-        return words, self.levels[rows, words]
+        if commands.shape[0] == self.num_variants:
+            rows = self._rows
+        else:
+            # A single shared table serving a wider command vector: every
+            # command reads row 0.
+            rows = np.zeros(commands.shape[0], dtype=np.int64)
+        kernels = self.kernels or get_backend()
+        return kernels.quantize_duty(commands, self.levels, self.num_words, rows)
 
 
 class BatchCompensator:
@@ -378,6 +383,7 @@ class BatchCompensator:
         initial_duty: npt.ArrayLike = 0.5,
         min_duty: npt.ArrayLike = 0.0,
         max_duty: npt.ArrayLike = 1.0,
+        kernels: KernelBackend | None = None,
     ) -> None:
         self.kp = _as_variant_array(kp, num_variants, "kp")
         self.ki = _as_variant_array(ki, num_variants, "ki")
@@ -394,6 +400,9 @@ class BatchCompensator:
         ):
             raise ValueError("initial_duty must lie inside the duty limits")
         self.num_variants = num_variants
+        # None means "inherit": BatchClosedLoop installs its backend, and a
+        # standalone update() falls back to the process default.
+        self.kernels = kernels
         self.reset()
 
     def reset(self) -> None:
@@ -403,12 +412,19 @@ class BatchCompensator:
     def update(self, error_codes: np.ndarray) -> np.ndarray:
         """Advance one switching period; returns the duty commands."""
         error = np.asarray(error_codes, dtype=float)
-        self.integral += self.ki * error
-        np.clip(self.integral, self.min_duty, self.max_duty, out=self.integral)
-        derivative = error - self.previous_error
+        kernels = self.kernels or get_backend()
+        duty, self.integral = kernels.pid_update(
+            error,
+            self.integral,
+            self.previous_error,
+            self.kp,
+            self.ki,
+            self.kd,
+            self.min_duty,
+            self.max_duty,
+        )
         self.previous_error = error
-        duty = self.integral + self.kp * error + self.kd * derivative
-        return np.clip(duty, self.min_duty, self.max_duty)
+        return duty
 
 
 class _LoadCoefficientTable:
@@ -432,19 +448,20 @@ class _LoadCoefficientTable:
     #: mixed evaluation stays bounded.
     FILL_BUDGET_PER_PERIOD = 8
 
-    def __init__(self, plant: tuple, max_words: int) -> None:
+    def __init__(
+        self, plant: tuple, max_words: int, kernels: KernelBackend | None = None
+    ) -> None:
         self.plant = plant  # (a, b, c, d) system-matrix entries, per variant
         self.slot_of_word = np.full(max_words, -1, dtype=np.int64)
         self.table: np.ndarray | None = None  # (slots, variants, 12)
         self.used = 0
         self.periods_seen = 0
+        self.kernels = kernels or get_backend()
 
     def _evaluate(self, on_time: np.ndarray, period_s: np.ndarray) -> np.ndarray:
         """``(variants, 12)`` on+off coefficients for per-variant on-times."""
         a, b, c, d = self.plant
-        on = exact_interval_coefficients(a, b, c, d, on_time)
-        off = exact_interval_coefficients(a, b, c, d, period_s - on_time)
-        return np.stack(np.broadcast_arrays(*on, *off), axis=-1)
+        return self.kernels.interval_coefficients(a, b, c, d, on_time, period_s)
 
     def coefficients(
         self,
@@ -489,7 +506,7 @@ class _LoadCoefficientTable:
                 # pre-table cost) and let later periods fill the rest.
                 return self._evaluate(duties * period_s, period_s)
             slots = self.slot_of_word[words]
-        return self.table[slots, variant_rows, :]
+        return self.kernels.gather_coefficients(self.table, slots, variant_rows)
 
 
 @dataclass
@@ -566,6 +583,7 @@ class BatchClosedLoop:
         start_at_reference: bool = True,
         reference_profile: ReferenceProfile | None = None,
         source_profile: SourceProfile | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         """Assemble the batch loop.
 
@@ -583,8 +601,18 @@ class BatchClosedLoop:
                 loop does) rather than from a cold start.
             reference_profile / source_profile: shared per-period scenario
                 objects (see :mod:`repro.converter.load`).
+            backend: kernel backend name or instance (``docs/backends.md``);
+                defaults to the process-wide selection
+                (:func:`repro.kernels.get_backend`).  Installed on the
+                quantizer and compensator too, unless they were constructed
+                with an explicit ``kernels=`` of their own.
         """
         num_variants = parameters.num_variants
+        self.kernels = (
+            backend if isinstance(backend, KernelBackend) else get_backend(backend)
+        )
+        if quantizer.kernels is None:
+            quantizer.kernels = self.kernels
         if quantizer.num_variants not in (1, num_variants):
             raise ValueError(
                 f"quantizer covers {quantizer.num_variants} variants, "
@@ -620,12 +648,26 @@ class BatchClosedLoop:
             num_variants,
             initial_duty=initial_reference / parameters.input_voltage_v,
         )
+        if self.compensator.kernels is None:
+            self.compensator.kernels = self.kernels
         if load is not None and loads is not None:
             raise ValueError("pass either a shared load or per-variant loads")
         if loads is not None and len(loads) != num_variants:
             raise ValueError(f"need one load per variant ({num_variants})")
         self._shared_load = load or (ConstantLoad(resistance_ohm=1.0) if loads is None else None)
         self._variant_loads = list(loads) if loads is not None else None
+        # Loads that declare themselves static (ConstantLoad sets is_static)
+        # are evaluated once and the resistance vector is reused every
+        # period; anything else is re-evaluated per period as before.
+        if self._variant_loads is not None:
+            loads_static = all(
+                getattr(variant_load, "is_static", False)
+                for variant_load in self._variant_loads
+            )
+        else:
+            loads_static = getattr(self._shared_load, "is_static", False)
+        self._loads_static = bool(loads_static)
+        self._static_resistances: np.ndarray | None = None
         self.reference_profile = reference_profile
         self.source_profile = source_profile
         if start_at_reference:
@@ -641,6 +683,8 @@ class BatchClosedLoop:
         return self.parameters.num_variants
 
     def _load_resistances(self, period_index: int) -> np.ndarray:
+        if self._static_resistances is not None:
+            return self._static_resistances
         if self._variant_loads is not None:
             resistances = np.array(
                 [load.resistance_at(period_index) for load in self._variant_loads]
@@ -654,6 +698,8 @@ class BatchClosedLoop:
             raise ValueError(
                 f"load resistance must be positive in period {period_index}"
             )
+        if self._loads_static:
+            self._static_resistances = resistances
         return resistances
 
     def run(self, periods: int) -> BatchRegulationResult:
@@ -709,21 +755,20 @@ class BatchClosedLoop:
                         load_resistance_ohm=rload,
                     ),
                     max_words,
+                    kernels=self.kernels,
                 )
                 load_tables[rload_key] = table
             step = table.coefficients(
                 words, duties, self.quantizer.levels, period_s, variant_rows
             )
-            # On interval: switch node at the source voltage.
-            drive = source_voltage / params.inductance_h
-            current, voltage = (
-                step[:, 0] * current + step[:, 1] * voltage + step[:, 4] * drive,
-                step[:, 2] * current + step[:, 3] * voltage + step[:, 5] * drive,
+            # On interval with the switch node at the source voltage, then
+            # the drive-free off interval, in one kernel call.
+            drive = np.broadcast_to(
+                np.asarray(source_voltage / params.inductance_h, dtype=float),
+                (num_variants,),
             )
-            # Off interval: switch node grounded (no drive term).
-            current, voltage = (
-                step[:, 6] * current + step[:, 7] * voltage,
-                step[:, 8] * current + step[:, 9] * voltage,
+            current, voltage = self.kernels.apply_period_step(
+                step, current, voltage, drive
             )
             voltages[index] = voltage
             currents[index] = current

@@ -273,6 +273,86 @@ def test_assert_validation_flags_src_but_not_tests():
 
 
 # ---------------------------------------------------------------------------
+# kernel-purity
+
+#: A path the purity rule binds (a module inside the kernel package).
+KERNEL_PATH = "src/repro/kernels/example.py"
+
+
+def lint_kernel(code: str) -> list:
+    return lint_source(KERNEL_PATH, textwrap.dedent(code))
+
+
+@pytest.mark.parametrize(
+    "code",
+    [
+        "import random\n",
+        "import secrets\n",
+        "import numpy.random\n",
+        "from numpy.random import default_rng\n",
+        "from numpy import random\n",
+        "from random import randint\n",
+    ],
+)
+def test_kernel_purity_flags_rng_imports(code):
+    assert "kernel-purity" in rules_fired(lint_kernel(code))
+
+
+def test_kernel_purity_flags_module_state_read():
+    code = """
+    import numpy as np
+
+    _CACHE = {}
+
+    def kernel(values):
+        _CACHE[values.shape] = values
+        return values * np.asarray(_CACHE[values.shape])
+    """
+    assert "kernel-purity" in rules_fired(lint_kernel(code))
+
+
+def test_kernel_purity_flags_closure_capture():
+    code = """
+    def kernel(values, scale):
+        def helper(row):
+            return row * scale
+        return helper(values)
+    """
+    assert "kernel-purity" in rules_fired(lint_kernel(code))
+
+
+def test_kernel_purity_accepts_pure_kernels():
+    code = """
+    import numpy as np
+
+    EPSILON = 1e-12
+
+    def kernel(values, offsets):
+        clipped = np.clip(values + offsets, 0.0, 1.0)
+        return clipped / (clipped.sum() + EPSILON)
+    """
+    assert lint_kernel(code) == []
+
+
+def test_kernel_purity_allows_argument_shadowing_a_global():
+    code = """
+    TABLE = [1, 2, 3]
+
+    def kernel(TABLE):
+        return TABLE
+    """
+    # Reading the *argument* is fine; only the module binding is state.
+    assert lint_kernel(code) == []
+
+
+def test_kernel_purity_exempts_registry_and_non_kernel_files():
+    stateful = "_CACHE = {}\n\ndef f():\n    return _CACHE\n"
+    assert lint_source("src/repro/kernels/backend.py", stateful) == []
+    assert lint_source("src/repro/kernels/__init__.py", stateful) == []
+    assert lint_src(stateful) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression
 
 

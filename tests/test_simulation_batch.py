@@ -318,6 +318,73 @@ class TestBatchClosedLoop:
         )
         assert trace.times_s[0] == pytest.approx(1e-8)
 
+    def test_trace_round_trips_standalone_scalar_simulation(self, nominal):
+        """result.trace(i) equals the standalone scalar run, field for field."""
+        load = SteppedLoad(light_ohm=2.0, heavy_ohm=0.9, step_up_period=60)
+        scalars = [
+            DigitallyControlledBuck(
+                nominal, IdealDPWM(bits=6), reference_v=ref, load=load
+            )
+            for ref in (0.7, 1.0)
+        ]
+        result = from_closed_loops(scalars).run(150)
+        for column, loop in enumerate(scalars):
+            expected = loop.run(150)
+            trace = result.trace(column)
+            assert trace.times_s == expected.times_s
+            assert trace.output_voltages_v == expected.output_voltages_v
+            assert trace.inductor_currents_a == expected.inductor_currents_a
+            assert trace.duty_words == expected.duty_words
+            assert trace.duty_fractions == expected.duty_fractions
+            assert trace.error_codes == expected.error_codes
+            assert trace.load_resistances_ohm == expected.load_resistances_ohm
+
+    def test_static_load_evaluated_once_per_run(self, nominal):
+        """Static loads resolve to one resistance vector, not one per period."""
+
+        class CountingLoad:
+            def __init__(self, resistance_ohm, static):
+                self.resistance_ohm = resistance_ohm
+                self.calls = 0
+                if static:
+                    self.is_static = True
+
+            def resistance_at(self, period_index):
+                self.calls += 1
+                return self.resistance_ohm
+
+        static = CountingLoad(2.0, static=True)
+        batch = BatchClosedLoop(
+            BatchBuckParameters.uniform(nominal, 3),
+            BatchQuantizer.ideal(6, 3),
+            reference_v=0.9,
+            load=static,
+        )
+        result = batch.run(200)
+        assert static.calls == 1  # the construction-time evaluation is reused
+
+        # The fast path changes bookkeeping only, not the physics.
+        reference = BatchClosedLoop(
+            BatchBuckParameters.uniform(nominal, 3),
+            BatchQuantizer.ideal(6, 3),
+            reference_v=0.9,
+            load=ConstantLoad(2.0),
+        )
+        np.testing.assert_array_equal(
+            result.output_voltages_v, reference.run(200).output_voltages_v
+        )
+
+        # Loads that do not declare themselves static keep the per-period
+        # evaluation (their resistance may depend on the period index).
+        dynamic = CountingLoad(2.0, static=False)
+        BatchClosedLoop(
+            BatchBuckParameters.uniform(nominal, 3),
+            BatchQuantizer.ideal(6, 3),
+            reference_v=0.9,
+            load=dynamic,
+        ).run(200)
+        assert dynamic.calls == 201  # construction + one per period
+
     def test_empty_result_statistics_raise(self, nominal):
         batch = BatchClosedLoop(
             BatchBuckParameters.uniform(nominal, 2),
