@@ -7,12 +7,21 @@ Usage::
     repro-experiments --all --workers 8 --cache-dir .sweep-cache
     repro-experiments fig50_51_mc --json results.json
     repro-experiments fig50_51_mc --precision 0.02 --max-instances 4000
+    repro-experiments fig15_mc --executor shared-cache --cache-dir /shared \\
+        --progress
 
 ``--workers`` fans the grid experiments' sweep cells out across a
 ``multiprocessing`` pool and ``--cache-dir`` memoizes each cell's payload
 in an on-disk content-addressed cache (see :mod:`repro.sweep`), so
 ``--all`` saturates the machine on a cold run and warm re-runs are
 near-instant -- with bit-identical ``--json`` output either way.
+``--executor`` picks the execution strategy explicitly (``serial``,
+``process-pool`` or ``shared-cache``); under ``shared-cache`` any number
+of independent invocations pointed at the same ``--cache-dir``
+cooperatively drain one grid, claiming cells idempotently, and a killed
+run resumes with zero recomputation (see ``docs/sweeps.md``).
+``--progress`` streams cells done/total, the hit/computed split,
+cells/sec and an ETA to stderr while the sweep runs.
 ``--precision`` switches the Monte-Carlo experiments from their fixed
 per-cell instance counts to confidence-bounded adaptive sampling
 (:mod:`repro.mc`): each cell stops as soon as the 95 % confidence
@@ -104,6 +113,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "parameters, seed or package sources changed",
     )
     parser.add_argument(
+        "--executor",
+        metavar="NAME",
+        help="sweep execution strategy (see docs/sweeps.md): 'serial' "
+        "(in-process loop), 'process-pool' (one box, all --workers cores, "
+        "unordered fan-out) or 'shared-cache' (cooperating invocations "
+        "claim cells idempotently through --cache-dir, which it requires); "
+        "default: process-pool when --workers > 1, serial otherwise",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream sweep progress to stderr while cells run: cells "
+        "done/total, cache-hit/computed split, cells/sec and ETA (one "
+        "line per second; format documented in docs/sweeps.md)",
+    )
+    parser.add_argument(
         "--prune-cache",
         action="store_true",
         help="before running, delete cache entries written by other "
@@ -143,6 +168,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+
+    if args.executor is not None:
+        from repro.sweep import EXECUTOR_NAMES
+
+        if args.executor not in EXECUTOR_NAMES:
+            print(
+                f"unknown --executor {args.executor!r}; available: "
+                f"{', '.join(EXECUTOR_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.executor == "shared-cache" and args.cache_dir is None:
+            print(
+                "--executor shared-cache coordinates workers through the "
+                "result cache; it requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.backend is not None:
         from repro.kernels import ENV_VAR, active_backend_name, available_backends
@@ -228,16 +271,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
     sweep = None
-    if args.workers > 1 or args.cache_dir is not None:
+    if (
+        args.workers > 1
+        or args.cache_dir is not None
+        or args.executor is not None
+        or args.progress
+    ):
         ignoring = [name for name in selected if not accepts_sweep(name)]
         if ignoring:
             print(
-                "--workers/--cache-dir only reach the grid experiments; "
-                f"ignored by: {', '.join(ignoring)}",
+                "--workers/--cache-dir/--executor/--progress only reach the "
+                f"grid experiments; ignored by: {', '.join(ignoring)}",
                 file=sys.stderr,
             )
         sweep = SweepOrchestrator(
-            SweepConfig(workers=args.workers, cache_dir=args.cache_dir)
+            SweepConfig(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                executor=args.executor,
+                progress=args.progress,
+            )
         )
         if args.prune_cache:
             pruned = sweep.cache.prune()

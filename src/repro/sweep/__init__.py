@@ -12,14 +12,26 @@ scales *across* cells:
   memoization of cell payloads; keys cover the experiment id, the full
   parameter cell (seed included) and a fingerprint of the package sources,
   so code edits invalidate and warm re-runs are near-instant.
-* :class:`~repro.sweep.orchestrator.SweepOrchestrator` -- fans cache
-  misses out across a ``multiprocessing`` pool; serial, parallel, cold and
-  warm runs produce bit-identical payloads.
+* :class:`~repro.sweep.orchestrator.SweepOrchestrator` -- scans the cache,
+  hands the misses to a pluggable executor and re-assembles cell order;
+  serial, parallel, cold and warm runs produce bit-identical payloads.
+* :mod:`repro.sweep.executors` -- the pluggable execution strategies:
+  ``serial`` (in-process loop), ``process-pool`` (one box, all cores, fed
+  through ``imap_unordered`` so stragglers never head-of-line-block) and
+  ``shared-cache`` (multi-process/multi-host: workers claim cells
+  idempotently through atomic claim files in the result cache, so N
+  independent invocations cooperatively drain one grid and a crash loses
+  at most the in-flight cells).
+* :class:`~repro.sweep.progress.ProgressReporter` -- the ``--progress``
+  stderr stream: cells done/total, hit/computed split, cells/sec, ETA.
 
 Experiments opt in by exposing a module-level cell function plus a grid and
 routing through :func:`~repro.sweep.orchestrator.sweep_map`; the CLI flags
-``--workers`` and ``--cache-dir`` (see :mod:`repro.experiments.runner`)
-thread an orchestrator into every sweep-enabled experiment of a run.
+``--workers``, ``--cache-dir``, ``--executor`` and ``--progress`` (see
+:mod:`repro.experiments.runner`) thread an orchestrator into every
+sweep-enabled experiment of a run.  Resumability is a tested contract: a
+killed sweep restarted against the same cache recomputes zero completed
+cells (see ``docs/sweeps.md``).
 
 Adaptive Monte-Carlo cells (:mod:`repro.mc`, the CLI's ``--precision``)
 need no special handling here: the adaptive coordinates (``precision``,
@@ -38,18 +50,40 @@ from repro.sweep.cache import (
     code_fingerprint,
     jsonable,
 )
+from repro.sweep.executors import (
+    EXECUTOR_NAMES,
+    CellResult,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SharedCacheExecutor,
+    WorkItem,
+    make_executor,
+    pool_chunksize,
+)
 from repro.sweep.grid import ParameterGrid
 from repro.sweep.orchestrator import SweepConfig, SweepOrchestrator, sweep_map
+from repro.sweep.progress import ProgressReporter
 
 __all__ = [
+    "EXECUTOR_NAMES",
     "MISS",
+    "CellResult",
+    "Executor",
     "ParameterGrid",
+    "ProcessPoolExecutor",
+    "ProgressReporter",
     "ResultCache",
+    "SerialExecutor",
+    "SharedCacheExecutor",
     "SweepConfig",
     "SweepOrchestrator",
+    "WorkItem",
     "canonical_json",
     "cell_key",
     "code_fingerprint",
     "jsonable",
+    "make_executor",
+    "pool_chunksize",
     "sweep_map",
 ]

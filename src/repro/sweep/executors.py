@@ -1,0 +1,395 @@
+"""Pluggable sweep executors: how cache-miss cells actually get computed.
+
+The orchestrator (:mod:`repro.sweep.orchestrator`) decides *which* cells
+need computing (everything the cache cannot answer) and *what* happens to
+each payload (canonical-JSON normalization, cache stores, progress
+accounting).  This module owns the *how*: an :class:`Executor` receives the
+missing cells as index-tagged :class:`WorkItem` objects and streams back
+:class:`CellResult` objects **in completion order** -- the orchestrator
+re-assembles cell order, so a slow cell never head-of-line-blocks the
+bookkeeping (or the progress stream) of fast ones.
+
+Three executors ship, selected by name through
+``SweepConfig(executor=...)`` / the CLI's ``--executor``:
+
+* ``serial`` -- the plain in-process loop.  No pool start-up cost, trivial
+  to debug; what ``sweep=None`` experiment runs use.
+* ``process-pool`` -- a ``multiprocessing`` pool fed through
+  ``imap_unordered`` with a cost-aware chunk size
+  (:func:`pool_chunksize`): one box, all cores, results surface the moment
+  any worker finishes.
+* ``shared-cache`` -- multi-process *and* multi-host: the content-addressed
+  :class:`~repro.sweep.cache.ResultCache` is the coordination point.
+  Workers claim cells idempotently via atomic claim files
+  (:meth:`~repro.sweep.cache.ResultCache.try_claim`), compute what they
+  win, store before releasing, and drain peers' finished cells straight
+  from the cache.  N independent invocations pointed at one cache
+  directory cooperatively drain one grid; a crashed worker loses at most
+  its in-flight cells, whose claims expire and are stolen.
+
+Every executor computes cells as pure functions of their parameter dicts,
+so all of them -- and any interleaving of cooperating workers -- produce
+bit-identical payloads (gated in ``benchmarks/test_bench_distributed_sweep.py``).
+
+Worker entry points (the cell function handed to an executor) must be
+module-level picklable, exactly as for :func:`~repro.sweep.orchestrator.sweep_map`
+-- the ``cache-safety`` lint rule enforces this at rest.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import pool
+from multiprocessing.context import BaseContext
+from typing import Any, Callable, Iterator, Protocol, Sequence
+
+from repro.sweep.cache import MISS, ResultCache, canonical_json
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "CellResult",
+    "Executor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "SharedCacheExecutor",
+    "WorkItem",
+    "make_executor",
+    "pool_chunksize",
+]
+
+#: One sweep cell: a JSON-scalar parameter dict.
+CellParams = dict[str, Any]
+#: What a cell function returns: a JSON-serializable payload dict.
+CellPayload = dict[str, Any]
+#: The module-level picklable function computing one cell.
+CellFunction = Callable[[CellParams], CellPayload]
+
+#: The executor names ``SweepConfig`` / ``--executor`` accept.
+EXECUTOR_NAMES = ("serial", "process-pool", "shared-cache")
+
+#: Provenance labels on :class:`CellResult`.
+COMPUTED = "computed"  #: raw payload; the orchestrator normalizes + stores it
+STORED = "stored"  #: normalized and already stored by the executor itself
+FROM_CACHE = "cache"  #: normalized payload drained from a cooperating worker
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One missing cell: its position in the sweep, parameters and key.
+
+    Attributes:
+        index: the cell's position in the orchestrator's cell list --
+            results stream back unordered, so every item carries its slot.
+        params: the cell's JSON-scalar parameter dict.
+        key: the cell's content address in the result cache
+            (:func:`~repro.sweep.cache.cell_key`).
+    """
+
+    index: int
+    params: CellParams
+    key: str
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One finished cell, tagged with where its payload came from.
+
+    Attributes:
+        index: the originating :class:`WorkItem` index.
+        payload: the cell payload.  Raw (straight from the cell function)
+            when ``provenance`` is ``"computed"``; already canonical-JSON
+            normalized for ``"stored"`` and ``"cache"``.
+        provenance: ``"computed"`` (this executor ran the cell; the
+            orchestrator still normalizes and stores it), ``"stored"``
+            (the executor normalized and stored it itself, as the
+            shared-cache executor must before releasing a claim) or
+            ``"cache"`` (drained from a cooperating worker's store).
+    """
+
+    index: int
+    payload: Any
+    provenance: str
+
+
+class Executor(Protocol):
+    """The contract the orchestrator programs against.
+
+    ``run_missing`` receives the cache-miss cells and yields one
+    :class:`CellResult` per item **in completion order**; the caller owns
+    re-ordering.  ``close`` shuts resources down gracefully (in-flight
+    work finishes); ``abort`` tears them down immediately (in-flight work
+    is killed) -- the distinction the orchestrator's context-manager exit
+    vs. explicit :meth:`~repro.sweep.orchestrator.SweepOrchestrator.abort`
+    relies on.
+    """
+
+    name: str
+
+    def run_missing(
+        self,
+        func: CellFunction,
+        items: Sequence[WorkItem],
+        *,
+        experiment_id: str,
+    ) -> Iterator[CellResult]: ...  # pragma: no cover - protocol
+
+    def close(self) -> None: ...  # pragma: no cover - protocol
+
+    def abort(self) -> None: ...  # pragma: no cover - protocol
+
+
+def pool_chunksize(num_items: int, workers: int) -> int:
+    """Cost-aware chunk size for pool dispatch (replaces ``chunksize=1``).
+
+    The cost model: a sweep cell is an expensive vectorized computation
+    (milliseconds to minutes), while dispatching one work item over the
+    pool's pipe costs well under a millisecond.  Chunking therefore buys
+    little until the grid dwarfs the worker count -- and it actively hurts
+    balance near the end of a sweep, where a chunk holding a straggler
+    pins its chunk-mates behind it.  So: chunks of 1 until there are more
+    than four waves of work per worker, then grow proportionally, capped
+    at 8 so the worst-case head-of-line blocking inside one chunk stays
+    bounded regardless of grid size.
+    """
+    if num_items <= 0:
+        return 1
+    return max(1, min(num_items // (max(1, workers) * 4), 8))
+
+
+def _call_indexed(
+    item: tuple[CellFunction, int, CellParams],
+) -> tuple[int, CellPayload]:
+    """Top-level pool target: run one cell, echo its index back.
+
+    Lives at module level so it pickles by reference into worker
+    processes; the index tag is what lets ``imap_unordered`` return
+    results in completion order without losing their cell slots.
+    """
+    func, index, params = item
+    return index, func(params)
+
+
+class SerialExecutor:
+    """The in-process reference executor: one cell at a time, in order."""
+
+    name = "serial"
+
+    def run_missing(
+        self,
+        func: CellFunction,
+        items: Sequence[WorkItem],
+        *,
+        experiment_id: str,
+    ) -> Iterator[CellResult]:
+        for item in items:
+            yield CellResult(item.index, func(item.params), COMPUTED)
+
+    def close(self) -> None:
+        """Nothing to shut down."""
+
+    def abort(self) -> None:
+        """Nothing to tear down."""
+
+
+class ProcessPoolExecutor:
+    """One box, all cores: a ``multiprocessing`` pool fed unordered.
+
+    Work items go out index-tagged through ``imap_unordered`` with the
+    cost-aware :func:`pool_chunksize`, so results surface the moment any
+    worker finishes and a straggler cell only ever delays itself (plus at
+    most its chunk-mates) -- not the collection of every cell queued
+    behind it.  The pool is created lazily on first dispatch and reused
+    across calls (and therefore across experiments in one CLI run).
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool: pool.Pool | None = None
+
+    def run_missing(
+        self,
+        func: CellFunction,
+        items: Sequence[WorkItem],
+        *,
+        experiment_id: str,
+    ) -> Iterator[CellResult]:
+        if self.workers == 1 or len(items) == 1:
+            # A pool cannot beat the in-process loop here; skip its
+            # start-up cost (and keep single-cell dispatch debuggable).
+            for item in items:
+                yield CellResult(item.index, func(item.params), COMPUTED)
+            return
+        work = [(func, item.index, item.params) for item in items]
+        chunksize = pool_chunksize(len(work), self.workers)
+        for index, payload in self._pool_instance().imap_unordered(
+            _call_indexed, work, chunksize=chunksize
+        ):
+            yield CellResult(index, payload, COMPUTED)
+
+    def _pool_instance(self) -> pool.Pool:
+        if self._pool is None:
+            # Prefer fork where available (instant start-up, inherits the
+            # already-imported numpy/repro stack); fall back to the
+            # platform default elsewhere -- cell functions are module-level
+            # and cells are plain dicts, so both pickle fine.
+            context: BaseContext
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Graceful shutdown: outstanding work finishes, then workers exit."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def abort(self) -> None:
+        """Immediate teardown: in-flight cells are killed mid-computation."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+class SharedCacheExecutor:
+    """Cooperating workers draining one grid through one result cache.
+
+    Each invocation walks the missing cells in rounds.  Per cell it
+    (1) checks the cache -- a cooperating worker may have finished it,
+    (2) otherwise tries to claim it; a won claim means *this* worker
+    computes, normalizes and stores the payload, then releases the claim,
+    (3) otherwise (someone else holds a fresh claim) re-queues the cell
+    for a later round.  A round that makes no progress sleeps
+    ``poll_interval_s`` before re-polling, so blocked workers cost almost
+    nothing while a peer grinds through a long cell.
+
+    Crash safety is inherited from the claim protocol
+    (:meth:`~repro.sweep.cache.ResultCache.try_claim`): a dead worker's
+    claims expire (immediately when its pid is provably gone on this host,
+    after ``claim_ttl_s`` otherwise) and its cells are stolen; the store
+    happens *before* the release, so a released claim always means the
+    payload is readable.  Everything else -- bit-identity, idempotence --
+    follows from cells being pure functions of their parameters.
+    """
+
+    name = "shared-cache"
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        *,
+        claim_ttl_s: float = 900.0,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        if claim_ttl_s <= 0.0:
+            raise ValueError("claim_ttl_s must be > 0")
+        if poll_interval_s <= 0.0:
+            raise ValueError("poll_interval_s must be > 0")
+        self.cache = cache
+        self.claim_ttl_s = claim_ttl_s
+        self.poll_interval_s = poll_interval_s
+        #: Owner token on this worker's claims; host+pid is unique among
+        #: live cooperating workers (and is how peers detect our death).
+        self.owner = f"{platform.node()}:{os.getpid()}"
+        #: Cells this executor computed itself vs. drained from peers.
+        self.claimed_count = 0
+        self.drained_count = 0
+
+    def run_missing(
+        self,
+        func: CellFunction,
+        items: Sequence[WorkItem],
+        *,
+        experiment_id: str,
+    ) -> Iterator[CellResult]:
+        pending = deque(items)
+        while pending:
+            progressed = False
+            for _ in range(len(pending)):
+                item = pending.popleft()
+                cached = self.cache.load(experiment_id, item.key)
+                if cached is not MISS:
+                    self.drained_count += 1
+                    progressed = True
+                    yield CellResult(item.index, cached, FROM_CACHE)
+                    continue
+                if self.cache.try_claim(
+                    experiment_id,
+                    item.key,
+                    owner=self.owner,
+                    ttl_seconds=self.claim_ttl_s,
+                ):
+                    try:
+                        payload = json.loads(canonical_json(func(item.params)))
+                        self.cache.store(
+                            experiment_id, item.key, payload, params=item.params
+                        )
+                    finally:
+                        self.cache.release_claim(
+                            experiment_id, item.key, owner=self.owner
+                        )
+                    self.claimed_count += 1
+                    progressed = True
+                    yield CellResult(item.index, payload, STORED)
+                else:
+                    pending.append(item)
+            if pending and not progressed:
+                time.sleep(self.poll_interval_s)
+
+    def close(self) -> None:
+        """Nothing held between calls; claims are released per cell."""
+
+    def abort(self) -> None:
+        """Nothing to tear down; unfinished claims expire on their own."""
+
+
+def make_executor(
+    name: str,
+    *,
+    workers: int,
+    cache: ResultCache | None,
+    claim_ttl_s: float = 900.0,
+    poll_interval_s: float = 0.05,
+) -> Executor:
+    """Construct a named executor (the ``SweepConfig`` -> executor factory).
+
+    Args:
+        name: one of :data:`EXECUTOR_NAMES`.
+        workers: pool width for ``process-pool``; the other executors
+            compute in-process (``shared-cache`` scales by *invocations*,
+            not threads -- point more processes at the same cache dir).
+        cache: the shared result cache; required by ``shared-cache``.
+        claim_ttl_s: age after which a ``shared-cache`` claim may be stolen.
+        poll_interval_s: sleep between no-progress polling rounds of
+            ``shared-cache``.
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process-pool":
+        return ProcessPoolExecutor(workers)
+    if name == "shared-cache":
+        if cache is None:
+            raise ValueError(
+                "the shared-cache executor coordinates through the result "
+                "cache; configure cache_dir"
+            )
+        return SharedCacheExecutor(
+            cache, claim_ttl_s=claim_ttl_s, poll_interval_s=poll_interval_s
+        )
+    raise ValueError(
+        f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -1,35 +1,58 @@
-"""Worker-pool orchestration of sweep cells with cache memoization.
+"""Orchestration of sweep cells: cache scan, executor dispatch, progress.
 
 The orchestrator turns a list of sweep cells -- JSON-scalar parameter dicts
-plus a module-level cell function -- into payloads, with two accelerations
-layered transparently on top of the plain serial loop:
+plus a module-level cell function -- into payloads, with three
+accelerations layered transparently on top of the plain serial loop:
 
 * **Memoization** -- when a :class:`~repro.sweep.cache.ResultCache` is
   configured, each cell is looked up by its content address first and only
   misses are computed (then stored for the next run).
-* **Fan-out** -- cache misses are dispatched to a ``multiprocessing`` pool
-  when more than one worker is configured.  Cells are pure functions of
-  their parameters (every RNG is seeded from the cell dict), so the fan-out
-  is bit-deterministic: serial, parallel, cold and warm runs all produce
-  identical payloads.
+* **Fan-out** -- cache misses are handed to a pluggable
+  :class:`~repro.sweep.executors.Executor` (``serial``, ``process-pool``
+  or ``shared-cache``; see :mod:`repro.sweep.executors`).  Cells are pure
+  functions of their parameters (every RNG is seeded from the cell dict),
+  so every executor -- and any interleaving of cooperating workers -- is
+  bit-deterministic: all of them produce identical payloads.
+* **Progress** -- with ``SweepConfig(progress=True)`` (the CLI's
+  ``--progress``), a :class:`~repro.sweep.progress.ProgressReporter`
+  streams cells done/total, the hit/computed split, cells/sec and an ETA
+  to stderr as results land.
 
 Payload determinism is enforced structurally: every computed payload is
 normalized through one canonical JSON round trip before it is returned or
 stored, so a payload that came out of a worker, out of the serial loop or
 out of the cache is byte-for-byte the same object tree.
+
+Executors stream results **in completion order** (a straggler cell no
+longer blocks collection of the cells behind it); the orchestrator slots
+each result back by its index, so :meth:`SweepOrchestrator.map_cells`
+still returns payloads in cell order.
+
+Resumability is a contract, not an accident: a killed sweep restarted
+against the same cache recomputes zero completed cells, because every
+payload is stored the moment it exists (by the orchestrator, or -- under
+the shared-cache executor -- by the worker itself before it releases the
+cell's claim).  ``tests/test_sweep_executors.py`` kills a mid-grid sweep
+with SIGKILL and asserts exactly this.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 from dataclasses import dataclass
-from multiprocessing import pool
-from multiprocessing.context import BaseContext
 from pathlib import Path
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, TextIO
 
 from repro.sweep.cache import MISS, ResultCache, canonical_json, cell_key
+from repro.sweep.executors import (
+    COMPUTED,
+    EXECUTOR_NAMES,
+    FROM_CACHE,
+    Executor,
+    WorkItem,
+    make_executor,
+)
+from repro.sweep.progress import ProgressReporter
 
 __all__ = ["SweepConfig", "SweepOrchestrator", "sweep_map"]
 
@@ -39,42 +62,76 @@ CellParams = dict[str, Any]
 CellPayload = dict[str, Any]
 
 
-def _call_cell(
-    item: tuple[Callable[[CellParams], CellPayload], CellParams],
-) -> CellPayload:
-    """Top-level pool target: unpack (function, params) and invoke.
-
-    Lives at module level so it pickles by reference into worker processes.
-    """
-    func, params = item
-    return func(params)
-
-
 @dataclass(frozen=True)
 class SweepConfig:
     """How a sweep should execute.
 
     Attributes:
-        workers: worker processes for cache misses; 1 computes in-process.
+        workers: worker processes for the ``process-pool`` executor; 1
+            computes in-process.
         cache_dir: root of the on-disk result cache; ``None`` disables
-            memoization.
+            memoization (and rules out the ``shared-cache`` executor).
+        executor: executor name (see
+            :data:`~repro.sweep.executors.EXECUTOR_NAMES`); ``None``
+            selects automatically -- ``process-pool`` when more than one
+            worker is configured, ``serial`` otherwise -- preserving the
+            pre-executor behavior of ``workers``/``cache_dir`` alone.
+        progress: stream per-cell progress/ETA lines (see
+            :mod:`repro.sweep.progress`).
+        progress_interval_s: throttle between progress lines.
+        progress_stream: where progress lines go; ``None`` means stderr
+            (tests inject a buffer here).
+        claim_ttl_s: age after which a ``shared-cache`` claim counts as
+            abandoned and may be stolen.
+        poll_interval_s: sleep between no-progress polling rounds of the
+            ``shared-cache`` executor.
     """
 
     workers: int = 1
     cache_dir: str | Path | None = None
+    executor: str | None = None
+    progress: bool = False
+    progress_interval_s: float = 1.0
+    progress_stream: TextIO | None = None
+    claim_ttl_s: float = 900.0
+    poll_interval_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; available: "
+                f"{', '.join(EXECUTOR_NAMES)}"
+            )
+        if self.executor == "shared-cache" and self.cache_dir is None:
+            raise ValueError(
+                "the shared-cache executor coordinates through the result "
+                "cache; configure cache_dir"
+            )
+        if self.claim_ttl_s <= 0.0:
+            raise ValueError("claim_ttl_s must be > 0")
+        if self.poll_interval_s <= 0.0:
+            raise ValueError("poll_interval_s must be > 0")
+        if self.progress_interval_s < 0.0:
+            raise ValueError("progress_interval_s must be >= 0")
+
+    @property
+    def executor_name(self) -> str:
+        """The effective executor: explicit choice, or the workers-based auto."""
+        if self.executor is not None:
+            return self.executor
+        return "process-pool" if self.workers > 1 else "serial"
 
 
 class SweepOrchestrator:
-    """Executes sweep cells through one shared pool and one shared cache.
+    """Executes sweep cells through one shared executor and one shared cache.
 
-    The pool is created lazily on the first parallel dispatch and reused
-    across :meth:`map_cells` calls (and therefore across experiments within
-    one CLI invocation), so per-experiment grids do not pay repeated pool
-    start-up costs.  Use as a context manager, or call :meth:`close`.
+    The executor is created lazily on the first dispatch and reused across
+    :meth:`map_cells` calls (and therefore across experiments within one
+    CLI invocation), so per-experiment grids do not pay repeated pool
+    start-up costs.  Use as a context manager, or call :meth:`close`;
+    :meth:`abort` is the hard stop that kills in-flight cells.
     """
 
     def __init__(self, config: SweepConfig | None = None) -> None:
@@ -84,7 +141,7 @@ class SweepOrchestrator:
         )
         self.hits = 0
         self.misses = 0
-        self._pool: pool.Pool | None = None
+        self._executor: Executor | None = None
 
     def map_cells(
         self,
@@ -101,11 +158,26 @@ class SweepOrchestrator:
             cells: parameter dicts; each must canonicalize to JSON (see
                 :func:`~repro.sweep.cache.cell_key`).
             experiment_id: namespace for the cache keys.
+
+        ``hits``/``misses`` count against this process's *initial* cache
+        scan; a cell another shared-cache worker computes mid-sweep stays
+        a miss here (it was dispatched) but reaches the progress stream as
+        a hit (it cost this process nothing to obtain).
         """
         cells = [dict(cell) for cell in cells]
         keys = [cell_key(experiment_id, cell) for cell in cells]
         payloads: list[Any] = [None] * len(cells)
-        missing: list[int] = []
+        progress = (
+            ProgressReporter(
+                experiment_id,
+                len(cells),
+                stream=self.config.progress_stream,
+                interval_s=self.config.progress_interval_s,
+            )
+            if self.config.progress
+            else None
+        )
+        missing: list[WorkItem] = []
         for index, key in enumerate(keys):
             cached = (
                 self.cache.load(experiment_id, key) if self.cache is not None else MISS
@@ -113,47 +185,67 @@ class SweepOrchestrator:
             if cached is not MISS:
                 payloads[index] = cached
                 self.hits += 1
+                if progress is not None:
+                    progress.cell_done(hit=True)
             else:
-                missing.append(index)
+                missing.append(WorkItem(index, cells[index], key))
                 self.misses += 1
         if missing:
-            work = [(func, cells[index]) for index in missing]
-            if self.config.workers > 1 and len(missing) > 1:
-                computed = self._pool_instance().map(_call_cell, work, chunksize=1)
-            else:
-                computed = [_call_cell(item) for item in work]
-            for index, raw in zip(missing, computed):
-                # One canonical round trip makes fresh payloads
-                # indistinguishable from cached ones (bit-identical floats,
-                # string keys, no numpy types).
-                payload = json.loads(canonical_json(raw))
-                if self.cache is not None:
-                    self.cache.store(
-                        experiment_id, keys[index], payload, params=cells[index]
-                    )
-                payloads[index] = payload
+            executor = self._executor_instance()
+            for result in executor.run_missing(
+                func, missing, experiment_id=experiment_id
+            ):
+                if result.provenance == COMPUTED:
+                    # One canonical round trip makes fresh payloads
+                    # indistinguishable from cached ones (bit-identical
+                    # floats, string keys, no numpy types).
+                    payload = json.loads(canonical_json(result.payload))
+                    if self.cache is not None:
+                        self.cache.store(
+                            experiment_id,
+                            keys[result.index],
+                            payload,
+                            params=cells[result.index],
+                        )
+                else:
+                    # "stored" / "cache": normalized (and persisted) by the
+                    # executor already.
+                    payload = result.payload
+                payloads[result.index] = payload
+                if progress is not None:
+                    progress.cell_done(hit=result.provenance == FROM_CACHE)
+        if progress is not None:
+            progress.finish()
         return payloads
 
-    def _pool_instance(self) -> pool.Pool:
-        if self._pool is None:
-            # Prefer fork where available (instant start-up, inherits the
-            # already-imported numpy/repro stack); fall back to the
-            # platform default elsewhere -- cell functions are module-level
-            # and cells are plain dicts, so both pickle fine.
-            context: BaseContext
-            if "fork" in multiprocessing.get_all_start_methods():
-                context = multiprocessing.get_context("fork")
-            else:
-                context = multiprocessing.get_context()
-            self._pool = context.Pool(processes=self.config.workers)
-        return self._pool
+    def _executor_instance(self) -> Executor:
+        if self._executor is None:
+            self._executor = make_executor(
+                self.config.executor_name,
+                workers=self.config.workers,
+                cache=self.cache,
+                claim_ttl_s=self.config.claim_ttl_s,
+                poll_interval_s=self.config.poll_interval_s,
+            )
+        return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut the executor down gracefully (idempotent).
+
+        In-flight cells are allowed to finish -- this is the normal path
+        (and the context-manager exit), so a sweep that stops early never
+        truncates partial work mid-computation.  Use :meth:`abort` to kill
+        in-flight cells instead.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def abort(self) -> None:
+        """Tear the executor down immediately, killing in-flight cells."""
+        if self._executor is not None:
+            self._executor.abort()
+            self._executor = None
 
     def __enter__(self) -> "SweepOrchestrator":
         return self

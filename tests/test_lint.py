@@ -194,6 +194,22 @@ CACHE_NON_SCALAR_EXTRA = """
     CELLS = GRID.cells(options={"deep": True})
 """
 
+CACHE_RUN_MISSING_LAMBDA = """
+    def drain(executor, items):
+        return list(executor.run_missing(lambda cell: cell, items))
+"""
+
+CACHE_CLAIM_OPEN_WRITE = """
+    def publish(cache_dir, key, owner):
+        with open(cache_dir / (key + ".claim"), "w") as handle:
+            handle.write(owner)
+"""
+
+CACHE_CLAIM_WRITE_TEXT = """
+    def publish(claim_path, owner):
+        claim_path.write_text(owner)
+"""
+
 CACHE_OK = """
     from repro.sweep import ParameterGrid, sweep_map
 
@@ -206,11 +222,35 @@ CACHE_OK = """
         return sweep_map(cell_function, GRID.cells(seed=0), orchestrator)
 """
 
+CACHE_CLAIM_OK = """
+    def _claim_write_atomic(claim_path, owner):
+        claim_path.write_text(owner)
+
+    def inspect(claim_path):
+        return claim_path.read_text()
+"""
+
 
 @pytest.mark.parametrize(
     "code",
-    [CACHE_LAMBDA, CACHE_NESTED, CACHE_NON_SCALAR_AXIS, CACHE_NON_SCALAR_EXTRA],
-    ids=["lambda", "nested-function", "non-scalar-axis", "non-scalar-extra"],
+    [
+        CACHE_LAMBDA,
+        CACHE_NESTED,
+        CACHE_NON_SCALAR_AXIS,
+        CACHE_NON_SCALAR_EXTRA,
+        CACHE_RUN_MISSING_LAMBDA,
+        CACHE_CLAIM_OPEN_WRITE,
+        CACHE_CLAIM_WRITE_TEXT,
+    ],
+    ids=[
+        "lambda",
+        "nested-function",
+        "non-scalar-axis",
+        "non-scalar-extra",
+        "run-missing-lambda",
+        "claim-open-write",
+        "claim-write-text",
+    ],
 )
 def test_cache_safety_flags(code):
     assert rules_fired(lint_src(code)) == {"cache-safety"}
@@ -218,6 +258,10 @@ def test_cache_safety_flags(code):
 
 def test_cache_safety_accepts_module_level_scalar_cells():
     assert lint_src(CACHE_OK) == []
+
+
+def test_cache_safety_accepts_claim_writes_in_atomic_helper():
+    assert lint_src(CACHE_CLAIM_OK) == []
 
 
 # ---------------------------------------------------------------------------

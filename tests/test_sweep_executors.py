@@ -1,0 +1,699 @@
+"""Tests for the pluggable sweep executors, claiming and resumability.
+
+The contracts gated here (see ``docs/sweeps.md``):
+
+* every executor -- serial, process-pool, shared-cache -- produces
+  bit-identical payloads;
+* the process-pool executor streams results in completion order, so a
+  straggler cell does not head-of-line-block the cells behind it;
+* normal shutdown is graceful (``close``/``join``: in-flight cells
+  finish); only an explicit ``abort`` terminates the pool;
+* shared-cache claims are idempotent, owner-scoped, and stealable when
+  stale (by TTL, by dead pid on the same host, or when unreadable);
+* **resumability**: a SIGKILLed shared-cache sweep restarted against the
+  same cache recomputes zero completed cells;
+* two cooperating shared-cache workers drain one grid with each cell
+  computed exactly once;
+* the ``--progress`` stream follows its documented line format.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import main as runner_main
+from repro.sweep import (
+    MISS,
+    ProcessPoolExecutor,
+    ProgressReporter,
+    ResultCache,
+    SerialExecutor,
+    SharedCacheExecutor,
+    SweepConfig,
+    SweepOrchestrator,
+    WorkItem,
+    canonical_json,
+    cell_key,
+    make_executor,
+    pool_chunksize,
+    sweep_map,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+# --- module-level cell functions (picklable into pool workers) -------------
+
+
+def value_cell(params: dict) -> dict:
+    return {"value": params["x"] * 0.1, "third": params["x"] / 3.0}
+
+
+def straggler_cell(params: dict) -> dict:
+    # Cell 0 is the straggler: everything dispatched after it finishes
+    # long before it does.
+    if params["x"] == 0:
+        time.sleep(0.5)
+    return {"x": params["x"]}
+
+
+#: Set by the resumability test before its in-process re-run.
+MARKER_DIR = {"path": ""}
+
+
+def marking_cell(params: dict) -> dict:
+    Path(MARKER_DIR["path"], f"x{params['x']}.pid{os.getpid()}").touch()
+    return {"value": params["x"] * 3}
+
+
+def _work_items(cells: list[dict], experiment_id: str) -> list[WorkItem]:
+    return [
+        WorkItem(index, cell, cell_key(experiment_id, cell))
+        for index, cell in enumerate(cells)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# configuration and factory
+
+
+class TestSweepConfig:
+    def test_auto_selects_serial_for_one_worker(self):
+        assert SweepConfig().executor_name == "serial"
+
+    def test_auto_selects_process_pool_for_many_workers(self):
+        assert SweepConfig(workers=4).executor_name == "process-pool"
+
+    def test_explicit_executor_wins_over_auto(self, tmp_path):
+        config = SweepConfig(workers=4, cache_dir=tmp_path, executor="shared-cache")
+        assert config.executor_name == "shared-cache"
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SweepConfig(executor="gpu")
+
+    def test_shared_cache_requires_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            SweepConfig(executor="shared-cache")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"claim_ttl_s": 0.0},
+            {"poll_interval_s": 0.0},
+            {"progress_interval_s": -1.0},
+        ],
+        ids=["claim-ttl", "poll-interval", "progress-interval"],
+    )
+    def test_rejects_non_positive_timings(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepConfig(**kwargs)
+
+    def test_factory_builds_each_named_executor(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert isinstance(
+            make_executor("serial", workers=1, cache=None), SerialExecutor
+        )
+        assert isinstance(
+            make_executor("process-pool", workers=2, cache=None),
+            ProcessPoolExecutor,
+        )
+        assert isinstance(
+            make_executor("shared-cache", workers=1, cache=cache),
+            SharedCacheExecutor,
+        )
+
+    def test_factory_rejects_shared_cache_without_cache(self):
+        with pytest.raises(ValueError, match="cache"):
+            make_executor("shared-cache", workers=1, cache=None)
+
+    def test_factory_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads", workers=1, cache=None)
+
+
+class TestPoolChunksize:
+    @pytest.mark.parametrize(
+        ("num_items", "workers", "expected"),
+        [
+            (0, 4, 1),  # degenerate: no work
+            (12, 8, 1),  # fewer than 4 waves/worker: stay at 1
+            (30, 8, 1),  # the MC grids' scale: maximal balance
+            (64, 4, 4),  # grows once work dwarfs the pool
+            (300, 8, 8),  # the 10x benchmark grid hits the cap
+            (100000, 2, 8),  # cap bounds intra-chunk blocking
+        ],
+    )
+    def test_cost_model(self, num_items, workers, expected):
+        assert pool_chunksize(num_items, workers) == expected
+
+
+# ---------------------------------------------------------------------------
+# executor identity and completion order
+
+
+class TestExecutorIdentity:
+    CELLS = [{"x": value, "seed": 0} for value in range(6)]
+
+    def _reference(self):
+        return sweep_map(value_cell, self.CELLS, experiment_id="ident")
+
+    def test_process_pool_is_bit_identical_to_serial(self):
+        reference = self._reference()
+        with SweepOrchestrator(
+            SweepConfig(workers=2, executor="process-pool")
+        ) as sweep:
+            pooled = sweep.map_cells(value_cell, self.CELLS, experiment_id="ident")
+        assert canonical_json(pooled) == canonical_json(reference)
+
+    def test_shared_cache_is_bit_identical_to_serial(self, tmp_path):
+        reference = self._reference()
+        with SweepOrchestrator(
+            SweepConfig(cache_dir=tmp_path, executor="shared-cache")
+        ) as sweep:
+            shared = sweep.map_cells(value_cell, self.CELLS, experiment_id="ident")
+        assert canonical_json(shared) == canonical_json(reference)
+
+    def test_explicit_serial_matches_default_path(self, tmp_path):
+        reference = self._reference()
+        with SweepOrchestrator(
+            SweepConfig(cache_dir=tmp_path, executor="serial")
+        ) as sweep:
+            serial = sweep.map_cells(value_cell, self.CELLS, experiment_id="ident")
+        assert canonical_json(serial) == canonical_json(reference)
+
+
+class TestUnorderedCompletion:
+    def test_straggler_does_not_block_later_cells(self):
+        # Six cells, two workers, chunksize 1: worker A sits on the
+        # sleeping cell 0 while worker B drains cells 1-5; with
+        # imap_unordered those five surface before the straggler.
+        cells = [{"x": value} for value in range(6)]
+        executor = ProcessPoolExecutor(workers=2)
+        try:
+            results = list(
+                executor.run_missing(
+                    straggler_cell, _work_items(cells, "order"), experiment_id="order"
+                )
+            )
+        finally:
+            executor.close()
+        assert sorted(result.index for result in results) == list(range(6))
+        assert results[0].index != 0
+        assert results[-1].index == 0
+
+    def test_single_worker_short_circuits_in_order(self):
+        cells = [{"x": value} for value in range(3)]
+        executor = ProcessPoolExecutor(workers=1)
+        results = list(
+            executor.run_missing(
+                value_cell, _work_items(cells, "inline"), experiment_id="inline"
+            )
+        )
+        executor.close()
+        assert [result.index for result in results] == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# graceful close vs abort (regression: close() used to terminate())
+
+
+class RecordingPool:
+    def __init__(self):
+        self.calls = []
+
+    def close(self):
+        self.calls.append("close")
+
+    def join(self):
+        self.calls.append("join")
+
+    def terminate(self):
+        self.calls.append("terminate")
+
+
+class RecordingExecutor:
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+
+    def run_missing(self, func, items, *, experiment_id):
+        return iter(())
+
+    def close(self):
+        self.calls.append("close")
+
+    def abort(self):
+        self.calls.append("abort")
+
+
+class TestShutdown:
+    def test_close_is_graceful_not_terminate(self):
+        executor = ProcessPoolExecutor(workers=2)
+        pool = RecordingPool()
+        executor._pool = pool
+        executor.close()
+        assert pool.calls == ["close", "join"]
+        assert "terminate" not in pool.calls
+
+    def test_abort_terminates(self):
+        executor = ProcessPoolExecutor(workers=2)
+        pool = RecordingPool()
+        executor._pool = pool
+        executor.abort()
+        assert pool.calls == ["terminate", "join"]
+
+    def test_close_and_abort_are_idempotent(self):
+        executor = ProcessPoolExecutor(workers=2)
+        executor._pool = RecordingPool()
+        executor.close()
+        executor.close()
+        executor.abort()
+
+    def test_orchestrator_close_routes_to_executor_close(self):
+        sweep = SweepOrchestrator()
+        recorder = RecordingExecutor()
+        sweep._executor = recorder
+        sweep.close()
+        assert recorder.calls == ["close"]
+
+    def test_orchestrator_abort_routes_to_executor_abort(self):
+        sweep = SweepOrchestrator()
+        recorder = RecordingExecutor()
+        sweep._executor = recorder
+        sweep.abort()
+        assert recorder.calls == ["abort"]
+
+    def test_context_exit_uses_the_graceful_path(self):
+        recorder = RecordingExecutor()
+        with SweepOrchestrator() as sweep:
+            sweep._executor = recorder
+        assert recorder.calls == ["close"]
+
+
+# ---------------------------------------------------------------------------
+# the claim protocol
+
+
+class TestClaims:
+    KEY = "0" * 64
+
+    def test_acquire_then_foreign_claim_blocks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.try_claim("fig", self.KEY, owner="alice")
+        assert not cache.try_claim("fig", self.KEY, owner="bob")
+
+    def test_release_is_owner_scoped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.try_claim("fig", self.KEY, owner="alice")
+        cache.release_claim("fig", self.KEY, owner="bob")
+        assert cache.claim_path("fig", self.KEY).exists()
+        cache.release_claim("fig", self.KEY, owner="alice")
+        assert not cache.claim_path("fig", self.KEY).exists()
+        assert cache.try_claim("fig", self.KEY, owner="bob")
+
+    def test_claiming_leaves_no_temporaries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.try_claim("fig", self.KEY, owner="alice")
+        cache.try_claim("fig", self.KEY, owner="bob")  # loses, must clean up
+        names = [path.name for path in (tmp_path / "fig").iterdir()]
+        assert names == [f"{self.KEY}.claim"]
+
+    def test_expired_claim_is_stolen(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.try_claim("fig", self.KEY, owner="alice", ttl_seconds=60.0)
+        path = cache.claim_path("fig", self.KEY)
+        # Pretend the claim is from another host (so the pid probe cannot
+        # short-circuit) and backdate it past the TTL.
+        path.write_text(
+            json.dumps({"owner": "alice", "host": "elsewhere", "pid": 12345})
+        )
+        stale = path.stat().st_mtime - 120.0
+        os.utime(path, (stale, stale))
+        assert cache.try_claim("fig", self.KEY, owner="bob", ttl_seconds=60.0)
+        entry = json.loads(path.read_text())
+        assert entry["owner"] == "bob"
+
+    def test_fresh_foreign_host_claim_blocks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.claim_path("fig", self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"owner": "remote", "host": "elsewhere", "pid": 12345})
+        )
+        assert not cache.try_claim("fig", self.KEY, owner="bob", ttl_seconds=60.0)
+
+    def test_dead_pid_claim_is_stolen_immediately(self, tmp_path):
+        # A claim made on *this* host by a process that no longer exists
+        # is reclaimed without waiting out the TTL -- the path a SIGKILLed
+        # worker's cells come back through.
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(probe.stdout)
+        cache = ResultCache(tmp_path)
+        path = cache.claim_path("fig", self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"owner": "ghost", "host": platform.node(), "pid": dead_pid}
+            )
+        )
+        assert cache.try_claim(
+            "fig", self.KEY, owner="bob", ttl_seconds=10**6
+        )
+
+    def test_corrupt_claim_is_stolen(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.claim_path("fig", self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x00 not json")
+        assert cache.try_claim("fig", self.KEY, owner="bob", ttl_seconds=10**6)
+
+    def test_executor_releases_claims_after_computing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = [{"x": value, "seed": 0} for value in range(3)]
+        executor = SharedCacheExecutor(cache)
+        results = list(
+            executor.run_missing(
+                value_cell, _work_items(cells, "claims"), experiment_id="claims"
+            )
+        )
+        assert executor.claimed_count == 3
+        assert executor.drained_count == 0
+        assert len(results) == 3
+        assert not list(tmp_path.glob("*/*.claim"))
+
+    def test_executor_drains_peer_results_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = [{"x": value, "seed": 0} for value in range(3)]
+        items = _work_items(cells, "drain")
+        # A "peer" has already finished cell 1.
+        peer_payload = json.loads(canonical_json(value_cell(cells[1])))
+        cache.store("drain", items[1].key, peer_payload, params=cells[1])
+        executor = SharedCacheExecutor(cache)
+        results = {
+            result.index: result
+            for result in executor.run_missing(
+                value_cell, items, experiment_id="drain"
+            )
+        }
+        assert executor.claimed_count == 2
+        assert executor.drained_count == 1
+        assert results[1].provenance == "cache"
+        assert results[1].payload == peer_payload
+
+
+# ---------------------------------------------------------------------------
+# resumability: SIGKILL mid-grid, restart, zero recomputation
+
+RESUME_SCRIPT = """
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.sweep import SweepConfig, SweepOrchestrator
+
+CACHE_DIR, MARKER_DIR = sys.argv[1], sys.argv[2]
+PER_CELL_S = float(sys.argv[3])
+
+
+def marking_cell(params):
+    time.sleep(PER_CELL_S)
+    Path(MARKER_DIR, f"x{params['x']}.pid{os.getpid()}").touch()
+    return {"value": params["x"] * 3}
+
+
+cells = [{"x": value, "seed": 0} for value in range(8)]
+config = SweepConfig(cache_dir=CACHE_DIR, executor="shared-cache")
+with SweepOrchestrator(config) as sweep:
+    sweep.map_cells(marking_cell, cells, experiment_id="resume")
+"""
+
+
+def _spawn_worker(tmp_path, script_name, script, *argv):
+    script_path = tmp_path / script_name
+    script_path.write_text(script)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(script_path), *map(str, argv)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _marker_values(marker_dir: Path) -> set[int]:
+    return {int(path.name.split(".")[0][1:]) for path in marker_dir.iterdir()}
+
+
+class TestResumability:
+    def test_killed_sweep_resumes_with_zero_recomputation(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        cells = [{"x": value, "seed": 0} for value in range(8)]
+        keys = [cell_key("resume", cell) for cell in cells]
+
+        worker = _spawn_worker(
+            tmp_path, "resume_worker.py", RESUME_SCRIPT, cache_dir, marker_dir, 0.25
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while len(list(cache_dir.glob("resume/*.json"))) < 2:
+                if time.monotonic() > deadline:
+                    pytest.fail("worker never stored two cells")
+                if worker.poll() is not None:
+                    pytest.fail("worker exited before it could be killed")
+                time.sleep(0.02)
+            worker.send_signal(signal.SIGKILL)
+        finally:
+            worker.wait(timeout=30.0)
+
+        cache = ResultCache(cache_dir)
+        completed = {
+            cell["x"]
+            for cell, key in zip(cells, keys)
+            if cache.load("resume", key) is not MISS
+        }
+        assert completed, "kill landed before any cell completed"
+        assert len(completed) < len(cells), "kill landed after the whole grid"
+        markers_before = set(marker_dir.iterdir())
+
+        # Restart against the same cache, in-process this time.
+        MARKER_DIR["path"] = str(marker_dir)
+        config = SweepConfig(cache_dir=cache_dir, executor="shared-cache")
+        with SweepOrchestrator(config) as sweep:
+            resumed = sweep.map_cells(marking_cell, cells, experiment_id="resume")
+
+        # The resumability contract: completed cells are never recomputed.
+        recomputed = _marker_values(
+            marker_dir
+        ) - _marker_values_of(markers_before)
+        assert recomputed.isdisjoint(completed)
+        # And the resumed payloads are bit-identical to a pristine serial run.
+        reference = [{"value": cell["x"] * 3} for cell in cells]
+        assert canonical_json(resumed) == canonical_json(reference)
+        # The killed worker's orphaned claim was reclaimed, not leaked.
+        assert not list(cache_dir.glob("resume/*.claim"))
+        # A second warm pass touches nothing at all.
+        markers_after = set(marker_dir.iterdir())
+        with SweepOrchestrator(config) as warm_sweep:
+            warm = warm_sweep.map_cells(marking_cell, cells, experiment_id="resume")
+        assert set(marker_dir.iterdir()) == markers_after
+        assert warm_sweep.hits == len(cells)
+        assert canonical_json(warm) == canonical_json(reference)
+
+
+def _marker_values_of(paths) -> set[int]:
+    return {int(path.name.split(".")[0][1:]) for path in paths}
+
+
+# ---------------------------------------------------------------------------
+# cooperation: two workers, one grid, each cell computed exactly once
+
+COOPERATE_SCRIPT = """
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.sweep import SweepConfig, SweepOrchestrator
+
+CACHE_DIR, MARKER_DIR = sys.argv[1], sys.argv[2]
+PER_CELL_S = float(sys.argv[3])
+
+
+def marking_cell(params):
+    time.sleep(PER_CELL_S)
+    Path(MARKER_DIR, f"x{params['x']}.pid{os.getpid()}").touch()
+    return {"value": params["x"] * 3}
+
+
+cells = [{"x": value, "seed": 0} for value in range(10)]
+config = SweepConfig(
+    cache_dir=CACHE_DIR, executor="shared-cache", poll_interval_s=0.01
+)
+with SweepOrchestrator(config) as sweep:
+    sweep.map_cells(marking_cell, cells, experiment_id="coop")
+"""
+
+
+class TestCooperation:
+    def test_two_workers_drain_one_grid_exactly_once(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        cells = [{"x": value, "seed": 0} for value in range(10)]
+
+        workers = [
+            _spawn_worker(
+                tmp_path,
+                f"coop_worker_{index}.py",
+                COOPERATE_SCRIPT,
+                cache_dir,
+                marker_dir,
+                0.2,
+            )
+            for index in range(2)
+        ]
+        for worker in workers:
+            assert worker.wait(timeout=120.0) == 0
+
+        # Every cell landed in the cache, and the claim protocol made the
+        # split disjoint: exactly one compute marker per cell.
+        markers = sorted(path.name for path in marker_dir.iterdir())
+        assert len(markers) == len(cells)
+        assert _marker_values(marker_dir) == {cell["x"] for cell in cells}
+        pids = {name.split(".pid")[1] for name in markers}
+        assert len(pids) == 2, "both workers should have won cells"
+
+        # The drained grid reads back bit-identical to the serial reference.
+        config = SweepConfig(cache_dir=cache_dir, executor="serial")
+        with SweepOrchestrator(config) as sweep:
+            payloads = sweep.map_cells(marking_cell, cells, experiment_id="coop")
+        assert sweep.hits == len(cells)
+        reference = [{"value": cell["x"] * 3} for cell in cells]
+        assert canonical_json(payloads) == canonical_json(reference)
+
+    def test_sweep_completes_despite_stale_foreign_claim(self, tmp_path):
+        # A crashed remote worker left a claim behind; the TTL path steals
+        # it and the sweep still drains the whole grid.
+        cache = ResultCache(tmp_path)
+        cells = [{"x": value, "seed": 0} for value in range(4)]
+        items = _work_items(cells, "stale")
+        claim = cache.claim_path("stale", items[2].key)
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        claim.write_text(
+            json.dumps({"owner": "remote", "host": "elsewhere", "pid": 12345})
+        )
+        backdated = claim.stat().st_mtime - 10.0
+        os.utime(claim, (backdated, backdated))
+        executor = SharedCacheExecutor(cache, claim_ttl_s=1.0, poll_interval_s=0.01)
+        results = list(
+            executor.run_missing(value_cell, items, experiment_id="stale")
+        )
+        assert sorted(result.index for result in results) == [0, 1, 2, 3]
+        assert executor.claimed_count == 4
+
+
+# ---------------------------------------------------------------------------
+# the progress stream
+
+LINE_PATTERN = re.compile(
+    r"^sweep [\w-]+: \d+/\d+ cells \(\d+ hit, \d+ computed\), "
+    r"(?:\d+\.\d cells/s|\? cells/s), ETA (?:\d+\.\ds|\?)$"
+)
+
+
+class TestProgressReporter:
+    def test_every_line_follows_the_documented_format(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter("fig", 4, stream=stream, interval_s=0.0)
+        for hit in (True, False, False, True):
+            reporter.cell_done(hit=hit)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 4  # interval 0: one line per cell, no dup final
+        for line in lines:
+            assert LINE_PATTERN.match(line), line
+        assert lines[-1].startswith("sweep fig: 4/4 cells (2 hit, 2 computed)")
+
+    def test_throttle_suppresses_intermediate_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter("fig", 3, stream=stream, interval_s=3600.0)
+        reporter.cell_done(hit=False)  # first line always prints
+        reporter.cell_done(hit=False)  # throttled
+        reporter.cell_done(hit=False)  # final cell always prints
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "3/3" in lines[-1]
+
+    def test_finish_emits_even_with_no_cells(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter("fig", 0, stream=stream)
+        reporter.finish()
+        [line] = stream.getvalue().splitlines()
+        assert line == "sweep fig: 0/0 cells (0 hit, 0 computed), ? cells/s, ETA ?"
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProgressReporter("fig", -1)
+        with pytest.raises(ValueError):
+            ProgressReporter("fig", 1, interval_s=-0.1)
+
+    def test_orchestrator_streams_progress(self, tmp_path):
+        cells = [{"x": value, "seed": 0} for value in range(3)]
+        stream = io.StringIO()
+        config = SweepConfig(
+            cache_dir=tmp_path,
+            progress=True,
+            progress_interval_s=0.0,
+            progress_stream=stream,
+        )
+        with SweepOrchestrator(config) as sweep:
+            sweep.map_cells(value_cell, cells, experiment_id="fig")
+        cold_lines = stream.getvalue().splitlines()
+        assert cold_lines[-1].startswith("sweep fig: 3/3 cells (0 hit, 3 computed)")
+
+        warm_stream = io.StringIO()
+        warm_config = SweepConfig(
+            cache_dir=tmp_path,
+            progress=True,
+            progress_interval_s=0.0,
+            progress_stream=warm_stream,
+        )
+        with SweepOrchestrator(warm_config) as sweep:
+            sweep.map_cells(value_cell, cells, experiment_id="fig")
+        warm_lines = warm_stream.getvalue().splitlines()
+        assert warm_lines[-1].startswith("sweep fig: 3/3 cells (3 hit, 0 computed)")
+
+
+# ---------------------------------------------------------------------------
+# CLI validation
+
+
+class TestRunnerFlags:
+    def test_unknown_executor_is_a_usage_error(self, capsys):
+        assert runner_main(["fig50_51_mc", "--executor", "bogus"]) == 2
+        assert "unknown --executor" in capsys.readouterr().err
+
+    def test_shared_cache_requires_cache_dir_flag(self, capsys):
+        assert runner_main(["fig50_51_mc", "--executor", "shared-cache"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
