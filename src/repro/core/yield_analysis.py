@@ -77,8 +77,9 @@ estimators run whole seeded fleets in one vectorized pass:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 import numpy.typing as npt
@@ -106,8 +107,11 @@ __all__ = [
     "YieldModel",
     "YieldPoint",
     "AdaptiveYieldResult",
+    "ComponentStratification",
+    "ComponentTilt",
     "ComponentVariation",
     "LinearitySpec",
+    "RareEventYieldResult",
     "RegulationSpec",
     "ClosedLoopYieldResult",
     "LinearityYieldResult",
@@ -120,6 +124,7 @@ __all__ = [
     "cells_for_yield",
     "closed_loop_yield",
     "linearity_yield",
+    "rare_event_regulation_yield",
     "regulation_yield",
 ]
 
@@ -303,6 +308,148 @@ def cells_for_yield(
 #: streams, which frequently share the same seed.
 _COMPONENT_STREAM_TAG = 0x636F6D70  # "comp"
 
+#: RNG stream tag for the *stratified* component draws.  A stratum-conditioned
+#: draw consumes its stream differently from the unconditional one (an extra
+#: uniform for the truncated axis), so the streams must be disjoint families:
+#: ``(seed, tag, stratum, i)`` here versus ``(seed, tag, i)`` above.
+_STRATUM_STREAM_TAG = 0x73747261  # "stra"
+
+#: Order of the per-instance component draws -- one standard normal each, in
+#: this sequence.  Tilt shifts and stratification axes index into it.
+_COMPONENT_AXES = (
+    "input_voltage",
+    "inductance",
+    "capacitance",
+    "switch_resistance",
+    "inductor_resistance",
+)
+
+
+@dataclass(frozen=True)
+class ComponentTilt:
+    """Mean-shift / sigma-scale tilt of the component draws, in z-space.
+
+    Importance sampling draws components from a *tilted* distribution
+    concentrated on the failure region and reweights the results back to
+    the nominal population.  This dataclass declares the tilt: per-axis
+    mean shifts of the underlying standard-normal draws (in sigma units of
+    the respective spread, so ``capacitance_shift=-2.5`` centres the
+    proposal at capacitors 2.5 sigma below nominal) plus one common
+    ``sigma_scale`` that widens every axis.  A widened proposal
+    (``sigma_scale > 1``) keeps the likelihood-ratio weights bounded on
+    the shifted side and is the standard defence against weight
+    degeneracy -- see ``docs/monte_carlo.md`` for tuning guidance.
+
+    The identity tilt (all shifts 0, scale 1) reproduces
+    :meth:`ComponentVariation.sample_instances` bit for bit.
+    """
+
+    input_voltage_shift: float = 0.0
+    inductance_shift: float = 0.0
+    capacitance_shift: float = 0.0
+    switch_resistance_shift: float = 0.0
+    inductor_resistance_shift: float = 0.0
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for axis in _COMPONENT_AXES:
+            if not math.isfinite(getattr(self, f"{axis}_shift")):
+                raise ValueError(f"{axis}_shift must be finite")
+        if not self.sigma_scale > 0.0 or not math.isfinite(self.sigma_scale):
+            raise ValueError(
+                f"sigma_scale must be positive and finite; got {self.sigma_scale}"
+            )
+
+    def shifts(self) -> npt.NDArray[np.float64]:
+        """Per-axis z-space mean shifts, in component draw order."""
+        return np.array(
+            [getattr(self, f"{axis}_shift") for axis in _COMPONENT_AXES]
+        )
+
+    def is_identity(self) -> bool:
+        """True when the tilt leaves the nominal distribution untouched."""
+        return not self.shifts().any() and math.isclose(self.sigma_scale, 1.0)
+
+    def summary(self) -> dict[str, float]:
+        """JSON-able record of the tilt configuration."""
+        record = {
+            f"{axis}_shift": float(getattr(self, f"{axis}_shift"))
+            for axis in _COMPONENT_AXES
+        }
+        record["sigma_scale"] = float(self.sigma_scale)
+        return record
+
+
+@dataclass(frozen=True)
+class ComponentStratification:
+    """Partition of one component axis into sigma-shell strata.
+
+    Stratified sampling conditions the component draws on which shell of
+    the chosen axis they fall in, so the rare tail shell is sampled as
+    densely as the estimator wants rather than at its natural (tiny)
+    probability.  The partition lives in z-space: ``boundaries`` are
+    strictly increasing standard-normal quantiles splitting the axis into
+    ``len(boundaries) + 1`` intervals, whose exact probability masses come
+    from the normal CDF.
+
+    The default partitions the capacitance draw below -1.5 sigma -- the
+    axis and direction that dominate the load-step dip failures of the
+    ``fig15_rare`` experiment.
+    """
+
+    axis: str = "capacitance"
+    boundaries: tuple[float, ...] = (-3.5, -2.5, -1.5)
+
+    def __post_init__(self) -> None:
+        if self.axis not in _COMPONENT_AXES:
+            raise ValueError(
+                f"axis must be one of {_COMPONENT_AXES}; got {self.axis!r}"
+            )
+        if not self.boundaries:
+            raise ValueError("need at least one stratum boundary")
+        for value in self.boundaries:
+            if not math.isfinite(value):
+                raise ValueError(f"boundaries must be finite; got {value}")
+        for left, right in zip(self.boundaries, self.boundaries[1:]):
+            if not left < right:
+                raise ValueError(
+                    f"boundaries must be strictly increasing; got {self.boundaries}"
+                )
+
+    @property
+    def num_strata(self) -> int:
+        return len(self.boundaries) + 1
+
+    def axis_index(self) -> int:
+        """Index of the stratified axis in the component draw order."""
+        return _COMPONENT_AXES.index(self.axis)
+
+    def bounds(self, stratum: int) -> tuple[float, float]:
+        """Z-space ``(lower, upper)`` bounds of one stratum."""
+        if not 0 <= stratum < self.num_strata:
+            raise ValueError(
+                f"stratum must be in [0, {self.num_strata}); got {stratum}"
+            )
+        edges = (-math.inf, *self.boundaries, math.inf)
+        return edges[stratum], edges[stratum + 1]
+
+    def weights(self) -> tuple[float, ...]:
+        """Exact probability mass of each stratum (sums to 1)."""
+        from repro.mc import normal_cdf
+
+        edges = (-math.inf, *self.boundaries, math.inf)
+        return tuple(
+            normal_cdf(upper) - normal_cdf(lower)
+            for lower, upper in zip(edges, edges[1:])
+        )
+
+    def names(self) -> tuple[str, ...]:
+        """Stable per-stratum identifiers, e.g. ``"capacitance(-2.5,-1.5]"``."""
+        return tuple(
+            f"{self.axis}({self.bounds(h)[0]:g},{self.bounds(h)[1]:g}]"
+            for h in range(self.num_strata)
+        )
+
 
 @dataclass(frozen=True)
 class ComponentVariation:
@@ -400,8 +547,6 @@ class ComponentVariation:
         the same seed; fixed-N experiments keep :meth:`sample_batch` so
         their baselines stay bit-identical.
         """
-        from repro.simulation.batch import BatchBuckParameters
-
         if num_variants < 1:
             raise ValueError("need at least one variant")
         draws = np.empty((num_variants, 5))
@@ -415,6 +560,127 @@ class ComponentVariation:
             draws[row, 3] = rng.normal(loc=1.0, scale=self.resistance_sigma)
             draws[row, 4] = rng.normal(loc=1.0, scale=self.resistance_sigma)
         np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return self._parameters_from_draws(nominal, draws)
+
+    def sample_instances_tilted(
+        self,
+        nominal: BuckParameters,
+        num_variants: int,
+        first_instance: int = 0,
+        *,
+        tilt: ComponentTilt,
+    ) -> "tuple[BatchBuckParameters, npt.NDArray[np.float64]]":
+        """Chunk-stable fleet draw from a tilted component distribution.
+
+        The importance-sampling sibling of :meth:`sample_instances`: each
+        instance's five standard-normal component draws ``z`` become
+        ``shift + sigma_scale * z`` before the log-normal / clipped-normal
+        transforms, pushing the fleet toward the declared failure
+        direction.  The second return value holds each instance's
+        log-likelihood ratio ``log p(z') - log q(z')`` between the nominal
+        and the tilted z-space densities -- the weights that
+        :func:`repro.mc.importance_sample` folds into its self-normalized
+        estimate.  (The ratio is computed on the raw normal draws, so the
+        deterministic clipping downstream cancels from both densities.)
+
+        Stream contract: instance ``i`` consumes the *same*
+        ``(seed, stream tag, i)`` stream as :meth:`sample_instances`, so
+        the identity tilt reproduces the vanilla fleet bit for bit with
+        all-zero log-weights -- hypothesis-tested in
+        ``tests/test_mc_statistics.py``.
+        """
+        if num_variants < 1:
+            raise ValueError("need at least one variant")
+        shifts = tilt.shifts()
+        scale = tilt.sigma_scale
+        dimensions = len(_COMPONENT_AXES)
+        draws = np.empty((num_variants, dimensions))
+        log_weights = np.empty(num_variants)
+        for row in range(num_variants):
+            rng = np.random.default_rng(
+                (self.seed, _COMPONENT_STREAM_TAG, first_instance + row)
+            )
+            z = rng.standard_normal(dimensions)
+            tilted = shifts + scale * z
+            log_weights[row] = (
+                0.5 * float(z @ z)
+                - 0.5 * float(tilted @ tilted)
+                + dimensions * math.log(scale)
+            )
+            draws[row] = self._transform_draws(tilted)
+        np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return self._parameters_from_draws(nominal, draws), log_weights
+
+    def sample_instances_stratum(
+        self,
+        nominal: BuckParameters,
+        num_variants: int,
+        stratum: int,
+        first_instance: int = 0,
+        *,
+        stratification: ComponentStratification,
+    ) -> "BatchBuckParameters":
+        """Chunk-stable fleet draw conditioned on one sigma-shell stratum.
+
+        The stratified-sampling sibling of :meth:`sample_instances`: the
+        stratified axis draws a *truncated* standard normal confined to
+        the stratum's z-space shell (inverse-CDF on a uniform mapped into
+        the shell's probability mass); all other axes draw
+        unconditionally.  Streams are keyed on
+        ``(seed, stratum stream tag, stratum, i)`` so each stratum owns an
+        independent chunk-stable family -- instance ``i`` of a stratum is
+        the same chip regardless of chunking *and* of how many samples the
+        other strata received.
+        """
+        from repro.mc import normal_cdf, normal_ppf
+
+        if num_variants < 1:
+            raise ValueError("need at least one variant")
+        axis = stratification.axis_index()
+        lower_z, upper_z = stratification.bounds(stratum)
+        cdf_lower = normal_cdf(lower_z)
+        cdf_upper = normal_cdf(upper_z)
+        dimensions = len(_COMPONENT_AXES)
+        draws = np.empty((num_variants, dimensions))
+        for row in range(num_variants):
+            rng = np.random.default_rng(
+                (self.seed, _STRATUM_STREAM_TAG, stratum, first_instance + row)
+            )
+            z = rng.standard_normal(dimensions)
+            # The truncated axis maps a fresh uniform into the shell's CDF
+            # mass; the clamp keeps normal_ppf away from its open-interval
+            # poles when a boundary sits far in the tail.
+            quantile = cdf_lower + rng.random() * (cdf_upper - cdf_lower)
+            quantile = min(max(quantile, 1e-12), 1.0 - 1e-12)
+            z[axis] = normal_ppf(quantile)
+            draws[row] = self._transform_draws(z)
+        np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return self._parameters_from_draws(nominal, draws)
+
+    def _transform_draws(self, z: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
+        """Map one instance's five z-space draws to relative spreads.
+
+        Matches :meth:`sample_instances` exactly: log-normal for the
+        passives and the input rail, relative normal for the resistances
+        (clipping happens on the assembled matrix, as there).
+        """
+        return np.array(
+            [
+                math.exp(self.input_voltage_sigma * z[0]),
+                math.exp(self.inductance_sigma * z[1]),
+                math.exp(self.capacitance_sigma * z[2]),
+                1.0 + self.resistance_sigma * z[3],
+                1.0 + self.resistance_sigma * z[4],
+            ]
+        )
+
+    def _parameters_from_draws(
+        self, nominal: BuckParameters, draws: npt.NDArray[np.float64]
+    ) -> "BatchBuckParameters":
+        """Assemble batch parameters from a ``(variants, 5)`` spread matrix."""
+        from repro.simulation.batch import BatchBuckParameters
+
+        num_variants = draws.shape[0]
         return BatchBuckParameters(
             input_voltage_v=nominal.input_voltage_v * draws[:, 0],
             inductance_h=nominal.inductance_h * draws[:, 1],
@@ -1116,3 +1382,331 @@ def adaptive_regulation_yield(
         method=method,
     )
     return _adaptive_result(None, sample_result, "regulation")
+
+
+@dataclass(frozen=True)
+class RareEventYieldResult:
+    """Outcome of a rare-event (ppm-regime) regulation-failure estimate.
+
+    Everything is a scalar (or a tuple of JSON-able dicts), so the result
+    serializes straight into the sweep cache -- same design as
+    :class:`AdaptiveYieldResult`, but framed around the *failure*
+    probability: in the ppm regime the failure rate is the number with
+    signal in it, and the yield is just its complement.
+
+    Attributes:
+        estimator: ``"vanilla"`` / ``"stratified"`` / ``"importance"``.
+        failure_probability: estimated probability that the load-step dip
+            undershoots the limit.
+        lower / upper: confidence-interval bounds on the failure
+            probability.
+        confidence: two-sided confidence level.
+        precision: the requested half-width target (0 = fixed budget).
+        samples: instances actually drawn -- the spent sample budget.
+        max_samples / chunk_size: the sampling configuration.
+        stop_reason: ``"precision"`` or ``"max_samples"``.
+        dip_limit_v: the undershoot threshold defining failure.
+        mean_dip_v: estimated nominal-population mean of the worst dip
+            (reweighted for the importance estimator, post-stratified for
+            the stratified one).
+        effective_sample_size: Kish ESS of the weight stream (importance
+            estimator only).
+        strata: per-stratum detail rows (stratified estimator only).
+    """
+
+    estimator: str
+    failure_probability: float
+    lower: float
+    upper: float
+    confidence: float
+    precision: float
+    samples: int
+    max_samples: int
+    chunk_size: int
+    stop_reason: str
+    dip_limit_v: float
+    mean_dip_v: float
+    effective_sample_size: float | None = None
+    strata: tuple[dict[str, float | int | str], ...] | None = None
+
+    @property
+    def half_width(self) -> float:
+        """Realized half-width of the failure-probability interval."""
+        return 0.5 * (self.upper - self.lower)
+
+    @property
+    def yield_estimate(self) -> float:
+        """The complementary yield, ``1 - failure_probability``."""
+        return 1.0 - self.failure_probability
+
+    def summary(self) -> dict[str, object]:
+        """Flat JSON-able record of the run (cacheable by the sweep layer)."""
+        record: dict[str, object] = {
+            "estimator": self.estimator,
+            "failure_probability": self.failure_probability,
+            "lower": self.lower,
+            "upper": self.upper,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "precision": self.precision,
+            "samples": self.samples,
+            "max_samples": self.max_samples,
+            "chunk_size": self.chunk_size,
+            "stop_reason": self.stop_reason,
+            "dip_limit_v": self.dip_limit_v,
+            "mean_dip_v": self.mean_dip_v,
+        }
+        if self.effective_sample_size is not None:
+            record["effective_sample_size"] = self.effective_sample_size
+        if self.strata is not None:
+            record["strata"] = [dict(row) for row in self.strata]
+        return record
+
+
+def rare_event_regulation_yield(
+    nominal: BuckParameters,
+    reference_v: float,
+    *,
+    dip_limit_v: float,
+    variation: ComponentVariation | None = None,
+    estimator: str = "importance",
+    tilt: ComponentTilt | None = None,
+    stratification: ComponentStratification | None = None,
+    load: LoadProfile | None = None,
+    quantizer_levels: npt.ArrayLike | None = None,
+    dpwm_bits: int = 6,
+    periods: int = 160,
+    settle_periods: int = 60,
+    precision: float = 0.0,
+    confidence: float = 0.95,
+    max_instances: int = 4096,
+    chunk_size: int = 256,
+    min_ess: float = 32.0,
+) -> RareEventYieldResult:
+    """Estimate a rare load-step undershoot probability of the closed loop.
+
+    The rare-event sibling of :func:`adaptive_regulation_yield`.  A
+    variant *fails* when its output voltage dips below ``dip_limit_v`` at
+    any period after ``settle_periods`` -- the transient undershoot of a
+    load step, which at a guard-banded limit is a ppm-regime event that
+    vanilla adaptive sampling cannot resolve within any sane budget.
+    Three estimators share the identical vectorized fleet simulation and
+    differ only in how they draw the component spreads:
+
+    * ``"vanilla"`` -- :meth:`ComponentVariation.sample_instances` +
+      :func:`repro.mc.adaptive_sample` (Wilson stopping).  The honest
+      brute-force baseline.
+    * ``"stratified"`` -- sigma-shell strata on one component axis
+      (:class:`ComponentStratification`), Neyman-allocated chunks via
+      :func:`repro.mc.stratified_sample`.
+    * ``"importance"`` -- mean-shift/sigma-scale tilted draws
+      (:class:`ComponentTilt`), self-normalized reweighting with an
+      ESS-guarded stopping rule via :func:`repro.mc.importance_sample`.
+
+    Args:
+        nominal: the nominal converter design.
+        reference_v: regulation reference voltage.
+        dip_limit_v: undershoot threshold defining failure (must sit
+            below ``reference_v``).
+        variation: component spread model (default spreads when omitted).
+        estimator: which estimator to run (see above).
+        tilt: tilt configuration; only meaningful for ``"importance"``
+            (defaults to the identity tilt -- valid but variance-free of
+            benefit, so callers normally pass a real tilt).
+        stratification: shell partition; only meaningful for
+            ``"stratified"`` (defaults to the capacitance shells).
+        load: load profile the fleet is stepped with.
+        quantizer_levels: one DPWM duty table shared by the whole fleet
+            (e.g. from a calibrated fabricated instance); falls back to an
+            ideal ``dpwm_bits``-bit quantizer.
+        periods / settle_periods: run length and the periods excluded
+            from the dip measurement while the loop settles.
+        precision: target CI half-width on the failure probability
+            (0 runs the full budget).
+        confidence: two-sided confidence level.
+        max_instances: hard sample cap.
+        chunk_size: instances per vectorized chunk.
+        min_ess: effective-sample-size floor of the importance
+            estimator's stopping rule.
+
+    Returns:
+        a JSON/cache-able :class:`RareEventYieldResult`.
+    """
+    from repro.mc import (
+        SampleChunk,
+        Stratum,
+        WeightedSampleChunk,
+        adaptive_sample,
+        importance_sample,
+        stratified_sample,
+    )
+    from repro.simulation.batch import BatchClosedLoop, BatchQuantizer
+
+    estimators = ("vanilla", "stratified", "importance")
+    if estimator not in estimators:
+        raise ValueError(
+            f"estimator must be one of {estimators}; got {estimator!r}"
+        )
+    if not 0.0 < dip_limit_v < reference_v:
+        raise ValueError(
+            f"dip_limit_v must be in (0, reference_v); got {dip_limit_v}"
+        )
+    if not 0 <= settle_periods < periods:
+        raise ValueError(
+            f"settle_periods must be in [0, periods); got {settle_periods}"
+        )
+    if tilt is not None and estimator != "importance":
+        raise ValueError("tilt only applies to the importance estimator")
+    if stratification is not None and estimator != "stratified":
+        raise ValueError(
+            "stratification only applies to the stratified estimator"
+        )
+    resolved_variation = variation or ComponentVariation()
+    levels_row = (
+        None
+        if quantizer_levels is None
+        else np.atleast_2d(np.asarray(quantizer_levels, dtype=float))
+    )
+
+    def simulate(
+        parameters: "BatchBuckParameters", count: int
+    ) -> tuple[npt.NDArray[np.bool_], npt.NDArray[np.float64]]:
+        """Run one fleet chunk and score per-instance dip failures."""
+        if levels_row is None:
+            quantizer = BatchQuantizer.ideal(dpwm_bits, count)
+        else:
+            quantizer = BatchQuantizer(levels_row, num_variants=count)
+        loop = BatchClosedLoop(
+            parameters, quantizer, reference_v=reference_v, load=load
+        )
+        outputs = loop.run(periods).output_voltages_v
+        dips = outputs[settle_periods:].min(axis=0)
+        return dips < dip_limit_v, dips
+
+    if estimator == "vanilla":
+        def draw_vanilla(first_instance: int, count: int) -> SampleChunk:
+            parameters = resolved_variation.sample_instances(
+                nominal, count, first_instance=first_instance
+            )
+            fails, dips = simulate(parameters, count)
+            return SampleChunk(passes={"failure": fails}, values={"dip_v": dips})
+
+        vanilla = adaptive_sample(
+            draw_vanilla,
+            primary="failure",
+            precision=precision,
+            confidence=confidence,
+            max_samples=max_instances,
+            chunk_size=chunk_size,
+        )
+        interval = vanilla.intervals["failure"]
+        return RareEventYieldResult(
+            estimator=estimator,
+            failure_probability=vanilla.estimates["failure"],
+            lower=interval.lower,
+            upper=interval.upper,
+            confidence=confidence,
+            precision=precision,
+            samples=vanilla.trials,
+            max_samples=max_instances,
+            chunk_size=chunk_size,
+            stop_reason=vanilla.stop_reason,
+            dip_limit_v=dip_limit_v,
+            mean_dip_v=vanilla.moments["dip_v"].mean,
+        )
+
+    if estimator == "importance":
+        resolved_tilt = tilt or ComponentTilt()
+
+        def draw_tilted(first_instance: int, count: int) -> WeightedSampleChunk:
+            parameters, log_weights = resolved_variation.sample_instances_tilted(
+                nominal, count, first_instance=first_instance, tilt=resolved_tilt
+            )
+            fails, dips = simulate(parameters, count)
+            return WeightedSampleChunk(
+                passes={"failure": fails},
+                log_weights=log_weights,
+                values={"dip_v": dips},
+            )
+
+        weighted = importance_sample(
+            draw_tilted,
+            primary="failure",
+            precision=precision,
+            confidence=confidence,
+            max_samples=max_instances,
+            chunk_size=chunk_size,
+            min_ess=min_ess,
+        )
+        interval = weighted.intervals["failure"]
+        return RareEventYieldResult(
+            estimator=estimator,
+            failure_probability=weighted.estimates["failure"],
+            lower=interval.lower,
+            upper=interval.upper,
+            confidence=confidence,
+            precision=precision,
+            samples=weighted.trials,
+            max_samples=max_instances,
+            chunk_size=chunk_size,
+            stop_reason=weighted.stop_reason,
+            dip_limit_v=dip_limit_v,
+            mean_dip_v=weighted.value_moments["dip_v"].mean,
+            effective_sample_size=weighted.effective_sample_size,
+        )
+
+    resolved_strat = stratification or ComponentStratification()
+    weights = resolved_strat.weights()
+    names = resolved_strat.names()
+
+    def stratum_draw(index: int) -> "Callable[[int, int], SampleChunk]":
+        def draw_stratum(first_instance: int, count: int) -> SampleChunk:
+            parameters = resolved_variation.sample_instances_stratum(
+                nominal,
+                count,
+                index,
+                first_instance=first_instance,
+                stratification=resolved_strat,
+            )
+            fails, dips = simulate(parameters, count)
+            return SampleChunk(passes={"failure": fails}, values={"dip_v": dips})
+
+        return draw_stratum
+
+    strata = tuple(
+        Stratum(name=names[h], weight=weights[h], draw=stratum_draw(h))
+        for h in range(resolved_strat.num_strata)
+    )
+    stratified = stratified_sample(
+        strata,
+        primary="failure",
+        precision=precision,
+        confidence=confidence,
+        max_samples=max_instances,
+        chunk_size=chunk_size,
+    )
+    interval = stratified.intervals["failure"]
+    return RareEventYieldResult(
+        estimator=estimator,
+        failure_probability=stratified.estimates["failure"],
+        lower=interval.lower,
+        upper=interval.upper,
+        confidence=confidence,
+        precision=precision,
+        samples=stratified.trials,
+        max_samples=max_instances,
+        chunk_size=chunk_size,
+        stop_reason=stratified.stop_reason,
+        dip_limit_v=dip_limit_v,
+        mean_dip_v=stratified.value_means["dip_v"],
+        strata=tuple(
+            {
+                "name": row.name,
+                "weight": row.weight,
+                "trials": row.trials,
+                "failures": row.successes.get("failure", 0),
+                "failure_rate": row.estimate("failure"),
+            }
+            for row in stratified.strata
+        ),
+    )

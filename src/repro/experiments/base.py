@@ -12,6 +12,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = [
     "ExperimentResult",
     "accepts_adaptive",
+    "accepts_estimator",
     "accepts_parameter",
     "accepts_seed",
     "accepts_sweep",
@@ -104,12 +105,26 @@ def accepts_adaptive(experiment_id: str) -> bool:
     return accepts_parameter(experiment_id, "precision")
 
 
+def accepts_estimator(experiment_id: str) -> bool:
+    """Whether an experiment supports rare-event estimator selection.
+
+    The rare-event experiments (``fig15_rare``) declare ``estimator`` so
+    the CLI's ``--estimator`` / ``--tilt-shift`` / ``--tilt-scale`` flags
+    can pick between vanilla, stratified and importance sampling and
+    parameterize the importance tilt.
+    """
+    return accepts_parameter(experiment_id, "estimator")
+
+
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
     sweep: "SweepOrchestrator | None" = None,
     precision: float | None = None,
     max_instances: int | None = None,
+    estimator: str | None = None,
+    tilt_shift: float | None = None,
+    tilt_scale: float | None = None,
 ) -> ExperimentResult:
     """Run a registered experiment by id.
 
@@ -127,6 +142,13 @@ def run_experiment(
             counts to the adaptive sampler of :mod:`repro.mc`.
         max_instances: optional hard per-cell sample cap for the adaptive
             sampler; only meaningful together with ``precision``.
+        estimator: optional rare-event estimator name (``vanilla`` /
+            ``stratified`` / ``importance``) threaded into experiments
+            that accept one (see :func:`accepts_estimator`).
+        tilt_shift: optional scale on the importance tilt direction;
+            only reaches estimator-aware experiments.
+        tilt_scale: optional proposal sigma widening of the importance
+            tilt; only reaches estimator-aware experiments.
 
     Raises:
         KeyError: if the id is unknown.
@@ -140,7 +162,7 @@ def run_experiment(
         ) from exc
     if max_instances is not None and precision is None:
         raise ValueError("max_instances is only meaningful with a precision")
-    kwargs = {}
+    kwargs: dict[str, Any] = {}
     if seed is not None and accepts_seed(experiment_id):
         kwargs["seed"] = seed
     if sweep is not None and accepts_sweep(experiment_id):
@@ -149,4 +171,11 @@ def run_experiment(
         kwargs["precision"] = precision
         if max_instances is not None:
             kwargs["max_instances"] = max_instances
+    if accepts_estimator(experiment_id):
+        if estimator is not None:
+            kwargs["estimator"] = estimator
+        if tilt_shift is not None:
+            kwargs["tilt_shift"] = tilt_shift
+        if tilt_scale is not None:
+            kwargs["tilt_scale"] = tilt_scale
     return runner(**kwargs)

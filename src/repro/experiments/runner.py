@@ -38,7 +38,12 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments import registry, run_experiment
-from repro.experiments.base import accepts_adaptive, accepts_seed, accepts_sweep
+from repro.experiments.base import (
+    accepts_adaptive,
+    accepts_estimator,
+    accepts_seed,
+    accepts_sweep,
+)
 from repro.sweep import SweepConfig, SweepOrchestrator, jsonable
 
 __all__ = ["main"]
@@ -95,6 +100,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="hard per-cell sample cap for --precision (default: 4x the "
         "experiment's fixed instance count); requires --precision",
+    )
+    parser.add_argument(
+        "--estimator",
+        choices=("vanilla", "stratified", "importance"),
+        metavar="NAME",
+        help="rare-event estimator for the experiments that support one "
+        "(fig15_rare): 'vanilla' (brute-force adaptive sampling), "
+        "'stratified' (sigma-shell strata, Neyman allocation) or "
+        "'importance' (tilted draws, self-normalized reweighting; the "
+        "default); recorded in the sweep cache key, so estimator variants "
+        "of a cell never collide (see docs/monte_carlo.md)",
+    )
+    parser.add_argument(
+        "--tilt-shift",
+        type=float,
+        metavar="FLOAT",
+        help="importance sampling: scale on the experiment's built-in tilt "
+        "direction (1.0 keeps the stock tilt, 0 disables the mean shift); "
+        "requires --estimator importance (or the default)",
+    )
+    parser.add_argument(
+        "--tilt-scale",
+        type=float,
+        metavar="FLOAT",
+        help="importance sampling: sigma widening of the tilted proposal "
+        "(must be > 0; values > 1 guard against weight degeneracy); "
+        "requires --estimator importance (or the default)",
     )
     parser.add_argument(
         "--workers",
@@ -230,6 +262,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
 
+    if args.estimator is not None and args.estimator != "importance":
+        if args.tilt_shift is not None or args.tilt_scale is not None:
+            print(
+                "--tilt-shift/--tilt-scale parameterize the importance "
+                f"estimator; they cannot be combined with --estimator "
+                f"{args.estimator}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.tilt_scale is not None and args.tilt_scale <= 0.0:
+        print(
+            f"--tilt-scale must be > 0, got {args.tilt_scale}", file=sys.stderr
+        )
+        return 2
+
     if args.json is not None and not args.force and os.path.exists(args.json):
         print(
             f"refusing to overwrite existing {args.json}; pass --force to "
@@ -267,6 +315,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 f"--precision only reaches the Monte-Carlo experiments; "
                 f"ignored by: {', '.join(ignoring)}",
+                file=sys.stderr,
+            )
+
+    if (
+        args.estimator is not None
+        or args.tilt_shift is not None
+        or args.tilt_scale is not None
+    ):
+        ignoring = [name for name in selected if not accepts_estimator(name)]
+        if ignoring:
+            print(
+                "--estimator/--tilt-shift/--tilt-scale only reach the "
+                f"rare-event experiments; ignored by: {', '.join(ignoring)}",
                 file=sys.stderr,
             )
 
@@ -311,6 +372,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     sweep=sweep,
                     precision=args.precision,
                     max_instances=args.max_instances,
+                    estimator=args.estimator,
+                    tilt_shift=args.tilt_shift,
+                    tilt_scale=args.tilt_scale,
                 )
             except Exception as error:  # noqa: BLE001 - report and keep going
                 failures.append(experiment_id)

@@ -77,12 +77,21 @@ import numpy.typing as npt
 __all__ = [
     "AdaptiveSampleResult",
     "ConfidenceInterval",
+    "ImportanceSampleResult",
     "RunningMoments",
     "SampleChunk",
+    "StratifiedSampleResult",
+    "Stratum",
+    "StratumResult",
+    "WeightedRunningMoments",
+    "WeightedSampleChunk",
     "adaptive_sample",
     "clopper_pearson_interval",
+    "importance_sample",
     "interval_function",
+    "normal_cdf",
     "normal_ppf",
+    "stratified_sample",
     "wilson_interval",
 ]
 
@@ -160,6 +169,15 @@ def normal_ppf(quantile: float) -> float:
     error = 0.5 * math.erfc(-x / math.sqrt(2.0)) - quantile
     u = error * math.sqrt(2.0 * math.pi) * math.exp(0.5 * x * x)
     return x - u / (1.0 + 0.5 * x * u)
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal CDF, exact via :func:`math.erfc`.
+
+    The inverse of :func:`normal_ppf`; the stratified estimators use it to
+    turn sigma-shell boundaries into exact stratum probability masses.
+    """
+    return 0.5 * math.erfc(-x / math.sqrt(2.0))
 
 
 def _validate_counts(successes: int, trials: int, confidence: float) -> None:
@@ -328,6 +346,18 @@ class RunningMoments:
     in with Chan et al.'s parallel-merge formula, so a chunked stream costs
     one numpy pass per chunk and the result is independent of how the
     stream was chunked (up to float round-off).
+
+    Edge-case contract (tested in ``tests/test_mc_statistics.py``):
+
+    * ``extend([])`` is a strict no-op -- the count, moments and min/max
+      are untouched, so an empty chunk can never inject NaN extrema;
+    * merging into an empty accumulator is *exact*: after ``extend(data)``
+      on a fresh instance the moments equal the directly computed ones bit
+      for bit (Chan's merge with one empty side degenerates to a copy);
+    * :meth:`variance` with ``ddof`` >= ``count`` (notably the ``ddof=1``
+      sample variance of a single observation) deliberately returns
+      ``NaN`` rather than raising -- a streaming consumer polling after
+      every chunk should see "not defined yet", not an exception.
     """
 
     def __init__(self) -> None:
@@ -364,7 +394,13 @@ class RunningMoments:
         self.maximum = max(self.maximum, float(values.max()))
 
     def variance(self, ddof: int = 0) -> float:
-        """Variance of the stream so far (``ddof=1`` for the sample variance)."""
+        """Variance of the stream so far (``ddof=1`` for the sample variance).
+
+        Returns ``NaN`` (never raises) while ``count <= ddof`` -- in
+        particular the ``ddof=1`` sample variance of a single observation
+        is undefined, and a streaming consumer polling after every chunk
+        relies on reading "undefined" rather than catching an error.
+        """
         if self.count <= ddof:
             return math.nan
         return self._m2 / (self.count - ddof)
@@ -569,6 +605,721 @@ def adaptive_sample(
         precision=precision,
         confidence=confidence,
         method=method,
+        max_samples=max_samples,
+        chunk_size=chunk_size,
+    )
+
+
+# --------------------------------------------------------------------------
+# Weighted streaming moments (self-normalized importance sampling).
+# --------------------------------------------------------------------------
+
+
+class WeightedRunningMoments:
+    """Streaming statistics of a weighted value stream.
+
+    The importance-sampling engine reweights every observation by its
+    likelihood ratio between the nominal and the tilted sampling
+    distribution.  This accumulator streams the sums that the
+    *self-normalized* estimator needs -- ``sum(w)``, ``sum(w^2)``,
+    ``sum(w*x)`` and the second-order cross terms -- so an arbitrarily
+    long run holds O(1) state, exactly like :class:`RunningMoments` does
+    for the unweighted statistics.
+
+    Weights arrive in *log* space and are stored relative to the largest
+    log-weight seen so far: when a later chunk raises the maximum, the
+    accumulated sums are rescaled once.  Likelihood ratios of strongly
+    tilted draws span hundreds of nats, so exponentiating them naively
+    would overflow long before the estimator itself is in trouble.
+
+    The headline outputs:
+
+    * :attr:`mean` -- the self-normalized estimate
+      ``sum(w*x) / sum(w)`` (biased at finite n, consistent, and immune
+      to an unknown normalizing constant in the weights);
+    * :meth:`variance_of_mean` -- its delta-method variance
+      ``sum(w^2 * (x - mean)^2) / sum(w)^2``;
+    * :meth:`effective_sample_size` -- Kish's
+      ``sum(w)^2 / sum(w^2)``, the equivalent number of unweighted
+      samples; the stopping rule refuses to trust a tight-looking
+      interval until this clears a floor (see :func:`importance_sample`).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._offset = -math.inf
+        self._sum_w = 0.0
+        self._sum_w2 = 0.0
+        self._sum_wx = 0.0
+        self._sum_w2x = 0.0
+        self._sum_w2x2 = 0.0
+
+    def push(self, value: float, log_weight: float) -> None:
+        """Fold one weighted observation into the stream."""
+        self.extend(np.array([float(value)]), np.array([float(log_weight)]))
+
+    def extend(self, values: npt.ArrayLike, log_weights: npt.ArrayLike) -> None:
+        """Fold a chunk of observations with per-observation log-weights.
+
+        An empty chunk is a strict no-op, mirroring
+        :meth:`RunningMoments.extend`.
+        """
+        data = np.asarray(values, dtype=float).ravel()
+        logs = np.asarray(log_weights, dtype=float).ravel()
+        if data.shape != logs.shape:
+            raise ValueError(
+                f"values and log_weights must align; got {data.shape} "
+                f"vs {logs.shape}"
+            )
+        if data.size == 0:
+            return
+        if np.isnan(logs).any() or np.isposinf(logs).any():
+            raise ValueError("log-weights must be finite or -inf")
+        chunk_max = float(logs.max())
+        if math.isinf(chunk_max):
+            # Every weight in the chunk is exactly zero: the observations
+            # count toward the budget but carry no estimator mass.
+            self.count += int(data.size)
+            return
+        if chunk_max > self._offset:
+            rescale = math.exp(self._offset - chunk_max) if self.count else 0.0
+            self._sum_w *= rescale
+            self._sum_wx *= rescale
+            squared = rescale * rescale
+            self._sum_w2 *= squared
+            self._sum_w2x *= squared
+            self._sum_w2x2 *= squared
+            self._offset = chunk_max
+        weights = np.exp(logs - self._offset)
+        self._sum_w += float(weights.sum())
+        self._sum_w2 += float((weights * weights).sum())
+        self._sum_wx += float((weights * data).sum())
+        self._sum_w2x += float((weights * weights * data).sum())
+        self._sum_w2x2 += float((weights * weights * data * data).sum())
+        self.count += int(data.size)
+
+    @property
+    def mean(self) -> float:
+        """Self-normalized weighted mean (``NaN`` until a weight arrives)."""
+        if self.count == 0 or self._sum_w <= 0.0:
+            return math.nan
+        return self._sum_wx / self._sum_w
+
+    def effective_sample_size(self) -> float:
+        """Kish effective sample size ``sum(w)^2 / sum(w^2)`` (0 when empty)."""
+        if self.count == 0 or self._sum_w2 <= 0.0:
+            return 0.0
+        return self._sum_w * self._sum_w / self._sum_w2
+
+    def variance_of_mean(self) -> float:
+        """Delta-method variance of the self-normalized mean.
+
+        ``sum(w^2 (x - mean)^2) / sum(w)^2``, expanded into the streamed
+        second-order sums; clamped at zero against round-off.
+        """
+        if self.count == 0 or self._sum_w <= 0.0:
+            return math.nan
+        mean = self.mean
+        quadratic = (
+            self._sum_w2x2 - 2.0 * mean * self._sum_w2x + mean * mean * self._sum_w2
+        )
+        return max(0.0, quadratic) / (self._sum_w * self._sum_w)
+
+    def standard_error(self) -> float:
+        variance = self.variance_of_mean()
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Normal-approximation interval on the weighted mean of pass flags.
+
+        Meaningful when the values are 0/1 indicators (the mean is then a
+        probability); the bounds are clipped to ``[0, 1]``.  Degenerates
+        to the vacuous ``[0, 1]`` interval while no weight has arrived --
+        honest "know nothing yet", the same spirit as Wilson never
+        collapsing at the edges.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1); got {confidence}")
+        half_width = normal_ppf(0.5 * (1.0 + confidence)) * self.standard_error()
+        mean = self.mean
+        if not math.isfinite(mean) or not math.isfinite(half_width):
+            return ConfidenceInterval(lower=0.0, upper=1.0, confidence=confidence)
+        mean = min(1.0, max(0.0, mean))
+        return ConfidenceInterval(
+            lower=max(0.0, mean - half_width),
+            upper=min(1.0, mean + half_width),
+            confidence=confidence,
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Count/mean/standard-error/ESS as a plain JSON-able dict."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "standard_error": self.standard_error(),
+            "effective_sample_size": self.effective_sample_size(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"WeightedRunningMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"ess={self.effective_sample_size():.6g})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Importance sampling (tilted draws, self-normalized reweighting).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WeightedSampleChunk:
+    """One drawn chunk of tilted observations plus their log-likelihood ratios.
+
+    Attributes:
+        passes: mapping of statistic name to a per-instance boolean array,
+            as in :class:`SampleChunk` -- but the flags were evaluated on
+            *tilted* draws.
+        log_weights: per-instance ``log p(x) - log q(x)`` where ``p`` is
+            the nominal distribution and ``q`` the tilted one the chunk
+            was actually drawn from.  One array per chunk: every statistic
+            shares the instance draws, hence the weights.
+        values: mapping of metric name to a per-instance float array;
+            each streams through a :class:`WeightedRunningMoments`, so the
+            reported summaries describe the *nominal* population.
+    """
+
+    passes: Mapping[str, npt.NDArray[np.bool_]]
+    log_weights: npt.NDArray[np.float64]
+    values: Mapping[str, npt.NDArray[np.float64]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ImportanceSampleResult:
+    """Outcome of one self-normalized importance-sampling run.
+
+    Attributes:
+        primary: name of the pass statistic that drove the stopping rule.
+        trials: total instances drawn (from the tilted distribution).
+        chunks: number of chunks drawn.
+        stop_reason: ``"precision"`` (interval tight enough *and* the
+            effective sample size cleared ``min_ess``) or
+            ``"max_samples"``.
+        estimates: per-statistic self-normalized probability estimates.
+        intervals: per-statistic delta-method normal intervals.
+        effective_sample_size: Kish ESS of the final weight stream.
+        weighted: per-statistic weighted accumulators (full precision).
+        value_moments: per-metric weighted accumulators.
+        log_weight_moments: unweighted moments of the log-likelihood
+            ratios -- the tilt-diagnostic stream (a large spread here is
+            the signature of an overdone tilt).
+        precision / confidence / min_ess / max_samples / chunk_size: the
+            configuration the run used.
+    """
+
+    primary: str
+    trials: int
+    chunks: int
+    stop_reason: str
+    estimates: dict[str, float]
+    intervals: dict[str, ConfidenceInterval]
+    effective_sample_size: float
+    weighted: dict[str, WeightedRunningMoments]
+    value_moments: dict[str, WeightedRunningMoments]
+    log_weight_moments: RunningMoments
+    precision: float
+    confidence: float
+    min_ess: float
+    max_samples: int
+    chunk_size: int
+
+    @property
+    def estimate(self) -> float:
+        """The primary statistic's self-normalized estimate."""
+        return self.estimates[self.primary]
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """The primary statistic's confidence interval."""
+        return self.intervals[self.primary]
+
+
+def importance_sample(
+    draw: Callable[[int, int], WeightedSampleChunk],
+    *,
+    primary: str,
+    precision: float,
+    confidence: float = 0.95,
+    max_samples: int = 4096,
+    chunk_size: int = 64,
+    min_samples: int | None = None,
+    min_ess: float = 32.0,
+) -> ImportanceSampleResult:
+    """Draw tilted chunks until the reweighted interval is tight and trusted.
+
+    The importance-sampling sibling of :func:`adaptive_sample`: the chunk
+    function draws from a *tilted* distribution concentrated on the event
+    of interest and reports per-instance log-likelihood ratios back to the
+    nominal distribution; the engine folds the reweighted pass flags into
+    :class:`WeightedRunningMoments` and stops once the delta-method
+    interval on the primary estimate has half-width ``<= precision`` --
+    but only after the effective sample size has cleared ``min_ess``.
+    The ESS guard is what makes the stopping rule honest: early in a
+    strongly tilted run a handful of draws can carry nearly all the
+    weight, the delta-method variance is then a wild underestimate, and
+    without the guard the run would stop on a fictitiously tight
+    interval.
+
+    Args:
+        draw: chunk function mapping ``(first_instance, count)`` to a
+            :class:`WeightedSampleChunk`.  Same chunk-stable seeding
+            contract as :func:`adaptive_sample`: instance ``i``'s draw
+            (and therefore its weight) must not depend on the chunking.
+        primary: name of the pass statistic the stopping rule watches.
+        precision: target half-width of the primary interval; ``0.0``
+            disables early stopping.
+        confidence: two-sided confidence level of all intervals.
+        max_samples: hard cap on total instances.
+        chunk_size: instances per chunk.
+        min_samples: instances required before the stopping rule may fire
+            (defaults to one chunk).
+        min_ess: effective-sample-size floor the stopping rule additionally
+            requires; has no effect on the cap.
+
+    Returns:
+        an :class:`ImportanceSampleResult`; ``result.trials`` is the spent
+        (tilted) sample budget.
+    """
+    if precision < 0:
+        raise ValueError(f"precision must be non-negative; got {precision}")
+    if max_samples < 1:
+        raise ValueError(f"max_samples must be >= 1; got {max_samples}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1); got {confidence}")
+    if min_ess < 0:
+        raise ValueError(f"min_ess must be non-negative; got {min_ess}")
+    if min_samples is None:
+        min_samples = min(chunk_size, max_samples)
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1; got {min_samples}")
+
+    weighted: dict[str, WeightedRunningMoments] = {}
+    value_moments: dict[str, WeightedRunningMoments] = {}
+    log_weight_moments = RunningMoments()
+    trials = 0
+    chunks = 0
+    stop_reason = "max_samples"
+    while trials < max_samples:
+        count = min(chunk_size, max_samples - trials)
+        chunk = draw(trials, count)
+        if primary not in chunk.passes:
+            raise ValueError(
+                f"chunk has no primary pass statistic {primary!r}; "
+                f"got {sorted(chunk.passes)}"
+            )
+        if chunks and set(chunk.passes) != set(weighted):
+            raise ValueError(
+                f"chunk pass statistics changed mid-run: "
+                f"{sorted(chunk.passes)} vs {sorted(weighted)}"
+            )
+        if chunks and set(chunk.values) != set(value_moments):
+            raise ValueError(
+                f"chunk value streams changed mid-run: "
+                f"{sorted(chunk.values)} vs {sorted(value_moments)}"
+            )
+        log_weights = np.asarray(chunk.log_weights, dtype=float)
+        if log_weights.shape != (count,):
+            raise ValueError(
+                f"log_weights has shape {log_weights.shape}; expected ({count},)"
+            )
+        for name, flags in chunk.passes.items():
+            flags = np.asarray(flags, dtype=bool)
+            if flags.shape != (count,):
+                raise ValueError(
+                    f"pass statistic {name!r} has shape {flags.shape}; "
+                    f"expected ({count},)"
+                )
+            weighted.setdefault(name, WeightedRunningMoments()).extend(
+                flags.astype(float), log_weights
+            )
+        for name, stream in chunk.values.items():
+            stream = np.asarray(stream, dtype=float)
+            if stream.shape != (count,):
+                raise ValueError(
+                    f"value stream {name!r} has shape {stream.shape}; "
+                    f"expected ({count},)"
+                )
+            value_moments.setdefault(name, WeightedRunningMoments()).extend(
+                stream, log_weights
+            )
+        log_weight_moments.extend(log_weights)
+        trials += count
+        chunks += 1
+        if trials >= min_samples and precision > 0.0:
+            stat = weighted[primary]
+            interval = stat.interval(confidence)
+            if (
+                interval.half_width <= precision
+                and stat.effective_sample_size() >= min_ess
+            ):
+                stop_reason = "precision"
+                break
+
+    return ImportanceSampleResult(
+        primary=primary,
+        trials=trials,
+        chunks=chunks,
+        stop_reason=stop_reason,
+        estimates={name: stat.mean for name, stat in weighted.items()},
+        intervals={
+            name: stat.interval(confidence) for name, stat in weighted.items()
+        },
+        effective_sample_size=weighted[primary].effective_sample_size(),
+        weighted=weighted,
+        value_moments=value_moments,
+        log_weight_moments=log_weight_moments,
+        precision=precision,
+        confidence=confidence,
+        min_ess=min_ess,
+        max_samples=max_samples,
+        chunk_size=chunk_size,
+    )
+
+
+# --------------------------------------------------------------------------
+# Stratified sampling (Neyman allocation, post-stratified estimate).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One stratum of a stratified run: a probability mass plus a sampler.
+
+    Attributes:
+        name: stable identifier (reported per stratum in the result).
+        weight: the stratum's exact probability mass under the nominal
+            distribution; all weights of a run must sum to 1.
+        draw: chunk function mapping ``(first_instance, count)`` to a
+            :class:`SampleChunk` drawn *conditionally on the stratum*.
+            Per-stratum chunk-stable seeding contract: instance ``i`` of
+            this stratum must key its randomness on ``i`` (and the
+            stratum), independent of the chunking and of how many samples
+            other strata received.
+    """
+
+    name: str
+    weight: float
+    draw: Callable[[int, int], SampleChunk]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(
+                f"stratum weight must be in (0, 1]; got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class StratumResult:
+    """Per-stratum bookkeeping of one stratified run."""
+
+    name: str
+    weight: float
+    trials: int
+    successes: dict[str, int]
+
+    def estimate(self, statistic: str) -> float:
+        """Within-stratum success fraction of one pass statistic."""
+        return self.successes[statistic] / self.trials if self.trials else math.nan
+
+
+@dataclass(frozen=True)
+class StratifiedSampleResult:
+    """Outcome of one post-stratified adaptive run.
+
+    Attributes:
+        primary: name of the pass statistic that drove the stopping rule
+            and the Neyman allocation.
+        trials: total instances drawn across all strata.
+        chunks: number of chunks drawn.
+        stop_reason: ``"precision"`` or ``"max_samples"``.
+        estimates: per-statistic post-stratified probability estimates
+            (``sum_h W_h * p_h``).
+        intervals: per-statistic normal intervals from the post-stratified
+            variance ``sum_h W_h^2 p~_h (1 - p~_h) / n_h`` (Laplace-
+            smoothed within-stratum variances, so an all-pass stratum
+            still carries honest width).
+        strata: per-stratum trials and success counts, in input order.
+        value_means: per-metric post-stratified means
+            (``sum_h W_h * mean_h``).
+        precision / confidence / max_samples / chunk_size: configuration.
+    """
+
+    primary: str
+    trials: int
+    chunks: int
+    stop_reason: str
+    estimates: dict[str, float]
+    intervals: dict[str, ConfidenceInterval]
+    strata: tuple[StratumResult, ...]
+    value_means: dict[str, float]
+    precision: float
+    confidence: float
+    max_samples: int
+    chunk_size: int
+
+    @property
+    def estimate(self) -> float:
+        """The primary statistic's post-stratified estimate."""
+        return self.estimates[self.primary]
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """The primary statistic's confidence interval."""
+        return self.intervals[self.primary]
+
+
+def _smoothed_stratum_variance(successes: int, trials: int) -> float:
+    """Laplace-smoothed Bernoulli variance ``p~ (1 - p~)`` of one stratum.
+
+    The smoothing keeps a stratum that has not failed (or not passed) yet
+    from claiming zero variance, which would freeze both the Neyman
+    allocation and the interval at a fiction.
+    """
+    smoothed = (successes + 1.0) / (trials + 2.0)
+    return smoothed * (1.0 - smoothed)
+
+
+def stratified_sample(
+    strata: Sequence[Stratum],
+    *,
+    primary: str,
+    precision: float,
+    confidence: float = 0.95,
+    max_samples: int = 4096,
+    chunk_size: int = 64,
+    min_samples_per_stratum: int | None = None,
+) -> StratifiedSampleResult:
+    """Allocate chunks across strata by Neyman allocation until the CI is tight.
+
+    The stratified sibling of :func:`adaptive_sample`: the variation space
+    is partitioned into caller-declared strata of known probability mass,
+    each with its own conditional sampler.  After an exploration pass that
+    gives every stratum ``min_samples_per_stratum`` draws, each subsequent
+    chunk goes to the stratum where it buys the largest reduction of the
+    post-stratified variance -- the greedy chunked form of Neyman's
+    ``n_h proportional to W_h * s_h`` allocation, driven by the running
+    (Laplace-smoothed) per-stratum moments.  The run stops when the
+    normal interval on the post-stratified primary estimate has
+    half-width ``<= precision`` or the cap is spent.
+
+    Args:
+        strata: the partition; weights must sum to 1 (use
+            :func:`normal_cdf` for sigma-shell masses).  Order is the
+            tie-break order of the allocation, so it is part of the run's
+            reproducible configuration.
+        primary: name of the pass statistic the allocation and stopping
+            rule watch.
+        precision: target half-width of the primary interval; ``0.0``
+            disables early stopping.
+        confidence: two-sided confidence level of all intervals.
+        max_samples: hard cap on total instances (must cover at least one
+            draw per stratum).
+        chunk_size: instances per chunk.
+        min_samples_per_stratum: exploration floor per stratum before the
+            Neyman allocation and the stopping rule take over (defaults
+            to one chunk, clipped to an equal share of the cap).
+
+    Returns:
+        a :class:`StratifiedSampleResult`; ``result.trials`` is the spent
+        sample budget across all strata.
+    """
+    if not strata:
+        raise ValueError("need at least one stratum")
+    names = [stratum.name for stratum in strata]
+    if len(set(names)) != len(names):
+        raise ValueError(f"stratum names must be unique; got {names}")
+    total_weight = sum(stratum.weight for stratum in strata)
+    if abs(total_weight - 1.0) > 1e-9:
+        raise ValueError(
+            f"stratum weights must sum to 1; got {total_weight!r}"
+        )
+    if precision < 0:
+        raise ValueError(f"precision must be non-negative; got {precision}")
+    if max_samples < len(strata):
+        raise ValueError(
+            f"max_samples must cover at least one draw per stratum; "
+            f"got {max_samples} for {len(strata)} strata"
+        )
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1; got {chunk_size}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1); got {confidence}")
+    if min_samples_per_stratum is None:
+        min_samples_per_stratum = min(chunk_size, max_samples // len(strata))
+    if min_samples_per_stratum < 1:
+        raise ValueError(
+            f"min_samples_per_stratum must be >= 1; got {min_samples_per_stratum}"
+        )
+
+    z = normal_ppf(0.5 * (1.0 + confidence))
+    trials_h = [0 for _ in strata]
+    successes_h: list[dict[str, int]] = [{} for _ in strata]
+    moments_h: list[dict[str, RunningMoments]] = [{} for _ in strata]
+    stat_names: set[str] | None = None
+    value_names: set[str] | None = None
+    trials = 0
+    chunks = 0
+    stop_reason = "max_samples"
+
+    def fold(index: int, count: int) -> None:
+        nonlocal trials, chunks, stat_names, value_names
+        chunk = strata[index].draw(trials_h[index], count)
+        if primary not in chunk.passes:
+            raise ValueError(
+                f"stratum {strata[index].name!r} chunk has no primary pass "
+                f"statistic {primary!r}; got {sorted(chunk.passes)}"
+            )
+        if stat_names is None:
+            stat_names = set(chunk.passes)
+            value_names = set(chunk.values)
+        elif set(chunk.passes) != stat_names or set(chunk.values) != value_names:
+            raise ValueError(
+                f"stratum {strata[index].name!r} changed the statistic set "
+                f"mid-run: {sorted(chunk.passes)} / {sorted(chunk.values)}"
+            )
+        for name, flags in chunk.passes.items():
+            flag_array = np.asarray(flags, dtype=bool)
+            if flag_array.shape != (count,):
+                raise ValueError(
+                    f"pass statistic {name!r} has shape {flag_array.shape}; "
+                    f"expected ({count},)"
+                )
+            bucket = successes_h[index]
+            bucket[name] = bucket.get(name, 0) + int(flag_array.sum())
+        for name, stream in chunk.values.items():
+            stream_array = np.asarray(stream, dtype=float)
+            if stream_array.shape != (count,):
+                raise ValueError(
+                    f"value stream {name!r} has shape {stream_array.shape}; "
+                    f"expected ({count},)"
+                )
+            moments_h[index].setdefault(name, RunningMoments()).extend(stream_array)
+        trials_h[index] += count
+        trials += count
+        chunks += 1
+
+    def primary_half_width() -> float:
+        variance = 0.0
+        for index, stratum in enumerate(strata):
+            if trials_h[index] == 0:
+                return math.inf
+            variance += (
+                stratum.weight
+                * stratum.weight
+                * _smoothed_stratum_variance(
+                    successes_h[index].get(primary, 0), trials_h[index]
+                )
+                / trials_h[index]
+            )
+        return z * math.sqrt(variance)
+
+    explored = False
+    while trials < max_samples:
+        budget = max_samples - trials
+        if not explored:
+            index = min(range(len(strata)), key=lambda h: trials_h[h])
+            if trials_h[index] >= min_samples_per_stratum:
+                explored = True
+                continue
+            count = min(
+                chunk_size, budget, min_samples_per_stratum - trials_h[index]
+            )
+        else:
+            count = min(chunk_size, budget)
+
+            def variance_drop(h: int) -> float:
+                spread = _smoothed_stratum_variance(
+                    successes_h[h].get(primary, 0), trials_h[h]
+                )
+                n = trials_h[h]
+                weight = strata[h].weight
+                return weight * weight * spread * (1.0 / n - 1.0 / (n + count))
+
+            index = max(range(len(strata)), key=variance_drop)
+        fold(index, count)
+        if (
+            explored
+            and precision > 0.0
+            and min(trials_h) >= min_samples_per_stratum
+            and primary_half_width() <= precision
+        ):
+            stop_reason = "precision"
+            break
+        if not explored and min(trials_h) >= min_samples_per_stratum:
+            explored = True
+            if precision > 0.0 and primary_half_width() <= precision:
+                stop_reason = "precision"
+                break
+
+    resolved_stats = sorted(stat_names or {primary})
+    estimates: dict[str, float] = {}
+    intervals: dict[str, ConfidenceInterval] = {}
+    for name in resolved_stats:
+        estimate = 0.0
+        variance = 0.0
+        for index, stratum in enumerate(strata):
+            if trials_h[index] == 0:
+                raise RuntimeError(
+                    f"stratum {stratum.name!r} received no samples; "
+                    "raise max_samples"
+                )
+            estimate += (
+                stratum.weight * successes_h[index].get(name, 0) / trials_h[index]
+            )
+            variance += (
+                stratum.weight
+                * stratum.weight
+                * _smoothed_stratum_variance(
+                    successes_h[index].get(name, 0), trials_h[index]
+                )
+                / trials_h[index]
+            )
+        half_width = z * math.sqrt(variance)
+        estimates[name] = estimate
+        intervals[name] = ConfidenceInterval(
+            lower=max(0.0, estimate - half_width),
+            upper=min(1.0, estimate + half_width),
+            confidence=confidence,
+        )
+
+    value_means: dict[str, float] = {}
+    for name in sorted(value_names or set()):
+        value_means[name] = sum(
+            stratum.weight * moments_h[index][name].mean
+            for index, stratum in enumerate(strata)
+        )
+
+    return StratifiedSampleResult(
+        primary=primary,
+        trials=trials,
+        chunks=chunks,
+        stop_reason=stop_reason,
+        estimates=estimates,
+        intervals=intervals,
+        strata=tuple(
+            StratumResult(
+                name=stratum.name,
+                weight=stratum.weight,
+                trials=trials_h[index],
+                successes=dict(successes_h[index]),
+            )
+            for index, stratum in enumerate(strata)
+        ),
+        value_means=value_means,
+        precision=precision,
+        confidence=confidence,
         max_samples=max_samples,
         chunk_size=chunk_size,
     )

@@ -270,8 +270,10 @@ class SharedCacheExecutor:
 
     Each invocation walks the missing cells in rounds.  Per cell it
     (1) checks the cache -- a cooperating worker may have finished it,
-    (2) otherwise tries to claim it; a won claim means *this* worker
-    computes, normalizes and stores the payload, then releases the claim,
+    (2) otherwise tries to claim it; a won claim is re-checked against the
+    cache (a peer may have stored and released since the miss) and only a
+    still-missing cell is computed, normalized and stored by *this*
+    worker before the claim is released,
     (3) otherwise (someone else holds a fresh claim) re-queues the cell
     for a later round.  A round that makes no progress sleeps
     ``poll_interval_s`` before re-polling, so blocked workers cost almost
@@ -334,6 +336,16 @@ class SharedCacheExecutor:
                     ttl_seconds=self.claim_ttl_s,
                 ):
                     try:
+                        # Re-check under the claim: a peer may have stored
+                        # the cell between our miss above and its release
+                        # (stores happen before releases, so a post-claim
+                        # load is authoritative).
+                        cached = self.cache.load(experiment_id, item.key)
+                        if cached is not MISS:
+                            self.drained_count += 1
+                            progressed = True
+                            yield CellResult(item.index, cached, FROM_CACHE)
+                            continue
                         payload = json.loads(canonical_json(func(item.params)))
                         self.cache.store(
                             experiment_id, item.key, payload, params=item.params

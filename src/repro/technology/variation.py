@@ -23,6 +23,7 @@ deterministic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -164,6 +165,64 @@ class VariationModel:
         np.clip(multipliers, 0.2, None, out=multipliers)
         return VariationSample(multipliers=multipliers)
 
+    def sample_tilted(
+        self,
+        num_cells: int,
+        buffers_per_cell: int,
+        instance: int = 0,
+        *,
+        shift: float = 0.0,
+        sigma_scale: float = 1.0,
+    ) -> tuple[VariationSample, float]:
+        """Sample one instance from a tilted mismatch distribution.
+
+        Importance-sampling entry point: the per-buffer standard-normal
+        mismatch draw ``z`` is replaced by ``shift + sigma_scale * z``
+        (a mean shift in sigma units plus a variance inflation), pushing
+        fabricated instances toward the failure region.  The returned
+        log-likelihood ratio is ``log p(z') - log q(z')`` between the
+        nominal standard normal and the tilted distribution, summed over
+        all buffers -- exactly the correction factor self-normalized
+        importance sampling needs to reweight results back to the
+        nominal process.
+
+        Stream contract: instance ``i``'s underlying standard-normal
+        draw is the *same* draw :meth:`sample` consumes, so the identity
+        tilt (``shift=0, sigma_scale=1``) reproduces :meth:`sample`
+        bit-for-bit with a log-likelihood ratio of exactly zero.
+
+        Args:
+            num_cells / buffers_per_cell / instance: as in :meth:`sample`.
+            shift: mean shift of the mismatch draw, in units of the
+                standard-normal sigma (positive = slower buffers).
+            sigma_scale: multiplier on the mismatch sigma (must be > 0);
+                values > 1 widen the proposal, which keeps the weight
+                distribution well behaved.
+
+        Returns:
+            ``(sample, log_likelihood_ratio)``.
+        """
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        if buffers_per_cell <= 0:
+            raise ValueError("buffers_per_cell must be positive")
+        if sigma_scale <= 0.0:
+            raise ValueError(f"sigma_scale must be positive; got {sigma_scale}")
+        rng = np.random.default_rng((self.seed, instance))
+        z = rng.standard_normal(size=(num_cells, buffers_per_cell))
+        tilted = shift + sigma_scale * z
+        dimensions = num_cells * buffers_per_cell
+        log_lr = (
+            0.5 * float((z * z).sum())
+            - 0.5 * float((tilted * tilted).sum())
+            + dimensions * math.log(sigma_scale)
+        )
+        random_part = self.random_sigma * tilted
+        gradient = self._placement_gradient(num_cells)
+        multipliers = 1.0 + random_part + gradient[:, np.newaxis]
+        np.clip(multipliers, 0.2, None, out=multipliers)
+        return VariationSample(multipliers=multipliers), log_lr
+
     def sample_batch(
         self,
         num_instances: int,
@@ -188,6 +247,42 @@ class VariationModel:
                 for i in range(num_instances)
             ]
         )
+
+    def sample_batch_tilted(
+        self,
+        num_instances: int,
+        num_cells: int,
+        buffers_per_cell: int,
+        first_instance: int = 0,
+        *,
+        shift: float = 0.0,
+        sigma_scale: float = 1.0,
+    ) -> tuple[BatchVariationSample, np.ndarray]:
+        """Sample a tilted ensemble plus its per-instance log-likelihood ratios.
+
+        Instance ``i`` of the batch matches
+        ``sample_tilted(..., instance=first_instance + i, ...)`` exactly,
+        preserving the chunk-stable seeding contract for tilted draws.
+
+        Returns:
+            ``(batch, log_likelihood_ratios)`` where the ratio array has
+            shape ``(num_instances,)``.
+        """
+        if num_instances < 1:
+            raise ValueError("need at least one instance")
+        samples: list[VariationSample] = []
+        log_lrs = np.empty(num_instances)
+        for i in range(num_instances):
+            sample, log_lr = self.sample_tilted(
+                num_cells,
+                buffers_per_cell,
+                instance=first_instance + i,
+                shift=shift,
+                sigma_scale=sigma_scale,
+            )
+            samples.append(sample)
+            log_lrs[i] = log_lr
+        return BatchVariationSample.from_samples(samples), log_lrs
 
     def _placement_gradient(self, num_cells: int) -> np.ndarray:
         """Systematic slow gradient along the placed line."""
