@@ -17,6 +17,9 @@ topologies the paper compares in chapter 2:
 * :mod:`repro.converter.load` -- load profiles (static, stepped, ramp,
   pulse-train, random-burst) plus reference-step and line-transient
   scenarios for transient-response studies.
+* :mod:`repro.converter.missions` -- mission profiles: seeded,
+  chunk-invariant composition of the load primitives into long randomized
+  workload missions.
 * :mod:`repro.converter.closed_loop` -- the digitally controlled buck: ADC +
   compensator + DPWM + power stage in a cycle-by-cycle loop.
 * :mod:`repro.converter.linear_regulator` -- standard / LDO / quasi-LDO
@@ -43,6 +46,13 @@ from repro.converter.load import (
     ReferenceStep,
     SteppedLoad,
 )
+from repro.converter.missions import (
+    MissionGenerator,
+    MissionProfile,
+    MissionSegment,
+    OffsetLoad,
+    resolve_missions,
+)
 from repro.converter.switched_capacitor import SwitchedCapacitorConverter
 
 __all__ = [
@@ -54,6 +64,10 @@ __all__ = [
     "LinearRegulator",
     "LinearRegulatorType",
     "LineTransient",
+    "MissionGenerator",
+    "MissionProfile",
+    "MissionSegment",
+    "OffsetLoad",
     "PIDCompensator",
     "PulseTrainLoad",
     "RampLoad",
@@ -64,4 +78,5 @@ __all__ = [
     "SwitchedCapacitorConverter",
     "WindowedADC",
     "no_limit_cycle_condition",
+    "resolve_missions",
 ]

@@ -78,6 +78,7 @@ estimators run whole seeded fleets in one vectorized pass:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -86,11 +87,17 @@ import numpy.typing as npt
 
 from repro.converter.buck import BuckParameters
 from repro.converter.load import LoadProfile
+from repro.converter.missions import (
+    MissionGenerator,
+    MissionProfile,
+    resolve_missions,
+)
 from repro.core.design import DesignSpec
 from repro.technology.cells import CellKind
 from repro.technology.corners import OperatingConditions
 from repro.technology.library import TechnologyLibrary, intel32_like_library
-from repro.technology.variation import VariationModel
+from repro.technology.thermal import TemperatureTrace, ThermalDerating
+from repro.technology.variation import CorrelatedVariationModel, VariationModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
     from repro.analysis.metrics import BatchLinearityMetrics
@@ -107,10 +114,13 @@ __all__ = [
     "YieldModel",
     "YieldPoint",
     "AdaptiveYieldResult",
+    "CORRELATION_PRESETS",
     "ComponentStratification",
     "ComponentTilt",
     "ComponentVariation",
     "LinearitySpec",
+    "MissionSpec",
+    "MissionYieldResult",
     "RareEventYieldResult",
     "RegulationSpec",
     "ClosedLoopYieldResult",
@@ -119,11 +129,13 @@ __all__ = [
     "adaptive_closed_loop_yield",
     "adaptive_linearity_yield",
     "adaptive_regulation_yield",
+    "component_correlation_preset",
     "coverage_yield",
     "yield_curve",
     "cells_for_yield",
     "closed_loop_yield",
     "linearity_yield",
+    "mission_yield",
     "rare_event_regulation_yield",
     "regulation_yield",
 ]
@@ -325,6 +337,56 @@ _COMPONENT_AXES = (
 )
 
 
+def _preset_matrix(pairs: dict[tuple[str, str], float]) -> npt.NDArray[np.float64]:
+    """Correlation matrix over :data:`_COMPONENT_AXES` from named pairs."""
+    matrix = np.eye(len(_COMPONENT_AXES))
+    for (left, right), value in pairs.items():
+        row = _COMPONENT_AXES.index(left)
+        column = _COMPONENT_AXES.index(right)
+        matrix[row, column] = matrix[column, row] = value
+    return matrix
+
+
+#: Named correlation structures over the component axes, addressable from
+#: the CLI's ``--correlation`` flag (the *name* is the sweep-cache-key
+#: coordinate; the matrix is rebuilt inside the worker).  ``"identity"``
+#: reproduces the IID model bit for bit.  ``"passives"`` couples the LC
+#: reel (inductance with capacitance) and the copper lot (the two
+#: parasitic resistances).  ``"thermal"`` adds a common-factor coupling of
+#: all four electrical axes, the signature of a shared thermal/lot drift.
+CORRELATION_PRESETS: dict[str, npt.NDArray[np.float64]] = {
+    "identity": np.eye(len(_COMPONENT_AXES)),
+    "passives": _preset_matrix(
+        {
+            ("inductance", "capacitance"): 0.8,
+            ("switch_resistance", "inductor_resistance"): 0.6,
+        }
+    ),
+    "thermal": _preset_matrix(
+        {
+            ("inductance", "capacitance"): 0.3,
+            ("inductance", "switch_resistance"): 0.3,
+            ("inductance", "inductor_resistance"): 0.3,
+            ("capacitance", "switch_resistance"): 0.3,
+            ("capacitance", "inductor_resistance"): 0.3,
+            ("switch_resistance", "inductor_resistance"): 0.3,
+        }
+    ),
+}
+
+
+def component_correlation_preset(name: str) -> CorrelatedVariationModel:
+    """The :class:`CorrelatedVariationModel` of one named preset."""
+    try:
+        matrix = CORRELATION_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown correlation preset {name!r}; available: "
+            f"{', '.join(sorted(CORRELATION_PRESETS))}"
+        ) from None
+    return CorrelatedVariationModel(matrix=matrix)
+
+
 @dataclass(frozen=True)
 class ComponentTilt:
     """Mean-shift / sigma-scale tilt of the component draws, in z-space.
@@ -489,17 +551,26 @@ class ComponentVariation:
         nominal: BuckParameters,
         num_variants: int,
         rng: np.random.Generator | None = None,
+        correlation: CorrelatedVariationModel | None = None,
     ) -> "BatchBuckParameters":
         """Draw a fleet of varied converters as stacked batch parameters.
 
         Returns a :class:`~repro.simulation.batch.BatchBuckParameters` of
-        ``num_variants`` independent draws around ``nominal``.
+        ``num_variants`` draws around ``nominal``.  ``correlation``
+        declares cross-axis coupling of the underlying standard-normal
+        draws (see :class:`~repro.technology.variation
+        .CorrelatedVariationModel`); ``None`` or the identity matrix keeps
+        the historical IID draw bit for bit.
         """
         from repro.simulation.batch import BatchBuckParameters
 
         if num_variants < 1:
             raise ValueError("need at least one variant")
         generator = rng if rng is not None else np.random.default_rng(self.seed)
+        if correlation is not None and not correlation.is_identity():
+            return self._sample_batch_correlated(
+                nominal, num_variants, generator, correlation
+            )
 
         def lognormal(sigma: float) -> npt.NDArray[np.float64]:
             return generator.lognormal(mean=0.0, sigma=sigma, size=num_variants)
@@ -523,11 +594,49 @@ class ComponentVariation:
             * clipped_normal(self.resistance_sigma),
         )
 
+    def _sample_batch_correlated(
+        self,
+        nominal: BuckParameters,
+        num_variants: int,
+        generator: np.random.Generator,
+        correlation: CorrelatedVariationModel,
+    ) -> "BatchBuckParameters":
+        """One-generator fleet draw with cross-axis correlation.
+
+        One standard-normal row per axis is drawn in the canonical axis
+        order, the Cholesky factor mixes them, and the per-axis transforms
+        of :meth:`_transform_draws` apply columnwise (vectorized over the
+        fleet).  Marginals match the IID draw's distributions exactly; the
+        joint picks up the declared correlations.
+        """
+        if correlation.dimension != len(_COMPONENT_AXES):
+            raise ValueError(
+                f"correlation matrix spans {correlation.dimension} axes; the "
+                f"component draws span {len(_COMPONENT_AXES)} "
+                f"({', '.join(_COMPONENT_AXES)})"
+            )
+        z = np.stack(
+            [
+                generator.standard_normal(num_variants)
+                for _ in _COMPONENT_AXES
+            ]
+        )
+        correlated = correlation.correlate(z)
+        draws = np.empty((num_variants, len(_COMPONENT_AXES)))
+        draws[:, 0] = np.exp(self.input_voltage_sigma * correlated[0])
+        draws[:, 1] = np.exp(self.inductance_sigma * correlated[1])
+        draws[:, 2] = np.exp(self.capacitance_sigma * correlated[2])
+        draws[:, 3] = 1.0 + self.resistance_sigma * correlated[3]
+        draws[:, 4] = 1.0 + self.resistance_sigma * correlated[4]
+        np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return self._parameters_from_draws(nominal, draws)
+
     def sample_instances(
         self,
         nominal: BuckParameters,
         num_variants: int,
         first_instance: int = 0,
+        correlation: CorrelatedVariationModel | None = None,
     ) -> "BatchBuckParameters":
         """Chunk-stable fleet draw: instance ``i`` owns its RNG stream.
 
@@ -546,9 +655,18 @@ class ComponentVariation:
         The two methods draw *different* (equally valid) populations from
         the same seed; fixed-N experiments keep :meth:`sample_batch` so
         their baselines stay bit-identical.
+
+        ``correlation`` couples the per-instance z-space draws across the
+        component axes (Cholesky mixing, as in :meth:`sample_batch`);
+        ``None`` or the identity matrix keeps the historical IID draw bit
+        for bit.
         """
         if num_variants < 1:
             raise ValueError("need at least one variant")
+        if correlation is not None and not correlation.is_identity():
+            return self._sample_instances_correlated(
+                nominal, num_variants, first_instance, correlation
+            )
         draws = np.empty((num_variants, 5))
         for row in range(num_variants):
             rng = np.random.default_rng(
@@ -559,6 +677,37 @@ class ComponentVariation:
             draws[row, 2] = rng.lognormal(mean=0.0, sigma=self.capacitance_sigma)
             draws[row, 3] = rng.normal(loc=1.0, scale=self.resistance_sigma)
             draws[row, 4] = rng.normal(loc=1.0, scale=self.resistance_sigma)
+        np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
+        return self._parameters_from_draws(nominal, draws)
+
+    def _sample_instances_correlated(
+        self,
+        nominal: BuckParameters,
+        num_variants: int,
+        first_instance: int,
+        correlation: CorrelatedVariationModel,
+    ) -> "BatchBuckParameters":
+        """Chunk-stable fleet draw with cross-axis correlation.
+
+        Instance ``i`` keeps its own ``(seed, stream tag, i)`` stream, so
+        the chunk-invariance contract of :meth:`sample_instances` holds
+        unchanged; within an instance the five standard-normal draws are
+        mixed by the Cholesky factor before the usual per-axis transforms.
+        """
+        if correlation.dimension != len(_COMPONENT_AXES):
+            raise ValueError(
+                f"correlation matrix spans {correlation.dimension} axes; the "
+                f"component draws span {len(_COMPONENT_AXES)} "
+                f"({', '.join(_COMPONENT_AXES)})"
+            )
+        dimensions = len(_COMPONENT_AXES)
+        draws = np.empty((num_variants, dimensions))
+        for row in range(num_variants):
+            rng = np.random.default_rng(
+                (self.seed, _COMPONENT_STREAM_TAG, first_instance + row)
+            )
+            z = rng.standard_normal(dimensions)
+            draws[row] = self._transform_draws(correlation.correlate(z))
         np.clip(draws[:, 3:], 0.0, None, out=draws[:, 3:])
         return self._parameters_from_draws(nominal, draws)
 
@@ -1709,4 +1858,236 @@ def rare_event_regulation_yield(
             }
             for row in stratified.strata
         ),
+    )
+
+
+@dataclass(frozen=True)
+class MissionSpec:
+    """Per-segment pass/fail specification for a mission-profile run.
+
+    A mission passes only when *every* segment's window meets the spec --
+    the loop has to hold regulation through the whole load history, not
+    just at the end.  Within each segment window:
+
+    * the mean of the window's tail (the last ``tail_fraction`` of its
+      periods, the part the loop has had time to settle into) must sit
+      within ``tolerance_v`` of the reference;
+    * when ``ripple_limit_v`` is given, the tail's peak-to-peak ripple
+      must stay at or below it;
+    * when ``dip_limit_v`` is given, the *whole* window -- including the
+      transient right after the segment boundary -- must stay at or above
+      ``reference_v - dip_limit_v``.
+
+    Attributes:
+        tolerance_v: steady-state tolerance on the tail mean.
+        dip_limit_v: maximum transient undershoot below the reference
+            anywhere in a segment window (``None`` skips the check).
+        ripple_limit_v: maximum tail peak-to-peak ripple (``None`` skips).
+        tail_fraction: fraction of each segment window scored as "tail".
+    """
+
+    tolerance_v: float = 0.02
+    dip_limit_v: float | None = None
+    ripple_limit_v: float | None = None
+    tail_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.tolerance_v <= 0:
+            raise ValueError(f"tolerance_v must be positive; got {self.tolerance_v}")
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ValueError(
+                f"tail_fraction must lie in (0, 1]; got {self.tail_fraction}"
+            )
+        if self.dip_limit_v is not None and self.dip_limit_v <= 0:
+            raise ValueError(
+                f"dip_limit_v must be positive when given; got {self.dip_limit_v}"
+            )
+        if self.ripple_limit_v is not None and self.ripple_limit_v <= 0:
+            raise ValueError(
+                "ripple_limit_v must be positive when given; got "
+                f"{self.ripple_limit_v}"
+            )
+
+    def window_passes(
+        self, voltages: npt.NDArray[np.float64], reference_v: float
+    ) -> bool:
+        """Score one segment's output-voltage window against the spec."""
+        if voltages.size < 1:
+            raise ValueError("segment window must contain at least one period")
+        tail_count = max(1, int(round(voltages.size * self.tail_fraction)))
+        tail = voltages[-tail_count:]
+        if abs(float(tail.mean()) - reference_v) > self.tolerance_v:
+            return False
+        if self.ripple_limit_v is not None:
+            if float(tail.max() - tail.min()) > self.ripple_limit_v:
+                return False
+        if self.dip_limit_v is not None:
+            if float(voltages.min()) < reference_v - self.dip_limit_v:
+                return False
+        return True
+
+    def summary(self) -> dict[str, float | None]:
+        """JSON-able view of the spec (cache-key / report material)."""
+        return {
+            "tolerance_v": self.tolerance_v,
+            "dip_limit_v": self.dip_limit_v,
+            "ripple_limit_v": self.ripple_limit_v,
+            "tail_fraction": self.tail_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class MissionYieldResult:
+    """Outcome of a mission-profile Monte-Carlo yield run.
+
+    Attributes:
+        scheme: ``"proposed"`` or ``"conventional"``.
+        mission_yield: fraction of instances whose *every* segment window
+            met the :class:`MissionSpec`.
+        passes: per-instance pass flags.
+        periods: switching periods each mission ran for.
+        segment_failure_counts: per-segment-index count of instances that
+            failed that segment (an instance can count in several).
+        first_failure_counts: per-segment-index count of instances whose
+            *first* failing segment it was (each failing instance counts
+            exactly once) -- the attribution that says where missions die.
+        spec: the scoring spec.
+        pipeline_result: full pipeline output (calibration, curves,
+            per-period regulation history).
+    """
+
+    scheme: str
+    mission_yield: float
+    passes: npt.NDArray[np.bool_]
+    periods: int
+    segment_failure_counts: tuple[int, ...]
+    first_failure_counts: tuple[int, ...]
+    spec: MissionSpec
+    pipeline_result: "PipelineResult"
+
+    @property
+    def num_instances(self) -> int:
+        return int(self.passes.shape[0])
+
+    def summary(self) -> dict[str, object]:
+        """JSON-able summary with per-segment failure attribution."""
+        worst_segment: int | None = None
+        if any(self.segment_failure_counts):
+            worst_segment = int(np.argmax(self.segment_failure_counts))
+        return {
+            "scheme": self.scheme,
+            "mission_yield": self.mission_yield,
+            "num_instances": self.num_instances,
+            "periods": self.periods,
+            "segment_failure_counts": list(self.segment_failure_counts),
+            "first_failure_counts": list(self.first_failure_counts),
+            "worst_segment": worst_segment,
+            "spec": self.spec.summary(),
+        }
+
+
+def mission_yield(
+    scheme: str,
+    spec: DesignSpec,
+    conditions: OperatingConditions,
+    *,
+    missions: MissionGenerator | Sequence[MissionProfile],
+    mission_spec: MissionSpec | None = None,
+    nominal: BuckParameters | None = None,
+    reference_v: float = 0.9,
+    variation: VariationModel | None = None,
+    component_variation: ComponentVariation | None = None,
+    correlation: CorrelatedVariationModel | None = None,
+    temperature_trace: TemperatureTrace | None = None,
+    thermal: ThermalDerating | None = None,
+    num_instances: int = 128,
+    periods: int | None = None,
+    library: TechnologyLibrary | None = None,
+    first_instance: int = 0,
+) -> MissionYieldResult:
+    """Monte-Carlo estimate of the fleet's mission-survival yield.
+
+    The mission-profile sibling of :func:`closed_loop_yield`: every
+    fabricated delay line is calibrated, turned into a DPWM duty table and
+    closed around its own buck converter, but instead of one static load
+    each instance flies its *own* randomized mission (a chain of load
+    primitives from :class:`~repro.converter.missions.MissionGenerator`,
+    or an explicit list of :class:`~repro.converter.missions
+    .MissionProfile`).  Optionally the whole fleet rides a shared
+    :class:`~repro.technology.thermal.TemperatureTrace`: at each thermal
+    epoch the silicon is re-locked through the corner model and the
+    electricals re-derated, with exact state carry-over across epoch
+    boundaries.  ``correlation`` couples the component draws
+    (:class:`~repro.technology.variation.CorrelatedVariationModel`).
+
+    An instance passes when **every** segment window of its mission meets
+    the :class:`MissionSpec`; the result carries per-segment failure
+    attribution (which leg of the mission kills chips).
+
+    ``periods`` defaults to the longest mission's total length; shorter
+    missions hold their final segment for the remainder of the run.
+    """
+    from repro.pipeline import ChunkedSiliconToRegulation
+
+    if num_instances < 1:
+        raise ValueError("need at least one instance")
+    mission_list = resolve_missions(missions, num_instances, first_instance)
+    resolved_periods = (
+        periods
+        if periods is not None
+        else max(mission.total_periods for mission in mission_list)
+    )
+    if resolved_periods < 1:
+        raise ValueError(f"periods must be >= 1; got {resolved_periods}")
+    resolved_spec = mission_spec or MissionSpec()
+
+    runner = ChunkedSiliconToRegulation(
+        scheme,
+        spec,
+        conditions,
+        variation=variation,
+        nominal=nominal,
+        reference_v=reference_v,
+        component_variation=component_variation,
+        correlation=correlation,
+        library=library,
+    )
+    result = runner.run_chunk(
+        first_instance,
+        num_instances,
+        periods=resolved_periods,
+        missions=mission_list,
+        temperature_trace=temperature_trace,
+        thermal=thermal,
+    )
+    voltages = result.regulation.output_voltages_v
+
+    max_segments = max(mission.num_segments for mission in mission_list)
+    passes = np.empty(num_instances, dtype=bool)
+    segment_failures = [0] * max_segments
+    first_failures = [0] * max_segments
+    for instance, mission in enumerate(mission_list):
+        windows = mission.segment_windows(resolved_periods)
+        instance_passed = True
+        first_recorded = False
+        for segment_index, (start, end) in enumerate(windows):
+            window = voltages[start:end, instance]
+            if resolved_spec.window_passes(window, reference_v):
+                continue
+            instance_passed = False
+            segment_failures[segment_index] += 1
+            if not first_recorded:
+                first_failures[segment_index] += 1
+                first_recorded = True
+        passes[instance] = instance_passed
+
+    return MissionYieldResult(
+        scheme=result.scheme,
+        mission_yield=float(np.mean(passes)),
+        passes=passes,
+        periods=resolved_periods,
+        segment_failure_counts=tuple(segment_failures),
+        first_failure_counts=tuple(first_failures),
+        spec=resolved_spec,
+        pipeline_result=result,
     )

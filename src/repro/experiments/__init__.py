@@ -22,6 +22,7 @@ from repro.experiments import (  # noqa: F401  (imported for registration)
     design_example,
     figure15,
     figure15_mc,
+    figure15_mission,
     figure15_rare,
     figure19,
     figure21,

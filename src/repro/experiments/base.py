@@ -13,6 +13,7 @@ __all__ = [
     "ExperimentResult",
     "accepts_adaptive",
     "accepts_estimator",
+    "accepts_mission",
     "accepts_parameter",
     "accepts_seed",
     "accepts_sweep",
@@ -116,6 +117,17 @@ def accepts_estimator(experiment_id: str) -> bool:
     return accepts_parameter(experiment_id, "estimator")
 
 
+def accepts_mission(experiment_id: str) -> bool:
+    """Whether an experiment supports mission-profile parameterization.
+
+    The mission experiments (``fig15_mission``) declare ``mission_length``
+    (plus ``mission_seed`` and ``correlation``) so the CLI's
+    ``--mission-length`` / ``--mission-seed`` / ``--correlation`` flags can
+    reshape the randomized missions and the component-correlation preset.
+    """
+    return accepts_parameter(experiment_id, "mission_length")
+
+
 def run_experiment(
     experiment_id: str,
     seed: int | None = None,
@@ -125,6 +137,9 @@ def run_experiment(
     estimator: str | None = None,
     tilt_shift: float | None = None,
     tilt_scale: float | None = None,
+    mission_length: int | None = None,
+    mission_seed: int | None = None,
+    correlation: str | None = None,
 ) -> ExperimentResult:
     """Run a registered experiment by id.
 
@@ -149,6 +164,14 @@ def run_experiment(
             only reaches estimator-aware experiments.
         tilt_scale: optional proposal sigma widening of the importance
             tilt; only reaches estimator-aware experiments.
+        mission_length: optional mission length in switching periods,
+            threaded into experiments that accept missions (see
+            :func:`accepts_mission`).
+        mission_seed: optional seed of the per-instance mission draws;
+            only reaches mission-aware experiments.
+        correlation: optional component-correlation preset name (see
+            :data:`repro.core.yield_analysis.CORRELATION_PRESETS`); only
+            reaches mission-aware experiments.
 
     Raises:
         KeyError: if the id is unknown.
@@ -178,4 +201,11 @@ def run_experiment(
             kwargs["tilt_shift"] = tilt_shift
         if tilt_scale is not None:
             kwargs["tilt_scale"] = tilt_scale
+    if accepts_mission(experiment_id):
+        if mission_length is not None:
+            kwargs["mission_length"] = mission_length
+        if mission_seed is not None:
+            kwargs["mission_seed"] = mission_seed
+        if correlation is not None:
+            kwargs["correlation"] = correlation
     return runner(**kwargs)

@@ -41,6 +41,7 @@ from repro.experiments import registry, run_experiment
 from repro.experiments.base import (
     accepts_adaptive,
     accepts_estimator,
+    accepts_mission,
     accepts_seed,
     accepts_sweep,
 )
@@ -127,6 +128,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="importance sampling: sigma widening of the tilted proposal "
         "(must be > 0; values > 1 guard against weight degeneracy); "
         "requires --estimator importance (or the default)",
+    )
+    parser.add_argument(
+        "--mission-length",
+        type=int,
+        metavar="N",
+        help="mission experiments (fig15_mission): mission length in "
+        "switching periods (must cover the experiment's segment count); "
+        "a sweep-cache-key coordinate, so length variants never collide",
+    )
+    parser.add_argument(
+        "--mission-seed",
+        type=int,
+        metavar="INT",
+        help="mission experiments: seed of the per-instance mission draws, "
+        "independent of --seed so workloads can be rethreaded without "
+        "refabricating the fleet; a sweep-cache-key coordinate",
+    )
+    parser.add_argument(
+        "--correlation",
+        metavar="PRESET",
+        help="mission experiments: component-correlation preset coupling "
+        "the per-chip electrical spreads ('identity', 'passives' or "
+        "'thermal'; see docs/monte_carlo.md); a sweep-cache-key coordinate",
     )
     parser.add_argument(
         "--workers",
@@ -278,6 +302,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 2
 
+    if args.mission_length is not None and args.mission_length < 1:
+        print(
+            f"--mission-length must be >= 1, got {args.mission_length}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.correlation is not None:
+        from repro.core.yield_analysis import CORRELATION_PRESETS
+
+        if args.correlation not in CORRELATION_PRESETS:
+            print(
+                f"unknown --correlation {args.correlation!r}; available: "
+                f"{', '.join(sorted(CORRELATION_PRESETS))}",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.json is not None and not args.force and os.path.exists(args.json):
         print(
             f"refusing to overwrite existing {args.json}; pass --force to "
@@ -331,6 +373,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+    if (
+        args.mission_length is not None
+        or args.mission_seed is not None
+        or args.correlation is not None
+    ):
+        ignoring = [name for name in selected if not accepts_mission(name)]
+        if ignoring:
+            print(
+                "--mission-length/--mission-seed/--correlation only reach "
+                f"the mission experiments; ignored by: {', '.join(ignoring)}",
+                file=sys.stderr,
+            )
+
     sweep = None
     if (
         args.workers > 1
@@ -375,6 +430,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     estimator=args.estimator,
                     tilt_shift=args.tilt_shift,
                     tilt_scale=args.tilt_scale,
+                    mission_length=args.mission_length,
+                    mission_seed=args.mission_seed,
+                    correlation=args.correlation,
                 )
             except Exception as error:  # noqa: BLE001 - report and keep going
                 failures.append(experiment_id)

@@ -79,6 +79,12 @@ import numpy.typing as npt
 from repro.converter.adc import WindowedADC
 from repro.converter.buck import BuckParameters
 from repro.converter.load import LoadProfile, ReferenceProfile, SourceProfile
+from repro.converter.missions import (
+    MissionGenerator,
+    MissionProfile,
+    OffsetLoad,
+    resolve_missions,
+)
 from repro.core.design import DesignSpec, design_conventional, design_proposed
 from repro.core.proposed import ProposedDelayLineConfig
 from repro.core.ensemble import (
@@ -105,7 +111,8 @@ from repro.simulation.batch import (
 )
 from repro.technology.corners import OperatingConditions, ProcessCorner
 from repro.technology.library import TechnologyLibrary, intel32_like_library
-from repro.technology.variation import VariationModel
+from repro.technology.thermal import TemperatureTrace, ThermalDerating
+from repro.technology.variation import CorrelatedVariationModel, VariationModel
 
 __all__ = [
     "ChunkedFabricator",
@@ -464,6 +471,7 @@ class ChunkedSiliconToRegulation:
         nominal: BuckParameters | None = None,
         reference_v: float = 0.9,
         component_variation: ComponentVariation | None = None,
+        correlation: CorrelatedVariationModel | None = None,
         load: LoadProfile | None = None,
         library: TechnologyLibrary | None = None,
         backend: str | KernelBackend | None = None,
@@ -479,37 +487,212 @@ class ChunkedSiliconToRegulation:
         self.nominal = _resolve_nominal(nominal, spec)
         self.reference_v = reference_v
         self.component_variation = component_variation
+        self.correlation = correlation
         self.load = load
 
     def run_chunk(
-        self, first_instance: int, num_instances: int, periods: int = 300
+        self,
+        first_instance: int,
+        num_instances: int,
+        periods: int = 300,
+        *,
+        missions: MissionGenerator | Sequence[MissionProfile] | None = None,
+        temperature_trace: TemperatureTrace | None = None,
+        thermal: ThermalDerating | None = None,
     ) -> PipelineResult:
-        """Fabricate and regulate instances ``first_instance .. +num_instances``."""
+        """Fabricate and regulate instances ``first_instance .. +num_instances``.
+
+        ``missions`` gives every instance its own composed load history (a
+        :class:`~repro.converter.missions.MissionGenerator` draws one per
+        instance from its chunk-invariant stream; an explicit sequence
+        supplies one :class:`~repro.converter.missions.MissionProfile` per
+        instance).  ``temperature_trace`` makes the run non-isothermal: the
+        run is split at the trace's epoch boundaries, the ensemble is
+        re-locked at each epoch's temperature through the corner model (so
+        the DPWM duty tables drift exactly as a static run at that
+        temperature would) and the electricals are re-derated through
+        ``thermal`` (default :class:`~repro.technology.thermal
+        .ThermalDerating`), with exact closed-loop state carry-over across
+        the boundaries -- an all-nominal-temperature trace reproduces the
+        unsplit run bit for bit.
+        """
+        if thermal is not None and temperature_trace is None:
+            raise ValueError("thermal derating requires a temperature_trace")
+        if missions is None and temperature_trace is None:
+            ensemble = self.fabricator.fabricate(
+                num_instances, first_instance=first_instance
+            )
+            calibration = ensemble.lock(self.conditions)
+            curves = ensemble.transfer_curves(
+                self.conditions, calibration=calibration
+            )
+            quantizer = BatchQuantizer.from_ensemble(curves)
+            parameters = self._chunk_parameters(num_instances, first_instance)
+            loop = BatchClosedLoop(
+                parameters,
+                quantizer,
+                reference_v=self.reference_v,
+                load=self.load,
+                backend=self.kernels,
+            )
+            return PipelineResult(
+                scheme=ensemble.scheme,
+                reference_v=self.reference_v,
+                calibration=calibration,
+                curves=curves,
+                regulation=loop.run(periods),
+            )
+        return self._run_chunk_mission(
+            first_instance,
+            num_instances,
+            periods,
+            missions=missions,
+            temperature_trace=temperature_trace,
+            thermal=thermal,
+        )
+
+    def _chunk_parameters(
+        self, num_instances: int, first_instance: int
+    ) -> BatchBuckParameters:
+        """The chunk's per-instance electrical parameters (chunk-stable)."""
+        if self.component_variation is None:
+            return BatchBuckParameters.uniform(self.nominal, num_instances)
+        return self.component_variation.sample_instances(
+            self.nominal,
+            num_instances,
+            first_instance=first_instance,
+            correlation=self.correlation,
+        )
+
+    def _run_chunk_mission(
+        self,
+        first_instance: int,
+        num_instances: int,
+        periods: int,
+        *,
+        missions: MissionGenerator | Sequence[MissionProfile] | None,
+        temperature_trace: TemperatureTrace | None,
+        thermal: ThermalDerating | None,
+    ) -> PipelineResult:
+        """Mission / temperature-drift run: epoch-split with state carry-over.
+
+        The run is cut at the temperature trace's epoch boundaries (one
+        isothermal epoch when no trace is given).  Within each epoch the
+        fleet advances under per-instance loads shifted to the epoch's
+        start (:meth:`OffsetLoad.wrap <repro.converter.missions.OffsetLoad
+        .wrap>`), so the concatenated history is the same sequence of load
+        resistances -- and, with the compensator object and the converter
+        state carried across the boundary, the same closed-loop trajectory
+        -- as an unsplit run.
+        """
         ensemble = self.fabricator.fabricate(
             num_instances, first_instance=first_instance
         )
-        calibration = ensemble.lock(self.conditions)
-        curves = ensemble.transfer_curves(self.conditions, calibration=calibration)
-        quantizer = BatchQuantizer.from_ensemble(curves)
-        if self.component_variation is None:
-            parameters = BatchBuckParameters.uniform(self.nominal, num_instances)
+        base_parameters = self._chunk_parameters(num_instances, first_instance)
+        mission_list = (
+            resolve_missions(missions, num_instances, first_instance)
+            if missions is not None
+            else None
+        )
+        if temperature_trace is not None:
+            epochs: list[tuple[int, int, float | None]] = [
+                (start, end, temperature)
+                for start, end, temperature in temperature_trace.epochs(periods)
+            ]
+            derating = thermal or ThermalDerating()
         else:
-            parameters = self.component_variation.sample_instances(
-                self.nominal, num_instances, first_instance=first_instance
+            epochs = [(0, periods, None)]
+            derating = None
+
+        calibration: EnsembleCalibration | None = None
+        curves: EnsembleTransferCurves | None = None
+        pieces: list[BatchRegulationResult] = []
+        compensator: BatchCompensator | None = None
+        carried_voltage: npt.NDArray[np.float64] | None = None
+        carried_current: npt.NDArray[np.float64] | None = None
+        for start, end, temperature in epochs:
+            conditions = (
+                self.conditions.with_temperature(temperature)
+                if temperature is not None
+                else self.conditions
             )
-        loop = BatchClosedLoop(
-            parameters,
-            quantizer,
-            reference_v=self.reference_v,
-            load=self.load,
-            backend=self.kernels,
+            epoch_calibration = ensemble.lock(conditions)
+            epoch_curves = ensemble.transfer_curves(
+                conditions, calibration=epoch_calibration
+            )
+            quantizer = BatchQuantizer.from_ensemble(epoch_curves)
+            if calibration is None or curves is None:
+                calibration = epoch_calibration
+                curves = epoch_curves
+            parameters = (
+                derating.derate(base_parameters, temperature)
+                if derating is not None and temperature is not None
+                else base_parameters
+            )
+            if mission_list is not None:
+                loop = BatchClosedLoop(
+                    parameters,
+                    quantizer,
+                    reference_v=self.reference_v,
+                    compensator=compensator,
+                    loads=[
+                        OffsetLoad.wrap(mission, start)
+                        for mission in mission_list
+                    ],
+                    start_at_reference=compensator is None,
+                    backend=self.kernels,
+                )
+            else:
+                loop = BatchClosedLoop(
+                    parameters,
+                    quantizer,
+                    reference_v=self.reference_v,
+                    compensator=compensator,
+                    load=(
+                        OffsetLoad.wrap(self.load, start)
+                        if self.load is not None
+                        else None
+                    ),
+                    start_at_reference=compensator is None,
+                    backend=self.kernels,
+                )
+            if carried_voltage is not None and carried_current is not None:
+                loop.output_voltage_v = carried_voltage
+                loop.inductor_current_a = carried_current
+            pieces.append(loop.run(end - start))
+            compensator = loop.compensator
+            carried_voltage = loop.output_voltage_v.copy()
+            carried_current = loop.inductor_current_a.copy()
+
+        if calibration is None or curves is None:  # pragma: no cover
+            raise RuntimeError("temperature trace produced no epochs")
+        regulation = BatchRegulationResult(
+            switching_period_s=pieces[0].switching_period_s,
+            output_voltages_v=np.concatenate(
+                [piece.output_voltages_v for piece in pieces], axis=0
+            ),
+            inductor_currents_a=np.concatenate(
+                [piece.inductor_currents_a for piece in pieces], axis=0
+            ),
+            duty_words=np.concatenate(
+                [piece.duty_words for piece in pieces], axis=0
+            ),
+            duty_fractions=np.concatenate(
+                [piece.duty_fractions for piece in pieces], axis=0
+            ),
+            error_codes=np.concatenate(
+                [piece.error_codes for piece in pieces], axis=0
+            ),
+            load_resistances_ohm=np.concatenate(
+                [piece.load_resistances_ohm for piece in pieces], axis=0
+            ),
         )
         return PipelineResult(
             scheme=ensemble.scheme,
             reference_v=self.reference_v,
             calibration=calibration,
             curves=curves,
-            regulation=loop.run(periods),
+            regulation=regulation,
         )
 
     def run_chunk_tilted(

@@ -13,7 +13,10 @@ package provides a behavioural substitute:
 * :mod:`repro.technology.library` -- a calibrated "32 nm-class" library whose
   relative cell areas reproduce the paper's area distributions.
 * :mod:`repro.technology.variation` -- systematic + random per-instance
-  mismatch and placement gradients used for post-APR linearity analysis.
+  mismatch and placement gradients used for post-APR linearity analysis,
+  plus the Cholesky-based correlated component-variation model.
+* :mod:`repro.technology.thermal` -- mission-scale temperature traces and
+  first-order electrical derating for temperature-drift Monte-Carlo.
 * :mod:`repro.technology.netlist` -- structural netlists (cell-count views of a
   synthesized block).
 * :mod:`repro.technology.synthesis` -- the structural "synthesizer" that turns
@@ -30,8 +33,10 @@ from repro.technology.corners import (
 from repro.technology.library import TechnologyLibrary, intel32_like_library
 from repro.technology.netlist import CellInstanceGroup, Netlist
 from repro.technology.synthesis import AreaReport, BlockArea, Synthesizer
+from repro.technology.thermal import TemperatureTrace, ThermalDerating
 from repro.technology.variation import (
     BatchVariationSample,
+    CorrelatedVariationModel,
     VariationModel,
     VariationSample,
 )
@@ -42,6 +47,7 @@ __all__ = [
     "BlockArea",
     "CellInstanceGroup",
     "CellKind",
+    "CorrelatedVariationModel",
     "Netlist",
     "OperatingConditions",
     "ProcessCorner",
@@ -49,6 +55,8 @@ __all__ = [
     "Synthesizer",
     "TechnologyLibrary",
     "TemperatureGrade",
+    "TemperatureTrace",
+    "ThermalDerating",
     "VariationModel",
     "VariationSample",
     "intel32_like_library",

@@ -1,0 +1,204 @@
+"""Temperature drift across a mission: traces and electrical derating.
+
+The corner model (:mod:`repro.technology.corners`) already makes the
+silicon temperature-aware -- :meth:`OperatingConditions.delay_scale
+<repro.technology.corners.OperatingConditions.delay_scale>` folds a linear
+temperature coefficient into every delay -- but it describes *one*
+operating point.  A mission sweeps through operating points: the die heats
+under a heavy leg and cools under a light one, dragging both the DPWM
+delays and the power-stage electricals with it.  This module supplies the
+two pieces the pipeline threads through a mission:
+
+* :class:`TemperatureTrace` -- a piecewise-constant junction-temperature
+  schedule over the switching periods of a run.  The pipeline re-locks the
+  fabricated ensemble at each epoch's temperature (through the existing
+  corner model, so corner-dependent delays move exactly as a static run at
+  that temperature would) and splits the closed-loop run at the epoch
+  boundaries with exact state carry-over.
+* :class:`ThermalDerating` -- first-order temperature coefficients for the
+  electrical components: winding/switch resistances rise with temperature,
+  ceramic output capacitance falls.  At the nominal 25 degC the derating
+  factors are exactly ``1.0``, so an all-nominal trace reproduces the
+  untraced run bit for bit -- the identity contract the golden-output
+  gate of ``tests/test_golden_outputs.py`` rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.technology.corners import NOMINAL_TEMPERATURE_C
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch is downstream)
+    from repro.simulation.batch import BatchBuckParameters
+
+__all__ = ["TemperatureTrace", "ThermalDerating"]
+
+
+@dataclass(frozen=True)
+class TemperatureTrace:
+    """Piecewise-constant junction temperature over a run's periods.
+
+    Attributes:
+        temperatures_c: per-epoch junction temperatures, in the corner
+            model's validated range (-55 to 150 degC).
+        durations_periods: per-epoch durations in switching periods (one
+            entry per temperature, each >= 1).  A run longer than the
+            trace holds the final temperature; a shorter run truncates it.
+    """
+
+    temperatures_c: tuple[float, ...]
+    durations_periods: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.temperatures_c, tuple):
+            object.__setattr__(
+                self, "temperatures_c", tuple(self.temperatures_c)
+            )
+        if not isinstance(self.durations_periods, tuple):
+            object.__setattr__(
+                self, "durations_periods", tuple(self.durations_periods)
+            )
+        if not self.temperatures_c:
+            raise ValueError("temperature trace needs at least one epoch")
+        if len(self.temperatures_c) != len(self.durations_periods):
+            raise ValueError(
+                "need one duration per temperature: got "
+                f"{len(self.temperatures_c)} temperatures and "
+                f"{len(self.durations_periods)} durations"
+            )
+        for temperature in self.temperatures_c:
+            if not math.isfinite(temperature):
+                raise ValueError(f"temperatures must be finite; got {temperature}")
+            if not -55.0 <= temperature <= 150.0:
+                raise ValueError(
+                    "temperatures must lie in the corner model's validated "
+                    f"range [-55, 150] degC; got {temperature}"
+                )
+        for duration in self.durations_periods:
+            if duration < 1:
+                raise ValueError(
+                    f"epoch durations must be >= 1 period; got {duration}"
+                )
+
+    @classmethod
+    def constant(cls, temperature_c: float) -> "TemperatureTrace":
+        """A trace holding one temperature for the whole run."""
+        return cls(temperatures_c=(temperature_c,), durations_periods=(1,))
+
+    @property
+    def total_periods(self) -> int:
+        return sum(self.durations_periods)
+
+    def temperature_at(self, period_index: int) -> float:
+        """Junction temperature of one period (the last epoch holds)."""
+        if period_index < 0:
+            raise ValueError(
+                f"period index must be non-negative; got {period_index}"
+            )
+        elapsed = 0
+        for temperature, duration in zip(
+            self.temperatures_c, self.durations_periods
+        ):
+            elapsed += duration
+            if period_index < elapsed:
+                return temperature
+        return self.temperatures_c[-1]
+
+    def epochs(self, periods: int) -> list[tuple[int, int, float]]:
+        """``(start, end, temperature_c)`` epochs tiling ``[0, periods)``.
+
+        Epochs are clipped to the run length; when the run outlives the
+        trace, the final epoch is extended to cover the overhang (the last
+        temperature holds), so the returned windows always partition the
+        run exactly.
+        """
+        if periods < 1:
+            raise ValueError(f"periods must be >= 1; got {periods}")
+        epochs: list[tuple[int, int, float]] = []
+        start = 0
+        for temperature, duration in zip(
+            self.temperatures_c, self.durations_periods
+        ):
+            if start >= periods:
+                break
+            end = min(start + duration, periods)
+            epochs.append((start, end, temperature))
+            start = end
+        if start < periods:
+            last_start, _, last_temperature = epochs[-1]
+            epochs[-1] = (last_start, periods, last_temperature)
+        return epochs
+
+
+@dataclass(frozen=True)
+class ThermalDerating:
+    """First-order temperature derating of the power-stage electricals.
+
+    Each affected parameter is scaled by ``1 + tempco * (T - 25 degC)``:
+    the switch and inductor resistances rise with temperature (copper and
+    on-resistance tempcos), the output capacitance falls (class II ceramic
+    behaviour).  At exactly the nominal temperature every factor is
+    ``1.0`` and :meth:`derate` is a bitwise identity -- multiplying a
+    float by 1.0 reproduces it exactly -- which is what keeps a
+    25 degC-only trace byte-identical to an untraced run.
+
+    Attributes:
+        resistance_tempco_per_c: relative resistance change per degC
+            (default 0.4 %/degC, the copper resistivity slope).
+        capacitance_tempco_per_c: relative capacitance change per degC
+            (default -0.05 %/degC, a mild X7R-like slope).
+        reference_c: the temperature at which no derating applies.
+    """
+
+    resistance_tempco_per_c: float = 0.004
+    capacitance_tempco_per_c: float = -0.0005
+    reference_c: float = NOMINAL_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        for name in ("resistance_tempco_per_c", "capacitance_tempco_per_c"):
+            if not math.isfinite(getattr(self, name)):
+                raise ValueError(f"{name} must be finite")
+        if not math.isfinite(self.reference_c):
+            raise ValueError("reference_c must be finite")
+
+    def resistance_factor(self, temperature_c: float) -> float:
+        """Multiplier on the resistances at a junction temperature."""
+        return self._factor(self.resistance_tempco_per_c, temperature_c)
+
+    def capacitance_factor(self, temperature_c: float) -> float:
+        """Multiplier on the output capacitance at a junction temperature."""
+        return self._factor(self.capacitance_tempco_per_c, temperature_c)
+
+    def _factor(self, tempco: float, temperature_c: float) -> float:
+        factor = 1.0 + tempco * (temperature_c - self.reference_c)
+        if factor <= 0.0:
+            raise ValueError(
+                f"derating factor must stay positive; tempco {tempco} at "
+                f"{temperature_c} degC gives {factor}"
+            )
+        return factor
+
+    def derate(
+        self, parameters: "BatchBuckParameters", temperature_c: float
+    ) -> "BatchBuckParameters":
+        """Batch parameters with the temperature's derating applied.
+
+        At the reference temperature both factors are exactly ``1.0`` and
+        the returned arrays are bitwise equal to the inputs.
+        """
+        from repro.simulation.batch import BatchBuckParameters
+
+        resistance = self.resistance_factor(temperature_c)
+        capacitance = self.capacitance_factor(temperature_c)
+        return BatchBuckParameters(
+            input_voltage_v=parameters.input_voltage_v,
+            inductance_h=parameters.inductance_h,
+            capacitance_f=parameters.capacitance_f * capacitance,
+            switching_frequency_hz=parameters.switching_frequency_hz,
+            switch_resistance_ohm=parameters.switch_resistance_ohm * resistance,
+            inductor_resistance_ohm=parameters.inductor_resistance_ohm
+            * resistance,
+        )

@@ -1,4 +1,4 @@
-"""Tests for the ADC, compensator and load profiles."""
+"""Tests for the ADC, compensator, load profiles and mission composition."""
 
 from __future__ import annotations
 
@@ -15,6 +15,13 @@ from repro.converter.load import (
     RandomBurstLoad,
     ReferenceStep,
     SteppedLoad,
+)
+from repro.converter.missions import (
+    MissionGenerator,
+    MissionProfile,
+    MissionSegment,
+    OffsetLoad,
+    resolve_missions,
 )
 
 
@@ -230,3 +237,69 @@ class TestLoads:
         assert transient.min_voltage_v == 1.5
         with pytest.raises(ValueError):
             LineTransient(nominal_v=1.8, disturbed_v=1.5, start_period=10, end_period=10)
+
+
+class TestMissionEdgeCases:
+    """Regression tests: degenerate mission schedules fail loudly and typed.
+
+    A zero-duration segment would own no period (the bisect lookup would
+    silently skip it), and an empty schedule has no segment to evaluate at
+    all -- both must be rejected at construction, not surface later as an
+    IndexError mid-simulation.
+    """
+
+    def test_zero_duration_segment_raises(self):
+        with pytest.raises(ValueError, match="at least one switching period"):
+            MissionSegment(duration_periods=0)
+
+    def test_negative_duration_segment_raises(self):
+        with pytest.raises(ValueError, match="at least one switching period"):
+            MissionSegment(duration_periods=-5, load=ConstantLoad(2.0))
+
+    def test_empty_mission_schedule_raises(self):
+        with pytest.raises(ValueError, match="empty mission schedule"):
+            MissionProfile(segments=())
+
+    def test_empty_mission_schedule_raises_from_sequence(self):
+        with pytest.raises(ValueError, match="empty mission schedule"):
+            MissionProfile(segments=[])
+
+    def test_missing_channels_raise_typed_errors(self):
+        mission = MissionProfile(
+            segments=(MissionSegment(duration_periods=4),)
+        )
+        with pytest.raises(ValueError, match="no reference channel"):
+            mission.reference_at(0)
+        with pytest.raises(ValueError, match="no source channel"):
+            mission.voltage_at(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            mission.resistance_at(-1)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError, match="num_segments"):
+            MissionGenerator(total_periods=10, num_segments=0)
+        with pytest.raises(ValueError, match="cover at least"):
+            MissionGenerator(total_periods=3, num_segments=4)
+        with pytest.raises(ValueError, match="positive"):
+            MissionGenerator(total_periods=10, light_ohm=0.0)
+        generator = MissionGenerator(total_periods=64)
+        with pytest.raises(ValueError, match="non-negative"):
+            generator.mission(-1)
+        with pytest.raises(ValueError, match="at least one instance"):
+            generator.missions(0)
+
+    def test_resolve_missions_requires_one_per_instance(self):
+        mission = MissionProfile(
+            segments=(MissionSegment(duration_periods=4),)
+        )
+        with pytest.raises(ValueError, match="one mission per instance"):
+            resolve_missions([mission], num_instances=2)
+
+    def test_offset_load_validation(self):
+        load = ConstantLoad(2.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            OffsetLoad(load=load, offset_periods=-1)
+        shifted = OffsetLoad(load=load, offset_periods=3)
+        with pytest.raises(ValueError, match="non-negative"):
+            shifted.resistance_at(-1)
+        assert OffsetLoad.wrap(load, 0) is load

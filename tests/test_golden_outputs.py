@@ -1,0 +1,49 @@
+"""Golden-output regression gate over the Monte-Carlo experiment family.
+
+The mission/correlation/thermal machinery added around these experiments is
+contractually invisible when unused: the identity correlation branches to
+the verbatim IID draw, a missing temperature trace runs the original chunk
+body, and ``OffsetLoad.wrap(load, 0)`` returns the load itself.  This gate
+enforces that end to end: the ``--json`` artifact of each vanilla
+experiment, bytes on disk, must hash to the value pinned here.
+
+If a hash moves, either the change is an intentional behavioural revision
+(update the pin *and* say so in the commit message) or the new machinery
+leaked into the default path (fix the regression).  JSON key order is
+deterministic (insertion order), floats round-trip via ``repr``, and every
+experiment seeds its RNGs, so the byte stream is stable across runs and
+machines for a given numpy generation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import main as runner_main
+
+#: experiment id -> sha256 of its ``--json`` artifact at the pinned seed.
+GOLDEN_SHA256 = {
+    "fig15": "ec57c3b466e0a47a5adf0170255819f439c7266eba56bd55194a6cdeea8ae36c",
+    "fig15_mc": "134a20a6541c2c5307c8e6a7422ccf858f179bbef0c302bcc503fa48f8612098",
+    "fig50_51_mc": "a808eb11de7f21a23a867307c448a3a53ffd284cd08e48a1f2f2d14cee009f53",
+    "fig15_rare": "1ed556d4619721acea08bc20a7f97fc7097b741865efa176d949b1c4fa9523c2",
+}
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_SHA256))
+def test_json_artifact_is_byte_identical(
+    experiment_id: str, tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    artifact = tmp_path / f"{experiment_id}.json"
+    assert runner_main([experiment_id, "--json", str(artifact)]) == 0
+    capsys.readouterr()  # The table report is not under test here.
+    digest = hashlib.sha256(artifact.read_bytes()).hexdigest()
+    assert digest == GOLDEN_SHA256[experiment_id], (
+        f"{experiment_id} --json output drifted: sha256 {digest} != pinned "
+        f"{GOLDEN_SHA256[experiment_id]}. If the behavioural change is "
+        "intentional, update GOLDEN_SHA256; otherwise new machinery has "
+        "leaked into the default path."
+    )

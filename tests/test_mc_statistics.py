@@ -30,9 +30,11 @@ from hypothesis import strategies as st
 
 from repro.converter.buck import BuckParameters
 from repro.core.yield_analysis import (
+    CORRELATION_PRESETS,
     ComponentStratification,
     ComponentTilt,
     ComponentVariation,
+    component_correlation_preset,
     rare_event_regulation_yield,
 )
 from repro.mc import (
@@ -47,7 +49,7 @@ from repro.mc import (
     normal_ppf,
     stratified_sample,
 )
-from repro.technology.variation import VariationModel
+from repro.technology.variation import CorrelatedVariationModel, VariationModel
 
 # ---------------------------------------------------------------------------
 # Interval coverage from the coin-flip regime to the ppm regime.
@@ -634,6 +636,145 @@ class TestRareEventWrapperValidation:
 
 
 # ---------------------------------------------------------------------------
+# Correlated component draws: statistics, bitwise identity, validation.
+# ---------------------------------------------------------------------------
+
+#: Fleet size of the empirical-correlation check.  The sample correlation
+#: coefficient's asymptotic standard error is (1 - rho^2) / sqrt(n); at
+#: n = 50_000 three sigmas of the rho = 0 entries is ~0.013.
+CORRELATION_DRAWS = 50_000
+
+
+def _recover_z(parameters: object) -> np.ndarray:
+    """Invert the per-axis transforms back to the underlying normals.
+
+    The lognormal axes invert through ``log``, the resistance axes through
+    ``(x - 1) / sigma``; both are exact (the resistance clip at zero never
+    fires at these sigmas), so the recovered rows *are* the mixed
+    standard-normal draws and their sample correlation estimates the
+    declared matrix directly.
+    """
+    return np.stack(
+        [
+            np.log(parameters.input_voltage_v / NOMINAL.input_voltage_v)
+            / VARIATION.input_voltage_sigma,
+            np.log(parameters.inductance_h / NOMINAL.inductance_h)
+            / VARIATION.inductance_sigma,
+            np.log(parameters.capacitance_f / NOMINAL.capacitance_f)
+            / VARIATION.capacitance_sigma,
+            (
+                parameters.switch_resistance_ohm
+                / NOMINAL.switch_resistance_ohm
+                - 1.0
+            )
+            / VARIATION.resistance_sigma,
+            (
+                parameters.inductor_resistance_ohm
+                / NOMINAL.inductor_resistance_ohm
+                - 1.0
+            )
+            / VARIATION.resistance_sigma,
+        ]
+    )
+
+
+class TestCorrelatedVariation:
+    @pytest.mark.parametrize("preset", ["passives", "thermal"])
+    def test_empirical_correlation_matches_preset(self, preset: str) -> None:
+        model = component_correlation_preset(preset)
+        parameters = VARIATION.sample_batch(
+            NOMINAL, CORRELATION_DRAWS, correlation=model
+        )
+        empirical = np.corrcoef(_recover_z(parameters))
+        truth = CORRELATION_PRESETS[preset]
+        tolerance = 3.0 * (1.0 - truth**2) / math.sqrt(CORRELATION_DRAWS)
+        assert (np.abs(empirical - truth) <= tolerance + 1e-9).all()
+
+    @pytest.mark.parametrize("preset", ["passives", "thermal"])
+    def test_marginals_keep_iid_moments(self, preset: str) -> None:
+        model = component_correlation_preset(preset)
+        parameters = VARIATION.sample_batch(
+            NOMINAL, CORRELATION_DRAWS, correlation=model
+        )
+        z = _recover_z(parameters)
+        bound = 3.0 / math.sqrt(CORRELATION_DRAWS)
+        assert (np.abs(z.mean(axis=1)) <= bound + 1e-9).all()
+        assert (np.abs(z.std(axis=1) - 1.0) <= 2.0 * bound).all()
+
+    def test_identity_sample_batch_is_bitwise_vanilla(self) -> None:
+        vanilla = VARIATION.sample_batch(NOMINAL, 64)
+        for model in (
+            component_correlation_preset("identity"),
+            CorrelatedVariationModel.identity(5),
+        ):
+            correlated = VARIATION.sample_batch(NOMINAL, 64, correlation=model)
+            for name in _FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(vanilla, name), getattr(correlated, name)
+                )
+
+    def test_identity_sample_instances_is_bitwise_vanilla(self) -> None:
+        vanilla = VARIATION.sample_instances(NOMINAL, 24, first_instance=3)
+        correlated = VARIATION.sample_instances(
+            NOMINAL,
+            24,
+            first_instance=3,
+            correlation=component_correlation_preset("identity"),
+        )
+        for name in _FIELDS:
+            np.testing.assert_array_equal(
+                getattr(vanilla, name), getattr(correlated, name)
+            )
+
+    @given(split=st.integers(min_value=1, max_value=23))
+    @settings(max_examples=25, deadline=None)
+    def test_correlated_instance_stream_is_chunk_invariant(
+        self, split: int
+    ) -> None:
+        model = component_correlation_preset("passives")
+        whole = VARIATION.sample_instances(NOMINAL, 24, correlation=model)
+        head = VARIATION.sample_instances(NOMINAL, split, correlation=model)
+        tail = VARIATION.sample_instances(
+            NOMINAL, 24 - split, first_instance=split, correlation=model
+        )
+        for name in _FIELDS:
+            np.testing.assert_array_equal(
+                getattr(whole, name),
+                np.concatenate([getattr(head, name), getattr(tail, name)]),
+            )
+
+    def test_non_psd_matrix_raises_typed_error(self) -> None:
+        matrix = np.eye(5)
+        matrix[0, 1] = matrix[1, 0] = 0.9
+        matrix[0, 2] = matrix[2, 0] = 0.9
+        matrix[1, 2] = matrix[2, 1] = -0.9
+        with pytest.raises(ValueError, match="positive semi-definite"):
+            CorrelatedVariationModel(matrix=matrix)
+
+    def test_matrix_validation(self) -> None:
+        with pytest.raises(ValueError, match="square"):
+            CorrelatedVariationModel(matrix=np.ones((2, 3)))
+        lopsided = np.eye(3)
+        lopsided[0, 1] = 0.5
+        with pytest.raises(ValueError, match="symmetric"):
+            CorrelatedVariationModel(matrix=lopsided)
+        scaled = np.eye(3) * 2.0
+        with pytest.raises(ValueError, match="diagonal"):
+            CorrelatedVariationModel(matrix=scaled)
+        with pytest.raises(ValueError, match="unknown correlation preset"):
+            component_correlation_preset("bogus")
+
+    def test_dimension_mismatch_raises(self) -> None:
+        matrix = np.eye(3)
+        matrix[0, 1] = matrix[1, 0] = 0.5
+        small = CorrelatedVariationModel(matrix=matrix)
+        with pytest.raises(ValueError, match="spans 3 axes"):
+            VARIATION.sample_batch(NOMINAL, 8, correlation=small)
+        with pytest.raises(ValueError, match="spans 3 axes"):
+            VARIATION.sample_instances(NOMINAL, 8, correlation=small)
+
+
+# ---------------------------------------------------------------------------
 # Lint: the seeding contract must hold over the new modules, unsuppressed.
 # ---------------------------------------------------------------------------
 
@@ -641,7 +782,10 @@ NEW_MODULES = [
     "src/repro/mc.py",
     "src/repro/core/yield_analysis.py",
     "src/repro/technology/variation.py",
+    "src/repro/technology/thermal.py",
+    "src/repro/converter/missions.py",
     "src/repro/pipeline.py",
+    "src/repro/experiments/figure15_mission.py",
     "src/repro/experiments/figure15_rare.py",
 ]
 
